@@ -1,0 +1,86 @@
+//! Criterion benchmarks that regenerate (scaled-down) data points of every figure of
+//! the paper, so `cargo bench` exercises the same code paths as the experiment
+//! binaries.  Each benchmark measures the time to produce one data point; the full
+//! tables/figures are produced by the `fig*`/`table*` binaries (`cargo run --release
+//! -p vliw-bench --bin fig8`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cvliw_core::UnrollPolicy;
+use vliw_arch::MachineConfig;
+use vliw_bench::{relative_ipc, run_corpus, Algorithm};
+use vliw_timing::CycleTimeModel;
+use vliw_workloads::{LoopCorpus, SpecFp95};
+
+fn small_corpus(bench: SpecFp95) -> LoopCorpus {
+    let mut c = LoopCorpus::generate(bench);
+    c.loops.truncate(4);
+    c
+}
+
+/// Figure 4 data point: relative IPC of one configuration, BSA vs N&E.
+fn fig4_point(c: &mut Criterion) {
+    let corpus = small_corpus(SpecFp95::Hydro2d);
+    let mut group = c.benchmark_group("fig4-point");
+    for (label, alg) in [("bsa", Algorithm::Bsa), ("ne", Algorithm::NystromEichenberger)] {
+        for buses in [1usize, 4] {
+            let machine = MachineConfig::four_cluster(buses, 1);
+            group.bench_with_input(
+                BenchmarkId::new(label, format!("{buses}bus")),
+                &machine,
+                |b, m| b.iter(|| relative_ipc(&corpus, m, alg, UnrollPolicy::None)),
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Figure 8 data point: one benchmark, one configuration, each unrolling policy.
+fn fig8_point(c: &mut Criterion) {
+    let corpus = small_corpus(SpecFp95::Swim);
+    let machine = MachineConfig::two_cluster(1, 2);
+    let mut group = c.benchmark_group("fig8-point");
+    for policy in UnrollPolicy::ALL {
+        group.bench_function(policy.label(), |b| {
+            b.iter(|| run_corpus(&corpus, &machine, Algorithm::Bsa, policy))
+        });
+    }
+    group.finish();
+}
+
+/// Figure 9 / Table 2 data point: cycle-time model evaluation (cheap, but part of the
+/// pipeline).
+fn table2_point(c: &mut Criterion) {
+    let model = CycleTimeModel::new();
+    let configs = [
+        MachineConfig::unified(),
+        MachineConfig::two_cluster(1, 1),
+        MachineConfig::four_cluster(2, 1),
+    ];
+    c.bench_function("table2-cycle-times", |b| {
+        b.iter(|| {
+            configs
+                .iter()
+                .map(|m| model.cycle_time_ps(m))
+                .sum::<f64>()
+        })
+    });
+}
+
+/// Figure 10 data point: code size of one corpus under selective unrolling.
+fn fig10_point(c: &mut Criterion) {
+    let corpus = small_corpus(SpecFp95::Applu);
+    let machine = MachineConfig::four_cluster(1, 1);
+    c.bench_function("fig10-codesize-point", |b| {
+        b.iter(|| {
+            let r = run_corpus(&corpus, &machine, Algorithm::Bsa, UnrollPolicy::Selective);
+            (r.code_size.useful_ops, r.code_size.total_slots)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = fig4_point, fig8_point, table2_point, fig10_point
+}
+criterion_main!(benches);

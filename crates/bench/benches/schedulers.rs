@@ -1,0 +1,111 @@
+//! Criterion micro-benchmarks of the schedulers themselves: how fast BSA, the
+//! two-phase baseline and the unified SMS scheduler process representative loops, and
+//! the cost of the unrolling policies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cvliw_core::{
+    BsaScheduler, LoadBalancedScheduler, NeScheduler, RoundRobinScheduler, SelectiveUnroller,
+    UnrollPolicy,
+};
+use vliw_arch::MachineConfig;
+use vliw_sms::SmsScheduler;
+use vliw_workloads::{kernels, LoopCorpus, SpecFp95};
+
+fn scheduler_throughput(c: &mut Criterion) {
+    let machine2 = MachineConfig::two_cluster(1, 1);
+    let machine4 = MachineConfig::four_cluster(1, 1);
+    let unified = MachineConfig::unified();
+    let loops = vec![
+        ("saxpy", kernels::saxpy(1000)),
+        ("stencil3", kernels::stencil3(1000)),
+        ("jacobi5", kernels::jacobi5(1000)),
+        ("tridiag", kernels::tridiag(1000)),
+    ];
+
+    let mut group = c.benchmark_group("scheduler-throughput");
+    for (name, graph) in &loops {
+        group.bench_with_input(BenchmarkId::new("unified-sms", name), graph, |b, g| {
+            let s = SmsScheduler::new(&unified);
+            b.iter(|| s.schedule(g).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("bsa-2cluster", name), graph, |b, g| {
+            let s = BsaScheduler::new(&machine2);
+            b.iter(|| s.schedule(g).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("bsa-4cluster", name), graph, |b, g| {
+            let s = BsaScheduler::new(&machine4);
+            b.iter(|| s.schedule(g).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("ne-4cluster", name), graph, |b, g| {
+            let s = NeScheduler::new(&machine4);
+            b.iter(|| s.schedule(g).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn unrolling_policies(c: &mut Criterion) {
+    let machine = MachineConfig::four_cluster(1, 2);
+    let graph = kernels::jacobi5(1000);
+    let mut group = c.benchmark_group("unrolling-policy");
+    for policy in UnrollPolicy::ALL {
+        group.bench_function(policy.label(), |b| {
+            let driver = SelectiveUnroller::new(BsaScheduler::new(&machine));
+            b.iter(|| driver.schedule_with_policy(&graph, policy).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn corpus_scheduling(c: &mut Criterion) {
+    // One whole benchmark corpus end to end (what the figure binaries do per data
+    // point); kept to a single small corpus so `cargo bench` stays quick.
+    let mut corpus = LoopCorpus::generate(SpecFp95::Mgrid);
+    corpus.loops.truncate(6);
+    let machine = MachineConfig::four_cluster(1, 1);
+    c.bench_function("corpus-mgrid-4cluster-bsa", |b| {
+        b.iter(|| {
+            vliw_bench::run_corpus(
+                &corpus,
+                &machine,
+                vliw_bench::Algorithm::Bsa,
+                UnrollPolicy::Selective,
+            )
+        })
+    });
+}
+
+/// Ablation: the paper's profit-driven single-pass assignment vs. two deliberately
+/// naive assignment policies (round-robin and balance-only), measured both as
+/// scheduler runtime and — through the thresholds asserted in the unit tests — as
+/// schedule quality.
+fn ablation_assignment_policies(c: &mut Criterion) {
+    let machine = MachineConfig::two_cluster(1, 1);
+    let graph = kernels::hydro(1000);
+    let mut group = c.benchmark_group("ablation-assignment");
+    group.bench_function("bsa-profit", |b| {
+        let s = BsaScheduler::new(&machine);
+        b.iter(|| s.schedule(&graph).unwrap())
+    });
+    group.bench_function("two-phase-ne", |b| {
+        let s = NeScheduler::new(&machine);
+        b.iter(|| s.schedule(&graph).unwrap())
+    });
+    group.bench_function("round-robin", |b| {
+        let s = RoundRobinScheduler::new(&machine);
+        b.iter(|| s.schedule(&graph).unwrap())
+    });
+    group.bench_function("load-balanced", |b| {
+        let s = LoadBalancedScheduler::new(&machine);
+        b.iter(|| s.schedule(&graph).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = scheduler_throughput, unrolling_policies, corpus_scheduling,
+        ablation_assignment_policies
+}
+criterion_main!(benches);

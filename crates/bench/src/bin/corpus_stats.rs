@@ -1,0 +1,40 @@
+//! Structural statistics of the synthetic SPECfp95 loop corpora (Section 6.1 of the
+//! paper describes the workload; this binary documents what the substitute corpus
+//! looks like so its calibration can be audited).
+
+use vliw_bench::write_json;
+use vliw_metrics::TextTable;
+use vliw_workloads::{CorpusStats, LoopCorpus};
+
+fn main() {
+    let corpora = LoopCorpus::all();
+    let stats: Vec<CorpusStats> = corpora.iter().map(CorpusStats::of).collect();
+
+    let mut table = TextTable::new([
+        "benchmark",
+        "loops",
+        "mean ops",
+        "max ops",
+        "carried edge frac",
+        "loops w/ recurrences",
+        "int/fp/mem mix",
+        "mean iterations",
+    ]);
+    for s in &stats {
+        table.row([
+            s.benchmark.clone(),
+            s.loops.to_string(),
+            format!("{:.1}", s.mean_ops),
+            s.max_ops.to_string(),
+            format!("{:.3}", s.loop_carried_fraction),
+            format!("{:.2}", s.loops_with_recurrences),
+            format!("{:.2}/{:.2}/{:.2}", s.kind_mix[0], s.kind_mix[1], s.kind_mix[2]),
+            format!("{:.0}", s.mean_iterations),
+        ]);
+    }
+    println!("Synthetic SPECfp95 corpus statistics");
+    println!("{table}");
+    if let Ok(path) = write_json("corpus_stats", &stats) {
+        println!("JSON written to {}", path.display());
+    }
+}

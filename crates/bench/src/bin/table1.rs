@@ -1,0 +1,45 @@
+//! Table 1 — the evaluated machine configurations and the operation latencies.
+
+use vliw_arch::{FuKind, MachineConfig, OpClass};
+use vliw_metrics::TextTable;
+
+fn main() {
+    let configs = [
+        MachineConfig::unified(),
+        MachineConfig::two_cluster(1, 1),
+        MachineConfig::four_cluster(1, 1),
+    ];
+    let mut table = TextTable::new([
+        "configuration",
+        "clusters",
+        "INT/cluster",
+        "FP/cluster",
+        "MEM/cluster",
+        "regs/cluster",
+        "total issue",
+        "total regs",
+    ]);
+    for m in &configs {
+        table.row([
+            m.name.clone(),
+            m.n_clusters.to_string(),
+            m.cluster.fu_count(FuKind::Int).to_string(),
+            m.cluster.fu_count(FuKind::Fp).to_string(),
+            m.cluster.fu_count(FuKind::Mem).to_string(),
+            m.cluster.registers.to_string(),
+            m.total_issue_width().to_string(),
+            m.total_registers().to_string(),
+        ]);
+    }
+    println!("Table 1a — machine configurations");
+    println!("{table}");
+    println!("Clustered configurations are evaluated with 1 or 2 buses of latency 1, 2 or 4 cycles.\n");
+
+    let machine = MachineConfig::unified();
+    let mut latencies = TextTable::new(["operation class", "latency (cycles)"]);
+    for class in OpClass::ALL {
+        latencies.row([class.mnemonic().to_string(), machine.latency(class).to_string()]);
+    }
+    println!("Table 1b — operation latencies");
+    println!("{latencies}");
+}

@@ -1,0 +1,284 @@
+//! # vliw-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper (see `DESIGN.md` for the index):
+//!
+//! | target | reproduces |
+//! |--------|------------|
+//! | `table1` | Table 1 — machine configurations and operation latencies |
+//! | `fig4`   | Figure 4 — relative IPC vs. number of buses, BSA vs. the two-phase baseline |
+//! | `fig8`   | Figure 8 — per-benchmark IPC for the three unrolling policies |
+//! | `table2` | Table 2 — cycle times from the Palacharla model |
+//! | `fig9`   | Figure 9 — cycle-time-aware speed-up over the unified machine |
+//! | `fig10`  | Figure 10 — code-size impact of unrolling |
+//!
+//! plus the Criterion micro-benchmarks (`cargo bench -p vliw-bench`) measuring
+//! scheduler throughput.
+//!
+//! The library part of the crate holds the shared experiment runner: scheduling a
+//! whole [`LoopCorpus`] on a machine with a given algorithm and unrolling policy, in
+//! parallel over loops (the runs are completely independent, so this is a plain
+//! `rayon` parallel map), and accumulating IPC / code-size metrics.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use cvliw_core::{
+    BsaScheduler, ClusterSchedule, NeScheduler, SelectiveUnroller, UnrollPolicy,
+};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use vliw_ddg::DepGraph;
+use vliw_metrics::{CodeSizeModel, CodeSizeReport, IpcAccountant, LoopContribution};
+use vliw_sms::{ScheduleError, SmsScheduler};
+use vliw_arch::MachineConfig;
+use vliw_workloads::LoopCorpus;
+
+/// Which scheduling algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Algorithm {
+    /// The unified-machine Swing Modulo Scheduler (reference).
+    UnifiedSms,
+    /// The paper's single-pass cluster scheduler (Figure 5).
+    Bsa,
+    /// The two-phase Nystrom & Eichenberger-style baseline.
+    NystromEichenberger,
+}
+
+impl Algorithm {
+    /// Short label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Algorithm::UnifiedSms => "unified",
+            Algorithm::Bsa => "BSA",
+            Algorithm::NystromEichenberger => "N&E",
+        }
+    }
+}
+
+/// Schedule one loop with the given algorithm and policy.
+pub fn schedule_loop(
+    graph: &DepGraph,
+    machine: &MachineConfig,
+    algorithm: Algorithm,
+    policy: UnrollPolicy,
+) -> Result<ClusterSchedule, ScheduleError> {
+    match algorithm {
+        Algorithm::UnifiedSms => {
+            SelectiveUnroller::new(SmsScheduler::new(machine)).schedule_with_policy(graph, policy)
+        }
+        Algorithm::Bsa => {
+            SelectiveUnroller::new(BsaScheduler::new(machine)).schedule_with_policy(graph, policy)
+        }
+        Algorithm::NystromEichenberger => {
+            SelectiveUnroller::new(NeScheduler::new(machine)).schedule_with_policy(graph, policy)
+        }
+    }
+}
+
+/// The aggregate result of scheduling a whole corpus on one configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CorpusResult {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Machine name.
+    pub machine: String,
+    /// Algorithm used.
+    pub algorithm: Algorithm,
+    /// Unrolling policy used.
+    pub policy: String,
+    /// Aggregate IPC.
+    pub ipc: f64,
+    /// Number of loops that were unrolled.
+    pub unrolled_loops: usize,
+    /// Number of loops that could not be scheduled (counted, not silently dropped).
+    pub failed_loops: usize,
+    /// Static code size (useful ops and total slots) summed over all loops.
+    pub code_size: CodeSizeReport,
+    /// Per-loop IPC contributions (kept for drill-down output).
+    pub contributions: Vec<LoopContribution>,
+}
+
+impl CorpusResult {
+    /// The IPC accountant rebuilt from the stored contributions.
+    pub fn accountant(&self) -> IpcAccountant {
+        let mut acc = IpcAccountant::new();
+        for c in &self.contributions {
+            acc.add(c.clone());
+        }
+        acc
+    }
+}
+
+/// Schedule every loop of `corpus` on `machine` with `algorithm` and `policy`,
+/// in parallel, and aggregate IPC and code size.
+pub fn run_corpus(
+    corpus: &LoopCorpus,
+    machine: &MachineConfig,
+    algorithm: Algorithm,
+    policy: UnrollPolicy,
+) -> CorpusResult {
+    let results: Vec<Option<ClusterSchedule>> = corpus
+        .loops
+        .par_iter()
+        .map(|graph| schedule_loop(graph, machine, algorithm, policy).ok())
+        .collect();
+
+    let mut acc = IpcAccountant::new();
+    let code_model = CodeSizeModel::new(machine);
+    let mut code = CodeSizeReport::zero();
+    let mut unrolled_loops = 0usize;
+    let mut failed_loops = 0usize;
+    for result in results.iter() {
+        match result {
+            None => failed_loops += 1,
+            Some(cs) => {
+                if cs.unroll_factor > 1 {
+                    unrolled_loops += 1;
+                }
+                acc.add(LoopContribution::new(
+                    &cs.schedule,
+                    cs.scheduled_graph.iterations,
+                    cs.original_ops,
+                    cs.original_iterations,
+                    cs.invocations,
+                    cs.unroll_factor,
+                ));
+                code.accumulate(code_model.loop_size(&cs.schedule, cs.scheduled_graph.n_nodes()));
+            }
+        }
+    }
+    CorpusResult {
+        benchmark: corpus.benchmark.name().to_string(),
+        machine: machine.name.clone(),
+        algorithm,
+        policy: policy.label().to_string(),
+        ipc: acc.ipc(),
+        unrolled_loops,
+        failed_loops,
+        code_size: code,
+        contributions: acc.contributions().to_vec(),
+    }
+}
+
+/// Schedule a corpus on a clustered machine and on its unified counterpart (same total
+/// resources), returning `(clustered IPC, unified IPC, relative IPC)`.
+pub fn relative_ipc(
+    corpus: &LoopCorpus,
+    clustered: &MachineConfig,
+    algorithm: Algorithm,
+    policy: UnrollPolicy,
+) -> (f64, f64, f64) {
+    let unified_machine = clustered.unified_counterpart();
+    let clustered_result = run_corpus(corpus, clustered, algorithm, policy);
+    let unified_result = run_corpus(corpus, &unified_machine, Algorithm::UnifiedSms, policy);
+    let rel = if unified_result.ipc > 0.0 {
+        clustered_result.ipc / unified_result.ipc
+    } else {
+        0.0
+    };
+    (clustered_result.ipc, unified_result.ipc, rel)
+}
+
+/// Average of a slice of f64 values (0 for an empty slice).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Write a serialisable experiment result as pretty JSON under `results/<name>.json`
+/// (creating the directory), returning the path.  Experiment binaries call this so
+/// every figure has a machine-readable artifact next to the printed table.
+pub fn write_json<T: Serialize>(name: &str, value: &T) -> std::io::Result<std::path::PathBuf> {
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.json"));
+    std::fs::write(&path, serde_json::to_string_pretty(value)?)?;
+    Ok(path)
+}
+
+/// The standard corpus used by all experiment binaries, optionally shrunk by the
+/// `FAST_EXPERIMENTS` environment variable (useful in CI and in the Criterion benches).
+pub fn standard_corpora() -> Vec<LoopCorpus> {
+    let mut corpora = LoopCorpus::all();
+    if std::env::var("FAST_EXPERIMENTS").is_ok() {
+        for corpus in &mut corpora {
+            corpus.loops.truncate(4);
+        }
+        corpora.truncate(4);
+    }
+    corpora
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vliw_workloads::SpecFp95;
+
+    fn small_corpus() -> LoopCorpus {
+        let mut c = LoopCorpus::generate(SpecFp95::Swim);
+        c.loops.truncate(4);
+        c
+    }
+
+    #[test]
+    fn run_corpus_produces_positive_ipc_and_no_failures() {
+        let corpus = small_corpus();
+        let machine = MachineConfig::two_cluster(1, 1);
+        let result = run_corpus(&corpus, &machine, Algorithm::Bsa, UnrollPolicy::None);
+        assert_eq!(result.failed_loops, 0);
+        assert!(result.ipc > 0.0);
+        assert!(result.ipc <= machine.total_issue_width() as f64);
+        assert_eq!(result.contributions.len(), corpus.len());
+    }
+
+    #[test]
+    fn relative_ipc_is_at_most_slightly_above_one() {
+        let corpus = small_corpus();
+        let machine = MachineConfig::two_cluster(2, 1);
+        let (_, _, rel) = relative_ipc(&corpus, &machine, Algorithm::Bsa, UnrollPolicy::None);
+        assert!(rel > 0.3, "relative IPC suspiciously low: {rel}");
+        assert!(rel < 1.3, "relative IPC suspiciously high: {rel}");
+    }
+
+    #[test]
+    fn bsa_beats_or_matches_ne_on_a_bus_starved_machine() {
+        let corpus = small_corpus();
+        let machine = MachineConfig::four_cluster(1, 2);
+        let bsa = run_corpus(&corpus, &machine, Algorithm::Bsa, UnrollPolicy::None);
+        let ne = run_corpus(
+            &corpus,
+            &machine,
+            Algorithm::NystromEichenberger,
+            UnrollPolicy::None,
+        );
+        assert!(
+            bsa.ipc >= ne.ipc * 0.98,
+            "BSA {} should not lose to N&E {}",
+            bsa.ipc,
+            ne.ipc
+        );
+    }
+
+    #[test]
+    fn unrolling_policy_is_tracked() {
+        let corpus = small_corpus();
+        let machine = MachineConfig::four_cluster(1, 1);
+        let all = run_corpus(&corpus, &machine, Algorithm::Bsa, UnrollPolicy::All);
+        // The All policy unrolls every loop it can still schedule afterwards (the
+        // 16-register clusters reject a few very wide unrolled bodies, which then fall
+        // back to their original schedule).
+        assert!(all.unrolled_loops >= 1);
+        assert_eq!(all.failed_loops, 0);
+        let none = run_corpus(&corpus, &machine, Algorithm::Bsa, UnrollPolicy::None);
+        assert_eq!(none.unrolled_loops, 0);
+        assert_eq!(none.failed_loops, 0);
+    }
+
+    #[test]
+    fn mean_helper() {
+        assert_eq!(mean(&[]), 0.0);
+        assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+    }
+}

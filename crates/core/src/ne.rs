@@ -1,0 +1,402 @@
+//! The two-phase baseline: cluster assignment first, scheduling second.
+//!
+//! This reproduces the approach of Nystrom & Eichenberger (MICRO'98) that the paper
+//! compares against in Figure 4: a first phase partitions the dependence graph across
+//! the clusters, and a second phase modulo-schedules every node on its pre-assigned
+//! cluster.  If the second phase fails, the initiation interval is incremented and
+//! *both* phases are redone ("If any of them fails, the algorithm is re-started by
+//! incrementing the initiation interval").
+//!
+//! The assignment phase follows the published heuristics at the level of detail the
+//! paper relies on:
+//!
+//! * nodes of a recurrence are assigned **as a unit**, so loop-carried dependences
+//!   never cross clusters (the aspect N&E emphasise);
+//! * super-nodes (recurrences and remaining single nodes) are visited in topological
+//!   order of the condensation and placed on the cluster that maximises the number of
+//!   value edges to already-assigned nodes in that cluster (minimising the cut), with
+//!   the least-loaded cluster as tie-break;
+//! * a cluster is only eligible while its estimated functional-unit usage stays within
+//!   `fu_count × II` slots per kind ("the negative impact of aggressively filling
+//!   clusters" is avoided by capping the load at a fraction of the capacity, as N&E
+//!   do); the cap is relaxed if no cluster is eligible.
+//!
+//! The scheduling phase is the same slot/bus machinery as BSA, with the cluster forced;
+//! the crucial difference — and the one responsible for the Figure 4 gap — is that the
+//! assignment was made without seeing the partial schedule or the bus occupancy.
+
+use crate::comm::{allocate_comms, required_comms, CommAllocation};
+use crate::result::LoopScheduler;
+use vliw_ddg::{mii, sccs, DepGraph};
+use vliw_sms::{
+    early_start, late_start, max_ii, LifetimeMap, ModuloReservationTable, ModuloSchedule,
+    OrderingContext, PlacedOp, ScheduleError, SlotScan,
+};
+use vliw_arch::{FuKind, MachineConfig, ResourcePool};
+
+/// Fraction of a cluster's capacity the assignment phase is willing to fill before
+/// looking at other clusters (N&E avoid aggressively filling clusters).
+const FILL_CAP: f64 = 0.85;
+
+/// Two-phase (assign, then schedule) modulo scheduler, in the style of Nystrom &
+/// Eichenberger.
+#[derive(Debug, Clone)]
+pub struct NeScheduler {
+    machine: MachineConfig,
+    /// Check per-cluster register pressure during scheduling (as in BSA).
+    pub check_registers: bool,
+}
+
+impl NeScheduler {
+    /// A two-phase scheduler for `machine`.
+    pub fn new(machine: &MachineConfig) -> Self {
+        Self {
+            machine: machine.clone(),
+            check_registers: true,
+        }
+    }
+
+    /// The machine being scheduled for.
+    pub fn machine(&self) -> &MachineConfig {
+        &self.machine
+    }
+
+    /// Modulo schedule `graph` with the two-phase approach.
+    pub fn schedule(&self, graph: &DepGraph) -> Result<ModuloSchedule, ScheduleError> {
+        graph.validate().map_err(ScheduleError::InvalidGraph)?;
+        let mii = mii(graph, &self.machine);
+        let limit = max_ii(mii);
+        let mut bus_failure_seen = false;
+        for ii in mii..=limit {
+            let assignment = self.assign_clusters(graph, ii);
+            let orders =
+                [OrderingContext::new(graph, ii), OrderingContext::topological(graph, ii)];
+            for ctx in &orders {
+                match self.try_schedule(graph, ctx, &assignment, ii, mii) {
+                    Ok(mut sched) => {
+                        sched.normalize();
+                        sched.limited_by_bus = bus_failure_seen && sched.ii() > mii;
+                        return Ok(sched);
+                    }
+                    Err(bus_blocked) => bus_failure_seen |= bus_blocked,
+                }
+            }
+        }
+        Err(ScheduleError::MaxIiExceeded { mii, max_ii_tried: limit })
+    }
+
+    /// Modulo schedule `graph` with a *fixed*, caller-supplied cluster assignment
+    /// (one cluster index per node).  This is the building block for the ablation
+    /// schedulers in [`crate::ablation`]: any assignment policy can be plugged in
+    /// front of the same phase-2 scheduling machinery.
+    pub fn schedule_with_assignment(
+        &self,
+        graph: &DepGraph,
+        assignment: &[usize],
+    ) -> Result<ModuloSchedule, ScheduleError> {
+        graph.validate().map_err(ScheduleError::InvalidGraph)?;
+        assert_eq!(
+            assignment.len(),
+            graph.n_nodes(),
+            "one cluster per node is required"
+        );
+        assert!(
+            assignment.iter().all(|&c| c < self.machine.n_clusters),
+            "assignment references a cluster outside the machine"
+        );
+        let mii = mii(graph, &self.machine);
+        let limit = max_ii(mii);
+        let mut bus_failure_seen = false;
+        for ii in mii..=limit {
+            let orders =
+                [OrderingContext::new(graph, ii), OrderingContext::topological(graph, ii)];
+            for ctx in &orders {
+                match self.try_schedule(graph, ctx, assignment, ii, mii) {
+                    Ok(mut sched) => {
+                        sched.normalize();
+                        sched.limited_by_bus = bus_failure_seen && sched.ii() > mii;
+                        return Ok(sched);
+                    }
+                    Err(bus_blocked) => bus_failure_seen |= bus_blocked,
+                }
+            }
+        }
+        Err(ScheduleError::MaxIiExceeded { mii, max_ii_tried: limit })
+    }
+
+    /// Phase 1: partition the nodes across the clusters (see module docs).
+    pub fn assign_clusters(&self, graph: &DepGraph, ii: u32) -> Vec<usize> {
+        let machine = &self.machine;
+        let n_clusters = machine.n_clusters;
+        let mut assignment = vec![usize::MAX; graph.n_nodes()];
+        if n_clusters == 1 {
+            return vec![0; graph.n_nodes()];
+        }
+
+        // Super-nodes: SCCs in reverse topological order -> process in topological
+        // order (sources first) so most value producers are assigned before consumers.
+        let mut components = sccs(graph);
+        components.reverse();
+
+        // Per-cluster, per-kind load (in reservation slots) and capacity.
+        let mut load = vec![[0usize; 3]; n_clusters];
+        let capacity: [usize; 3] = [
+            machine.cluster.fu_count(FuKind::Int) * ii as usize,
+            machine.cluster.fu_count(FuKind::Fp) * ii as usize,
+            machine.cluster.fu_count(FuKind::Mem) * ii as usize,
+        ];
+
+        for component in components {
+            // Demand of the whole component.
+            let mut demand = [0usize; 3];
+            for &n in &component {
+                demand[graph.node(n).class.fu_kind().index()] += 1;
+            }
+
+            // Eligible clusters: those that stay under the fill cap for every kind.
+            let eligible = |relaxed: bool| -> Vec<usize> {
+                (0..n_clusters)
+                    .filter(|&c| {
+                        (0..3).all(|k| {
+                            if capacity[k] == 0 {
+                                return demand[k] == 0;
+                            }
+                            let cap = if relaxed {
+                                capacity[k]
+                            } else {
+                                (((capacity[k] as f64) * FILL_CAP).floor() as usize).max(1)
+                            };
+                            load[c][k] + demand[k] <= cap
+                        })
+                    })
+                    .collect()
+            };
+            let mut candidates = eligible(false);
+            if candidates.is_empty() {
+                candidates = eligible(true);
+            }
+            if candidates.is_empty() {
+                candidates = (0..n_clusters).collect();
+            }
+
+            // Affinity: value edges between the component and nodes already assigned to
+            // each candidate cluster (either direction).
+            let chosen = candidates
+                .iter()
+                .copied()
+                .max_by_key(|&c| {
+                    let affinity: i64 = graph
+                        .edges()
+                        .filter(|e| e.kind.carries_value())
+                        .filter(|e| {
+                            let src_in = component.contains(&e.src);
+                            let dst_in = component.contains(&e.dst);
+                            (src_in && assignment[e.dst.index()] == c)
+                                || (dst_in && assignment[e.src.index()] == c)
+                        })
+                        .count() as i64;
+                    let total_load: i64 = load[c].iter().sum::<usize>() as i64;
+                    (affinity, -total_load, -(c as i64))
+                })
+                .expect("candidates non-empty");
+
+            for &n in &component {
+                assignment[n.index()] = chosen;
+                load[chosen][graph.node(n).class.fu_kind().index()] += 1;
+            }
+        }
+        assignment
+    }
+
+    /// Phase 2: modulo-schedule every node on its pre-assigned cluster.  `Err(bus)`
+    /// reports whether a failure was caused by bus saturation.
+    fn try_schedule(
+        &self,
+        graph: &DepGraph,
+        ctx: &OrderingContext,
+        assignment: &[usize],
+        ii: u32,
+        mii: u32,
+    ) -> Result<ModuloSchedule, bool> {
+        let machine = &self.machine;
+        let pool = ResourcePool::new(machine);
+        let mut sched = ModuloSchedule::new(&graph.name, graph.n_nodes(), ii, mii);
+        let mut mrt = ModuloReservationTable::new(&pool, ii);
+        let bus_latency = machine.buses.latency;
+        let mut bus_blocked = false;
+
+        for &node_id in &ctx.order {
+            let cluster = assignment[node_id.index()];
+            let class = graph.node(node_id).class;
+            let kind = class.fu_kind();
+            let early = early_start(graph, &sched, node_id, ii, Some(cluster), bus_latency);
+            let late = late_start(graph, &sched, node_id, ii, Some(cluster), bus_latency);
+            let scan = SlotScan::new(early, late, ii, ctx.analysis.asap(node_id));
+
+            let mut placed = false;
+            for cycle in scan {
+                let Some(fu) = mrt.find_free(pool.fus(cluster, kind), cycle) else {
+                    continue;
+                };
+                let fu_reservation = mrt.reserve(fu, cycle);
+                let requests = required_comms(graph, &sched, machine, node_id, cluster, cycle);
+                match allocate_comms(&requests, &sched, &pool, &mut mrt, machine) {
+                    CommAllocation::Satisfied(comms) => {
+                        if self.check_registers {
+                            let mut scratch = sched.clone();
+                            for c in &comms {
+                                scratch.add_comm(*c);
+                            }
+                            scratch.place(PlacedOp { node: node_id, cycle, cluster, fu });
+                            let lt = LifetimeMap::new(graph, &scratch, machine);
+                            let fits = lt
+                                .max_live()
+                                .iter()
+                                .all(|&l| l as usize <= machine.cluster.registers);
+                            if !fits {
+                                for c in &comms {
+                                    mrt.unreserve_for(c.bus, c.start_cycle, c.duration);
+                                }
+                                mrt.release(fu_reservation);
+                                break; // larger cycles only lengthen lifetimes
+                            }
+                        }
+                        for c in comms {
+                            sched.add_comm(c);
+                        }
+                        sched.place(PlacedOp { node: node_id, cycle, cluster, fu });
+                        placed = true;
+                        break;
+                    }
+                    CommAllocation::BusUnavailable => {
+                        bus_blocked = true;
+                        mrt.release(fu_reservation);
+                    }
+                    CommAllocation::WindowTooSmall => {
+                        mrt.release(fu_reservation);
+                    }
+                }
+            }
+            if !placed {
+                return Err(bus_blocked);
+            }
+        }
+        Ok(sched)
+    }
+}
+
+impl LoopScheduler for NeScheduler {
+    fn machine(&self) -> &MachineConfig {
+        &self.machine
+    }
+
+    fn schedule_loop(&self, graph: &DepGraph) -> Result<ModuloSchedule, ScheduleError> {
+        self.schedule(graph)
+    }
+
+    fn name(&self) -> &'static str {
+        "nystrom-eichenberger"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vliw_arch::OpClass;
+    use vliw_ddg::GraphBuilder;
+
+    fn two_independent_chains() -> DepGraph {
+        GraphBuilder::new("chains")
+            .node("a1", OpClass::Load)
+            .node("a2", OpClass::FpMul)
+            .node("a3", OpClass::Store)
+            .node("b1", OpClass::Load)
+            .node("b2", OpClass::FpMul)
+            .node("b3", OpClass::Store)
+            .flow("a1", "a2")
+            .flow("a2", "a3")
+            .flow("b1", "b2")
+            .flow("b2", "b3")
+            .build()
+    }
+
+    #[test]
+    fn assignment_keeps_recurrences_together() {
+        let machine = MachineConfig::two_cluster(1, 1);
+        let g = GraphBuilder::new("rec")
+            .node("a", OpClass::FpAdd)
+            .node("b", OpClass::FpMul)
+            .node("c", OpClass::Load)
+            .flow("a", "b")
+            .flow_at("b", "a", 1)
+            .flow("c", "a")
+            .build();
+        let ne = NeScheduler::new(&machine);
+        let assignment = ne.assign_clusters(&g, 7);
+        // a and b form a recurrence: same cluster.
+        assert_eq!(assignment[0], assignment[1]);
+    }
+
+    #[test]
+    fn assignment_covers_every_node_with_a_valid_cluster() {
+        let machine = MachineConfig::four_cluster(1, 1);
+        let g = two_independent_chains();
+        let ne = NeScheduler::new(&machine);
+        let assignment = ne.assign_clusters(&g, 2);
+        assert_eq!(assignment.len(), g.n_nodes());
+        assert!(assignment.iter().all(|&c| c < machine.n_clusters));
+    }
+
+    #[test]
+    fn single_cluster_machine_assigns_everything_to_cluster_zero() {
+        let machine = MachineConfig::unified();
+        let g = two_independent_chains();
+        let ne = NeScheduler::new(&machine);
+        let assignment = ne.assign_clusters(&g, 1);
+        assert!(assignment.iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn connected_nodes_attract_each_other() {
+        let machine = MachineConfig::two_cluster(2, 1);
+        let g = two_independent_chains();
+        let ne = NeScheduler::new(&machine);
+        let assignment = ne.assign_clusters(&g, 3);
+        // Each chain should stay within one cluster (affinity beats balance for these
+        // tiny loads).
+        assert_eq!(assignment[0], assignment[1]);
+        assert_eq!(assignment[1], assignment[2]);
+        assert_eq!(assignment[3], assignment[4]);
+        assert_eq!(assignment[4], assignment[5]);
+    }
+
+    #[test]
+    fn schedules_respect_dependences_and_assignment() {
+        let machine = MachineConfig::two_cluster(2, 1);
+        let g = two_independent_chains();
+        let ne = NeScheduler::new(&machine);
+        let sched = ne.schedule(&g).unwrap();
+        assert!(sched.is_complete());
+        for e in g.edges() {
+            let tu = sched.placement(e.src).unwrap().cycle;
+            let tv = sched.placement(e.dst).unwrap().cycle;
+            assert!(tv >= tu + e.latency as i64 - sched.ii() as i64 * e.distance as i64);
+        }
+    }
+
+    #[test]
+    fn unified_machine_matches_sms_behaviour() {
+        let machine = MachineConfig::unified();
+        let g = two_independent_chains();
+        let ne_sched = NeScheduler::new(&machine).schedule(&g).unwrap();
+        let sms_sched = vliw_sms::SmsScheduler::new(&machine).schedule(&g).unwrap();
+        assert_eq!(ne_sched.ii(), sms_sched.ii());
+    }
+
+    #[test]
+    fn loop_scheduler_trait_name() {
+        let machine = MachineConfig::two_cluster(1, 1);
+        let ne = NeScheduler::new(&machine);
+        assert_eq!(LoopScheduler::name(&ne), "nystrom-eichenberger");
+    }
+}

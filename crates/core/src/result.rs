@@ -1,0 +1,168 @@
+//! Result types shared by the clustered schedulers and the unrolling policies.
+
+use serde::{Deserialize, Serialize};
+use vliw_ddg::DepGraph;
+use vliw_sms::{ModuloSchedule, ScheduleError, SmsScheduler};
+use vliw_arch::MachineConfig;
+
+/// The outcome of scheduling one loop (possibly after unrolling).
+///
+/// Keeps the graph that was actually scheduled (which is the unrolled graph when an
+/// unrolling policy kicked in) together with enough provenance to account IPC and code
+/// size in terms of the *original* loop: the paper's IPC numbers always count original
+/// useful operations, so unrolling can never inflate the numerator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSchedule {
+    /// The modulo schedule of `scheduled_graph`.
+    pub schedule: ModuloSchedule,
+    /// The graph that was scheduled (original or unrolled).
+    pub scheduled_graph: DepGraph,
+    /// The unroll factor applied (1 = not unrolled).
+    pub unroll_factor: u32,
+    /// Number of operations in the original (pre-unrolling) loop body.
+    pub original_ops: usize,
+    /// Iteration count of the original loop (`NITER`).
+    pub original_iterations: u64,
+    /// Number of invocations of the loop per program run.
+    pub invocations: u64,
+}
+
+impl ClusterSchedule {
+    /// Wrap a schedule of the original (non-unrolled) graph.
+    pub fn from_original(graph: &DepGraph, schedule: ModuloSchedule) -> Self {
+        Self {
+            schedule,
+            scheduled_graph: graph.clone(),
+            unroll_factor: 1,
+            original_ops: graph.n_nodes(),
+            original_iterations: graph.iterations,
+            invocations: graph.invocations,
+        }
+    }
+
+    /// Wrap a schedule of an unrolled copy of `original`.
+    pub fn from_unrolled(
+        original: &DepGraph,
+        unrolled: DepGraph,
+        schedule: ModuloSchedule,
+        factor: u32,
+    ) -> Self {
+        Self {
+            schedule,
+            scheduled_graph: unrolled,
+            unroll_factor: factor,
+            original_ops: original.n_nodes(),
+            original_iterations: original.iterations,
+            invocations: original.invocations,
+        }
+    }
+
+    /// Cycles for one invocation of the loop, `NCYCLES = (NITER + SC − 1)·II`, where
+    /// `NITER` is the iteration count of the *scheduled* (possibly unrolled) graph.
+    pub fn cycles_per_invocation(&self) -> u64 {
+        self.schedule.cycles_for(self.scheduled_graph.iterations)
+    }
+
+    /// Total cycles over all invocations.
+    pub fn total_cycles(&self) -> u64 {
+        self.cycles_per_invocation() * self.invocations
+    }
+
+    /// Useful (original) operations executed over all invocations.
+    pub fn total_useful_ops(&self) -> u64 {
+        self.original_ops as u64 * self.original_iterations * self.invocations
+    }
+
+    /// Instructions-per-cycle of this loop alone.
+    pub fn ipc(&self) -> f64 {
+        let cycles = self.total_cycles();
+        if cycles == 0 {
+            return 0.0;
+        }
+        self.total_useful_ops() as f64 / cycles as f64
+    }
+}
+
+/// Anything that can modulo-schedule a loop for a fixed machine.
+///
+/// Implemented by the unified SMS scheduler, the paper's BSA and the N&E baseline, so
+/// that unrolling policies and the experiment harness can be written once.
+pub trait LoopScheduler {
+    /// The machine being scheduled for.
+    fn machine(&self) -> &MachineConfig;
+
+    /// Produce a modulo schedule of `graph`.
+    fn schedule_loop(&self, graph: &DepGraph) -> Result<ModuloSchedule, ScheduleError>;
+
+    /// Human-readable name of the scheduling algorithm (used in experiment reports).
+    fn name(&self) -> &'static str;
+}
+
+impl LoopScheduler for SmsScheduler {
+    fn machine(&self) -> &MachineConfig {
+        self.machine()
+    }
+
+    fn schedule_loop(&self, graph: &DepGraph) -> Result<ModuloSchedule, ScheduleError> {
+        self.schedule(graph)
+    }
+
+    fn name(&self) -> &'static str {
+        "unified-sms"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vliw_arch::OpClass;
+    use vliw_ddg::GraphBuilder;
+
+    fn small_loop() -> DepGraph {
+        GraphBuilder::new("small")
+            .iterations(100)
+            .invocations(3)
+            .node("l", OpClass::Load)
+            .node("a", OpClass::FpAdd)
+            .node("s", OpClass::Store)
+            .flow("l", "a")
+            .flow("a", "s")
+            .build()
+    }
+
+    #[test]
+    fn ipc_accounts_original_ops_only() {
+        let machine = MachineConfig::unified();
+        let g = small_loop();
+        let sched = SmsScheduler::new(&machine).schedule(&g).unwrap();
+        let cs = ClusterSchedule::from_original(&g, sched);
+        assert_eq!(cs.unroll_factor, 1);
+        assert_eq!(cs.total_useful_ops(), 3 * 100 * 3);
+        assert!(cs.ipc() > 0.0);
+        assert!(cs.ipc() <= machine.total_issue_width() as f64);
+    }
+
+    #[test]
+    fn unrolled_wrapper_keeps_original_accounting() {
+        let machine = MachineConfig::unified();
+        let g = small_loop();
+        let unrolled = vliw_ddg::unroll(&g, 2);
+        let sched = SmsScheduler::new(&machine).schedule(&unrolled).unwrap();
+        let cs = ClusterSchedule::from_unrolled(&g, unrolled, sched, 2);
+        assert_eq!(cs.unroll_factor, 2);
+        // Useful work is unchanged by unrolling.
+        assert_eq!(cs.total_useful_ops(), 3 * 100 * 3);
+        // The scheduled graph runs half the iterations.
+        assert_eq!(cs.scheduled_graph.iterations, 50);
+    }
+
+    #[test]
+    fn scheduler_trait_is_object_safe() {
+        let machine = MachineConfig::unified();
+        let sms = SmsScheduler::new(&machine);
+        let as_dyn: &dyn LoopScheduler = &sms;
+        assert_eq!(as_dyn.name(), "unified-sms");
+        let g = small_loop();
+        assert!(as_dyn.schedule_loop(&g).is_ok());
+    }
+}

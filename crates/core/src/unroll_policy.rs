@@ -1,0 +1,257 @@
+//! Loop-unrolling policies (Section 5.2 and Figure 6 of the paper).
+//!
+//! Three policies are evaluated in the paper's Figure 8:
+//!
+//! * **No unrolling** — schedule the loop body as-is;
+//! * **Unrolling** — unroll *every* loop by the number of clusters before scheduling;
+//! * **Selective unrolling** — schedule the original body first and unroll (by the
+//!   number of clusters) only when (a) the schedule was limited by the communication
+//!   buses and (b) a quick analytical estimate says the communications of the unrolled
+//!   body fit inside its initiation interval (Figure 6).
+//!
+//! The estimate of Figure 6 works as follows.  Unrolling by `U = n_clusters` and
+//! scheduling one copy of the body per cluster leaves only the loop-carried
+//! dependences whose distance is not a multiple of `U` crossing clusters; each such
+//! dependence crosses once per copy, so `comneeded = NDepsNotMult(G, U) × U`
+//! transfers are needed per unrolled iteration, taking
+//! `cycneeded = ⌈comneeded / nbuses⌉ × latbus` bus cycles.  If `cycneeded` is below
+//! the initiation interval of the (non-unrolled) schedule, unrolling is worthwhile.
+
+use crate::result::{ClusterSchedule, LoopScheduler};
+use serde::{Deserialize, Serialize};
+use vliw_ddg::{unroll, DepGraph};
+use vliw_sms::ScheduleError;
+
+/// Which unrolling policy to apply before scheduling a loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UnrollPolicy {
+    /// Schedule the original loop body.
+    None,
+    /// Unroll every loop by the number of clusters.
+    All,
+    /// Unroll only bus-limited loops (Figure 6).
+    Selective,
+}
+
+impl UnrollPolicy {
+    /// All policies, in the order the paper's Figure 8 presents them.
+    pub const ALL: [UnrollPolicy; 3] =
+        [UnrollPolicy::None, UnrollPolicy::All, UnrollPolicy::Selective];
+
+    /// Human-readable label matching the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            UnrollPolicy::None => "No unrolling",
+            UnrollPolicy::All => "Unrolling",
+            UnrollPolicy::Selective => "Selective unrolling",
+        }
+    }
+}
+
+impl std::fmt::Display for UnrollPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The selective unrolling driver of Figure 6, generic over the underlying scheduler
+/// (BSA in the paper; the N&E baseline and the unified scheduler are also accepted so
+/// ablations can be run).
+#[derive(Debug, Clone)]
+pub struct SelectiveUnroller<S> {
+    scheduler: S,
+}
+
+impl<S: LoopScheduler> SelectiveUnroller<S> {
+    /// Wrap `scheduler` with the selective unrolling policy.
+    pub fn new(scheduler: S) -> Self {
+        Self { scheduler }
+    }
+
+    /// The wrapped scheduler.
+    pub fn scheduler(&self) -> &S {
+        &self.scheduler
+    }
+
+    /// Schedule `graph` with the given policy.
+    pub fn schedule_with_policy(
+        &self,
+        graph: &DepGraph,
+        policy: UnrollPolicy,
+    ) -> Result<ClusterSchedule, ScheduleError> {
+        match policy {
+            UnrollPolicy::None => self.schedule_original(graph),
+            UnrollPolicy::All => self.schedule_unrolled(graph),
+            UnrollPolicy::Selective => self.schedule_selective(graph),
+        }
+    }
+
+    /// Schedule the original body.
+    pub fn schedule_original(&self, graph: &DepGraph) -> Result<ClusterSchedule, ScheduleError> {
+        let sched = self.scheduler.schedule_loop(graph)?;
+        Ok(ClusterSchedule::from_original(graph, sched))
+    }
+
+    /// Unroll by the number of clusters unconditionally, then schedule.
+    ///
+    /// If the unrolled body cannot be scheduled at all (e.g. the per-cluster register
+    /// file cannot hold its live values at any initiation interval), the original body
+    /// is scheduled instead — a compiler would never trade a working loop for an
+    /// unschedulable one.
+    pub fn schedule_unrolled(&self, graph: &DepGraph) -> Result<ClusterSchedule, ScheduleError> {
+        let factor = self.unroll_factor();
+        if factor <= 1 {
+            return self.schedule_original(graph);
+        }
+        let unrolled = unroll(graph, factor);
+        match self.scheduler.schedule_loop(&unrolled) {
+            Ok(sched) => Ok(ClusterSchedule::from_unrolled(graph, unrolled, sched, factor)),
+            Err(_) => self.schedule_original(graph),
+        }
+    }
+
+    /// The selective-unrolling algorithm of Figure 6.
+    pub fn schedule_selective(&self, graph: &DepGraph) -> Result<ClusterSchedule, ScheduleError> {
+        // (1) Compute the schedule of the original graph.
+        let sched = self.scheduler.schedule_loop(graph)?;
+        // (2) Only bus-limited schedules are candidates for unrolling.
+        if !sched.limited_by_bus {
+            return Ok(ClusterSchedule::from_original(graph, sched));
+        }
+        let machine = self.scheduler.machine();
+        let ufactor = self.unroll_factor();
+        if ufactor <= 1 || machine.buses.count == 0 {
+            return Ok(ClusterSchedule::from_original(graph, sched));
+        }
+        // (4) comneeded = NDepsNotMult(G) * ufactor
+        let comneeded = graph.deps_not_multiple_of(ufactor) as u64 * ufactor as u64;
+        // (5) cycneeded = ceil(comneeded / nbuses) * latbus
+        let cycneeded = comneeded.div_ceil(machine.buses.count as u64) * machine.buses.latency as u64;
+        // (6) Unroll only if the communications fit under the current II.  Keep the
+        // original schedule when the unrolled body turns out to be unschedulable.
+        if cycneeded < sched.ii() as u64 {
+            let unrolled = unroll(graph, ufactor);
+            if let Ok(unrolled_sched) = self.scheduler.schedule_loop(&unrolled) {
+                return Ok(ClusterSchedule::from_unrolled(
+                    graph,
+                    unrolled,
+                    unrolled_sched,
+                    ufactor,
+                ));
+            }
+        }
+        Ok(ClusterSchedule::from_original(graph, sched))
+    }
+
+    /// The unroll factor used by the policies: the number of clusters (Figure 6,
+    /// line 3).
+    pub fn unroll_factor(&self) -> u32 {
+        self.scheduler.machine().n_clusters as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bsa::BsaScheduler;
+    use vliw_arch::{MachineConfig, OpClass};
+    use vliw_ddg::GraphBuilder;
+
+    /// A loop body with plenty of intra-iteration value traffic but no loop-carried
+    /// dependences: the classic case where unrolling lets each cluster run its own
+    /// iteration.
+    fn parallel_loop() -> DepGraph {
+        GraphBuilder::new("parallel")
+            .iterations(400)
+            .node("l0", OpClass::Load)
+            .node("l1", OpClass::Load)
+            .node("m0", OpClass::FpMul)
+            .node("a0", OpClass::FpAdd)
+            .node("a1", OpClass::FpAdd)
+            .node("s0", OpClass::Store)
+            .flow("l0", "m0")
+            .flow("l1", "a0")
+            .flow("m0", "a0")
+            .flow("a0", "a1")
+            .flow("m0", "a1")
+            .flow("a1", "s0")
+            .build()
+    }
+
+    #[test]
+    fn policy_labels_match_the_paper() {
+        assert_eq!(UnrollPolicy::None.label(), "No unrolling");
+        assert_eq!(UnrollPolicy::All.label(), "Unrolling");
+        assert_eq!(UnrollPolicy::Selective.label(), "Selective unrolling");
+        assert_eq!(UnrollPolicy::ALL.len(), 3);
+    }
+
+    #[test]
+    fn no_unrolling_keeps_factor_one() {
+        let machine = MachineConfig::two_cluster(1, 1);
+        let driver = SelectiveUnroller::new(BsaScheduler::new(&machine));
+        let g = parallel_loop();
+        let r = driver.schedule_with_policy(&g, UnrollPolicy::None).unwrap();
+        assert_eq!(r.unroll_factor, 1);
+        assert_eq!(r.scheduled_graph.n_nodes(), g.n_nodes());
+    }
+
+    #[test]
+    fn all_policy_unrolls_by_cluster_count() {
+        let machine = MachineConfig::four_cluster(1, 1);
+        let driver = SelectiveUnroller::new(BsaScheduler::new(&machine));
+        let g = parallel_loop();
+        let r = driver.schedule_with_policy(&g, UnrollPolicy::All).unwrap();
+        assert_eq!(r.unroll_factor, 4);
+        assert_eq!(r.scheduled_graph.n_nodes(), g.n_nodes() * 4);
+        // Accounting still refers to the original loop.
+        assert_eq!(r.original_ops, g.n_nodes());
+        assert_eq!(r.original_iterations, 400);
+    }
+
+    #[test]
+    fn all_policy_on_unified_machine_is_a_no_op() {
+        let machine = MachineConfig::unified();
+        let driver = SelectiveUnroller::new(vliw_sms::SmsScheduler::new(&machine));
+        let g = parallel_loop();
+        let r = driver.schedule_with_policy(&g, UnrollPolicy::All).unwrap();
+        assert_eq!(r.unroll_factor, 1);
+    }
+
+    #[test]
+    fn selective_policy_skips_loops_that_are_not_bus_limited() {
+        // With 2 buses of latency 1 the parallel loop is not bus limited, so the
+        // selective policy must not unroll it.
+        let machine = MachineConfig::two_cluster(2, 1);
+        let driver = SelectiveUnroller::new(BsaScheduler::new(&machine));
+        let g = parallel_loop();
+        let r = driver
+            .schedule_with_policy(&g, UnrollPolicy::Selective)
+            .unwrap();
+        assert_eq!(r.unroll_factor, 1);
+    }
+
+    #[test]
+    fn selective_policy_never_loses_to_no_unrolling_by_much() {
+        // On a bus-starved machine the selective policy must perform at least as well
+        // as never unrolling (same loop, same scheduler).
+        let machine = MachineConfig::four_cluster(1, 2);
+        let driver = SelectiveUnroller::new(BsaScheduler::new(&machine));
+        let g = parallel_loop();
+        let none = driver.schedule_with_policy(&g, UnrollPolicy::None).unwrap();
+        let sel = driver
+            .schedule_with_policy(&g, UnrollPolicy::Selective)
+            .unwrap();
+        assert!(sel.ipc() + 1e-9 >= none.ipc() * 0.99,
+            "selective {} vs none {}", sel.ipc(), none.ipc());
+    }
+
+    #[test]
+    fn unroll_factor_tracks_cluster_count() {
+        for n in [2usize, 4] {
+            let machine = MachineConfig::clustered(n, 1, 1);
+            let driver = SelectiveUnroller::new(BsaScheduler::new(&machine));
+            assert_eq!(driver.unroll_factor(), n as u32);
+        }
+    }
+}

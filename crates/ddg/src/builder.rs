@@ -1,0 +1,182 @@
+//! A small fluent builder for dependence graphs.
+//!
+//! Hand-written kernels (the Figure 7 example, the Livermore-style loops in
+//! `vliw-workloads`) are much more readable when nodes can be referred to by name and
+//! edge latencies default to the producer's latency on a given machine.
+
+use crate::graph::{DepGraph, DepKind, NodeId};
+use std::collections::HashMap;
+use vliw_arch::{LatencyModel, OpClass};
+
+/// Fluent builder over [`DepGraph`] with named nodes and latency defaulting.
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    graph: DepGraph,
+    names: HashMap<String, NodeId>,
+    latencies: LatencyModel,
+}
+
+impl GraphBuilder {
+    /// Start building a loop called `name`, using [`LatencyModel::table1`] to default
+    /// edge latencies.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            graph: DepGraph::new(name),
+            names: HashMap::new(),
+            latencies: LatencyModel::table1(),
+        }
+    }
+
+    /// Use a custom latency model for defaulted edge latencies.
+    pub fn with_latencies(mut self, latencies: LatencyModel) -> Self {
+        self.latencies = latencies;
+        self
+    }
+
+    /// Set the loop's iteration count.
+    pub fn iterations(mut self, n: u64) -> Self {
+        self.graph.iterations = n;
+        self
+    }
+
+    /// Set the loop's invocation count.
+    pub fn invocations(mut self, n: u64) -> Self {
+        self.graph.invocations = n;
+        self
+    }
+
+    /// Add a named node.  Panics if the name is already taken.
+    pub fn node(mut self, name: &str, class: OpClass) -> Self {
+        assert!(
+            !self.names.contains_key(name),
+            "node name '{name}' used twice"
+        );
+        let id = self.graph.add_named_node(class, Some(name));
+        self.names.insert(name.to_string(), id);
+        self
+    }
+
+    /// Add a flow dependence `src → dst` at iteration distance 0, with the producer's
+    /// default latency.
+    pub fn flow(self, src: &str, dst: &str) -> Self {
+        self.flow_at(src, dst, 0)
+    }
+
+    /// Add a flow dependence `src → dst` at the given iteration distance, with the
+    /// producer's default latency.
+    pub fn flow_at(mut self, src: &str, dst: &str, distance: u32) -> Self {
+        let s = self.id(src);
+        let d = self.id(dst);
+        let latency = self.latencies.latency(self.graph.node(s).class);
+        self.graph.add_edge(s, d, latency, distance, DepKind::Flow);
+        self
+    }
+
+    /// Add an arbitrary dependence with an explicit latency.
+    pub fn dep(mut self, src: &str, dst: &str, latency: u32, distance: u32, kind: DepKind) -> Self {
+        let s = self.id(src);
+        let d = self.id(dst);
+        self.graph.add_edge(s, d, latency, distance, kind);
+        self
+    }
+
+    /// Add a memory-ordering dependence (latency 1) at the given distance.
+    pub fn mem_dep(self, src: &str, dst: &str, distance: u32) -> Self {
+        self.dep(src, dst, 1, distance, DepKind::Memory)
+    }
+
+    /// The node id registered for `name`.  Panics on unknown names.
+    pub fn id(&self, name: &str) -> NodeId {
+        *self
+            .names
+            .get(name)
+            .unwrap_or_else(|| panic!("unknown node name '{name}'"))
+    }
+
+    /// Finish building; validates the graph.
+    pub fn build(self) -> DepGraph {
+        self.graph
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid graph '{}': {e}", self.graph.name));
+        self.graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_a_named_graph() {
+        let g = GraphBuilder::new("saxpy")
+            .iterations(1000)
+            .invocations(10)
+            .node("load_x", OpClass::Load)
+            .node("load_y", OpClass::Load)
+            .node("mul", OpClass::FpMul)
+            .node("add", OpClass::FpAdd)
+            .node("store", OpClass::Store)
+            .flow("load_x", "mul")
+            .flow("load_y", "add")
+            .flow("mul", "add")
+            .flow("add", "store")
+            .build();
+        assert_eq!(g.n_nodes(), 5);
+        assert_eq!(g.n_edges(), 4);
+        assert_eq!(g.iterations, 1000);
+        assert_eq!(g.invocations, 10);
+        // The mul -> add edge carries the fmul latency from Table 1.
+        let mul_edge = g
+            .edges()
+            .find(|e| g.node(e.src).label() == "mul" && g.node(e.dst).label() == "add")
+            .unwrap();
+        assert_eq!(mul_edge.latency, 4);
+    }
+
+    #[test]
+    fn loop_carried_edges_via_flow_at() {
+        let g = GraphBuilder::new("acc")
+            .node("add", OpClass::FpAdd)
+            .flow_at("add", "add", 1)
+            .build();
+        assert_eq!(g.loop_carried_edges(), 1);
+    }
+
+    #[test]
+    fn custom_latency_model_is_used() {
+        let g = GraphBuilder::new("unit")
+            .with_latencies(LatencyModel::unit())
+            .node("mul", OpClass::FpMul)
+            .node("st", OpClass::Store)
+            .flow("mul", "st")
+            .build();
+        assert_eq!(g.edges().next().unwrap().latency, 1);
+    }
+
+    #[test]
+    fn mem_dep_has_unit_latency_and_memory_kind() {
+        let g = GraphBuilder::new("mem")
+            .node("st", OpClass::Store)
+            .node("ld", OpClass::Load)
+            .mem_dep("st", "ld", 1)
+            .build();
+        let e = g.edges().next().unwrap();
+        assert_eq!(e.kind, DepKind::Memory);
+        assert_eq!(e.latency, 1);
+        assert_eq!(e.distance, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "used twice")]
+    fn duplicate_names_panic() {
+        let _ = GraphBuilder::new("dup")
+            .node("a", OpClass::IntAlu)
+            .node("a", OpClass::IntAlu);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown node name")]
+    fn unknown_name_panics() {
+        let _ = GraphBuilder::new("x").node("a", OpClass::IntAlu).flow("a", "b");
+    }
+}

@@ -1,0 +1,74 @@
+//! Graphviz (DOT) export of dependence graphs, for debugging and documentation.
+
+use crate::graph::{DepGraph, DepKind};
+use std::fmt::Write as _;
+
+/// Render `graph` as a Graphviz `digraph`.
+///
+/// Loop-carried edges are dashed and annotated with their distance; flow edges are
+/// solid, other kinds dotted.  Node labels show the symbolic name (if any) and the
+/// operation class.
+pub fn to_dot(graph: &DepGraph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", graph.name.replace('"', "'"));
+    let _ = writeln!(out, "  rankdir=TB;");
+    let _ = writeln!(out, "  node [shape=box, fontname=\"monospace\"];");
+    for node in graph.nodes() {
+        let _ = writeln!(
+            out,
+            "  n{} [label=\"{}\\n{}\"];",
+            node.id.0,
+            node.label().replace('"', "'"),
+            node.class
+        );
+    }
+    for e in graph.edges() {
+        let style = match (e.kind, e.distance) {
+            (_, d) if d > 0 => "dashed",
+            (DepKind::Flow, _) => "solid",
+            _ => "dotted",
+        };
+        let mut label = format!("{}", e.latency);
+        if e.distance > 0 {
+            let _ = write!(label, ",d{}", e.distance);
+        }
+        let _ = writeln!(
+            out,
+            "  n{} -> n{} [label=\"{}\", style={}];",
+            e.src.0, e.dst.0, label, style
+        );
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use vliw_arch::OpClass;
+
+    #[test]
+    fn dot_output_contains_nodes_and_edges() {
+        let g = GraphBuilder::new("dot-test")
+            .node("ld", OpClass::Load)
+            .node("st", OpClass::Store)
+            .flow("ld", "st")
+            .flow_at("st", "ld", 1)
+            .build();
+        let dot = to_dot(&g);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("n0 ["));
+        assert!(dot.contains("n0 -> n1"));
+        assert!(dot.contains("dashed")); // the loop-carried edge
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn dot_escapes_quotes_in_names() {
+        let mut g = crate::DepGraph::new("quo\"te");
+        g.add_named_node(OpClass::IntAlu, Some("a\"b"));
+        let dot = to_dot(&g);
+        assert!(!dot.contains("\"quo\"te\""));
+    }
+}

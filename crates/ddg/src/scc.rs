@@ -1,0 +1,251 @@
+//! Strongly connected components and recurrence analysis.
+//!
+//! A *recurrence* is a non-trivial strongly connected component of the dependence
+//! graph: a set of operations linked by a dependence cycle (necessarily through at
+//! least one loop-carried edge).  The SMS node ordering gives the highest priority to
+//! the recurrence with the largest per-cycle latency requirement (its `RecMII`), so the
+//! scheduler needs per-recurrence bounds, which this module computes.
+
+use crate::graph::{DepGraph, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// A recurrence: a non-trivial strongly connected component.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Recurrence {
+    /// The nodes in the recurrence, in discovery order.
+    pub nodes: Vec<NodeId>,
+    /// The recurrence-constrained minimum II imposed by this component alone.
+    pub rec_mii: u32,
+}
+
+/// Compute the strongly connected components of `graph` (Tarjan's algorithm,
+/// iterative).  Components are returned in reverse topological order of the
+/// condensation (callees before callers), each as a list of node ids.
+pub fn sccs(graph: &DepGraph) -> Vec<Vec<NodeId>> {
+    let n = graph.n_nodes();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![usize::MAX; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut result: Vec<Vec<NodeId>> = Vec::new();
+
+    // Iterative Tarjan: each frame is (node, next-successor-position).
+    for start in 0..n {
+        if index[start] != usize::MAX {
+            continue;
+        }
+        let mut call_stack: Vec<(usize, usize)> = vec![(start, 0)];
+        while let Some(&mut (v, ref mut succ_pos)) = call_stack.last_mut() {
+            if *succ_pos == 0 {
+                index[v] = next_index;
+                low[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            let succs: Vec<usize> = graph
+                .successors(NodeId(v as u32))
+                .map(|s| s.index())
+                .collect();
+            if *succ_pos < succs.len() {
+                let w = succs[*succ_pos];
+                *succ_pos += 1;
+                if index[w] == usize::MAX {
+                    call_stack.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                // All successors processed: pop the frame.
+                if low[v] == index[v] {
+                    let mut component = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("stack non-empty");
+                        on_stack[w] = false;
+                        component.push(NodeId(w as u32));
+                        if w == v {
+                            break;
+                        }
+                    }
+                    result.push(component);
+                }
+                call_stack.pop();
+                if let Some(&mut (parent, _)) = call_stack.last_mut() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+            }
+        }
+    }
+    result
+}
+
+/// The recurrences of `graph`: every SCC that contains a cycle (more than one node, or
+/// a single node with a self-edge), together with its recurrence-constrained minimum
+/// II, sorted by decreasing `rec_mii` (the priority order used by the SMS ordering).
+pub fn recurrences(graph: &DepGraph) -> Vec<Recurrence> {
+    let mut recs: Vec<Recurrence> = sccs(graph)
+        .into_iter()
+        .filter(|component| {
+            component.len() > 1
+                || graph
+                    .out_edges(component[0])
+                    .any(|e| e.dst == component[0])
+        })
+        .map(|nodes| {
+            let rec_mii = component_rec_mii(graph, &nodes);
+            Recurrence { nodes, rec_mii }
+        })
+        .collect();
+    recs.sort_by(|a, b| b.rec_mii.cmp(&a.rec_mii).then(a.nodes.len().cmp(&b.nodes.len())));
+    recs
+}
+
+/// RecMII restricted to the subgraph induced by `nodes`: smallest II with no positive
+/// cycle among edges internal to the component.
+fn component_rec_mii(graph: &DepGraph, nodes: &[NodeId]) -> u32 {
+    let mut member = vec![false; graph.n_nodes()];
+    for &n in nodes {
+        member[n.index()] = true;
+    }
+    let internal_edges: Vec<_> = graph
+        .edges()
+        .filter(|e| member[e.src.index()] && member[e.dst.index()])
+        .collect();
+    if internal_edges.is_empty() {
+        return 1;
+    }
+    let hi_bound: u64 = internal_edges.iter().map(|e| e.latency as u64).sum::<u64>().max(1);
+    let positive_cycle = |ii: u32| -> bool {
+        let mut dist = vec![0i64; graph.n_nodes()];
+        for _ in 0..nodes.len() {
+            let mut changed = false;
+            for e in &internal_edges {
+                let w = e.latency as i64 - ii as i64 * e.distance as i64;
+                if dist[e.src.index()] + w > dist[e.dst.index()] {
+                    dist[e.dst.index()] = dist[e.src.index()] + w;
+                    changed = true;
+                }
+            }
+            if !changed {
+                return false;
+            }
+        }
+        for e in &internal_edges {
+            let w = e.latency as i64 - ii as i64 * e.distance as i64;
+            if dist[e.src.index()] + w > dist[e.dst.index()] {
+                return true;
+            }
+        }
+        false
+    };
+    let mut lo = 1u64;
+    let mut hi = hi_bound;
+    if !positive_cycle(1) {
+        return 1;
+    }
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if positive_cycle(mid as u32) {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{DepGraph, DepKind};
+    use vliw_arch::OpClass;
+
+    #[test]
+    fn chain_has_singleton_sccs_and_no_recurrence() {
+        let mut g = DepGraph::new("chain");
+        let a = g.add_node(OpClass::Load);
+        let b = g.add_node(OpClass::FpAdd);
+        let c = g.add_node(OpClass::Store);
+        g.add_edge(a, b, 2, 0, DepKind::Flow);
+        g.add_edge(b, c, 3, 0, DepKind::Flow);
+        assert_eq!(sccs(&g).len(), 3);
+        assert!(recurrences(&g).is_empty());
+    }
+
+    #[test]
+    fn self_loop_is_a_recurrence() {
+        let mut g = DepGraph::new("acc");
+        let a = g.add_node(OpClass::FpAdd);
+        g.add_edge(a, a, 3, 1, DepKind::Flow);
+        let recs = recurrences(&g);
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].nodes, vec![a]);
+        assert_eq!(recs[0].rec_mii, 3);
+    }
+
+    #[test]
+    fn two_node_cycle_is_one_scc() {
+        let mut g = DepGraph::new("cyc");
+        let a = g.add_node(OpClass::FpAdd);
+        let b = g.add_node(OpClass::FpMul);
+        let c = g.add_node(OpClass::Store);
+        g.add_edge(a, b, 3, 0, DepKind::Flow);
+        g.add_edge(b, a, 4, 1, DepKind::Flow);
+        g.add_edge(b, c, 4, 0, DepKind::Flow);
+        let comps = sccs(&g);
+        assert_eq!(comps.len(), 2);
+        let recs = recurrences(&g);
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].nodes.len(), 2);
+        assert_eq!(recs[0].rec_mii, 7); // (3 + 4) / 1
+    }
+
+    #[test]
+    fn recurrences_sorted_by_decreasing_rec_mii() {
+        let mut g = DepGraph::new("two-recs");
+        // slow recurrence: fdiv self loop (17)
+        let d = g.add_node(OpClass::FpDiv);
+        g.add_edge(d, d, 17, 1, DepKind::Flow);
+        // fast recurrence: ialu self loop (1)
+        let i = g.add_node(OpClass::IntAlu);
+        g.add_edge(i, i, 1, 1, DepKind::Flow);
+        let recs = recurrences(&g);
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].rec_mii, 17);
+        assert_eq!(recs[1].rec_mii, 1);
+    }
+
+    #[test]
+    fn every_node_appears_in_exactly_one_scc() {
+        let mut g = DepGraph::new("mixed");
+        let nodes: Vec<_> = (0..8).map(|_| g.add_node(OpClass::IntAlu)).collect();
+        g.add_edge(nodes[0], nodes[1], 1, 0, DepKind::Flow);
+        g.add_edge(nodes[1], nodes[2], 1, 0, DepKind::Flow);
+        g.add_edge(nodes[2], nodes[0], 1, 1, DepKind::Flow);
+        g.add_edge(nodes[3], nodes[4], 1, 0, DepKind::Flow);
+        g.add_edge(nodes[5], nodes[6], 1, 0, DepKind::Flow);
+        g.add_edge(nodes[6], nodes[5], 1, 2, DepKind::Flow);
+        let comps = sccs(&g);
+        let mut seen = vec![0usize; g.n_nodes()];
+        for comp in &comps {
+            for n in comp {
+                seen[n.index()] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn scc_order_is_reverse_topological() {
+        // a -> b (both singletons): b's component must be emitted before a's.
+        let mut g = DepGraph::new("order");
+        let a = g.add_node(OpClass::IntAlu);
+        let b = g.add_node(OpClass::IntAlu);
+        g.add_edge(a, b, 1, 0, DepKind::Flow);
+        let comps = sccs(&g);
+        let pos_a = comps.iter().position(|c| c.contains(&a)).unwrap();
+        let pos_b = comps.iter().position(|c| c.contains(&b)).unwrap();
+        assert!(pos_b < pos_a);
+    }
+}

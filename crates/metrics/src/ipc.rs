@@ -1,0 +1,223 @@
+//! IPC accounting over a corpus of scheduled loops.
+
+use serde::{Deserialize, Serialize};
+use vliw_sms::ModuloSchedule;
+
+/// The contribution of one scheduled loop to a benchmark's totals.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoopContribution {
+    /// Loop name.
+    pub name: String,
+    /// Initiation interval of the schedule.
+    pub ii: u32,
+    /// Stage count of the schedule.
+    pub stage_count: u32,
+    /// Iterations of the *scheduled* body per invocation (already divided by the
+    /// unroll factor when the loop was unrolled).
+    pub scheduled_iterations: u64,
+    /// Useful operations of the *original* body executed per invocation.
+    pub useful_ops_per_invocation: u64,
+    /// Number of invocations.
+    pub invocations: u64,
+    /// Unroll factor that was applied (1 = none).
+    pub unroll_factor: u32,
+}
+
+impl LoopContribution {
+    /// Build a contribution from a schedule plus the original-loop accounting data.
+    pub fn new(
+        schedule: &ModuloSchedule,
+        scheduled_iterations: u64,
+        original_ops: usize,
+        original_iterations: u64,
+        invocations: u64,
+        unroll_factor: u32,
+    ) -> Self {
+        Self {
+            name: schedule.loop_name.clone(),
+            ii: schedule.ii(),
+            stage_count: schedule.stage_count(),
+            scheduled_iterations,
+            useful_ops_per_invocation: original_ops as u64 * original_iterations,
+            invocations,
+            unroll_factor,
+        }
+    }
+
+    /// Cycles per invocation: `(NITER + SC − 1) · II`.
+    pub fn cycles_per_invocation(&self) -> u64 {
+        (self.scheduled_iterations + self.stage_count as u64 - 1) * self.ii as u64
+    }
+
+    /// Total cycles across all invocations.
+    pub fn total_cycles(&self) -> u64 {
+        self.cycles_per_invocation() * self.invocations
+    }
+
+    /// Total useful operations across all invocations.
+    pub fn total_ops(&self) -> u64 {
+        self.useful_ops_per_invocation * self.invocations
+    }
+}
+
+/// Accumulates loop contributions into a benchmark-level IPC.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct IpcAccountant {
+    contributions: Vec<LoopContribution>,
+}
+
+impl IpcAccountant {
+    /// An empty accountant.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one loop's contribution.
+    pub fn add(&mut self, contribution: LoopContribution) {
+        self.contributions.push(contribution);
+    }
+
+    /// The contributions added so far.
+    pub fn contributions(&self) -> &[LoopContribution] {
+        &self.contributions
+    }
+
+    /// Total cycles over all loops and invocations.
+    pub fn total_cycles(&self) -> u64 {
+        self.contributions.iter().map(|c| c.total_cycles()).sum()
+    }
+
+    /// Total useful operations over all loops and invocations.
+    pub fn total_ops(&self) -> u64 {
+        self.contributions.iter().map(|c| c.total_ops()).sum()
+    }
+
+    /// Instructions (useful operations) per cycle.
+    pub fn ipc(&self) -> f64 {
+        let cycles = self.total_cycles();
+        if cycles == 0 {
+            return 0.0;
+        }
+        self.total_ops() as f64 / cycles as f64
+    }
+
+    /// IPC of `self` relative to `baseline` (the unified configuration in the paper's
+    /// figures).
+    pub fn relative_to(&self, baseline: &IpcAccountant) -> f64 {
+        let base = baseline.ipc();
+        if base == 0.0 {
+            return 0.0;
+        }
+        self.ipc() / base
+    }
+
+    /// Number of loops accounted.
+    pub fn len(&self) -> usize {
+        self.contributions.len()
+    }
+
+    /// Whether no loop has been added yet.
+    pub fn is_empty(&self) -> bool {
+        self.contributions.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn contribution(ii: u32, sc: u32, iters: u64, ops: u64, invocations: u64) -> LoopContribution {
+        LoopContribution {
+            name: format!("loop-ii{ii}"),
+            ii,
+            stage_count: sc,
+            scheduled_iterations: iters,
+            useful_ops_per_invocation: ops * iters,
+            invocations,
+            unroll_factor: 1,
+        }
+    }
+
+    #[test]
+    fn single_loop_ipc_matches_hand_computation() {
+        let mut acc = IpcAccountant::new();
+        // II=2, SC=3, 100 iterations, 6 ops per iteration, 10 invocations.
+        acc.add(contribution(2, 3, 100, 6, 10));
+        let cycles = (100 + 3 - 1) * 2 * 10;
+        let ops = 6 * 100 * 10;
+        assert_eq!(acc.total_cycles(), cycles);
+        assert_eq!(acc.total_ops(), ops);
+        assert!((acc.ipc() - ops as f64 / cycles as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invocation_weighting_shifts_the_aggregate() {
+        // A fast loop executed rarely and a slow loop executed often: the aggregate
+        // must sit near the slow loop's IPC.
+        let mut acc = IpcAccountant::new();
+        acc.add(contribution(1, 2, 100, 8, 1)); // IPC ~ 8
+        acc.add(contribution(8, 2, 100, 8, 100)); // IPC ~ 1
+        assert!(acc.ipc() < 1.5);
+    }
+
+    #[test]
+    fn relative_ipc_is_one_for_identical_accountants() {
+        let mut a = IpcAccountant::new();
+        a.add(contribution(3, 2, 50, 5, 7));
+        let b = a.clone();
+        assert!((a.relative_to(&b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prologue_epilogue_overhead_shows_up_for_short_loops() {
+        // Same loop body, 1000 vs 8 iterations: the short loop pays proportionally more
+        // prologue/epilogue and must have lower IPC.
+        let long = {
+            let mut acc = IpcAccountant::new();
+            acc.add(contribution(2, 5, 1000, 6, 1));
+            acc
+        };
+        let short = {
+            let mut acc = IpcAccountant::new();
+            acc.add(contribution(2, 5, 8, 6, 1));
+            acc
+        };
+        assert!(short.ipc() < long.ipc());
+    }
+
+    #[test]
+    fn empty_accountant_reports_zero() {
+        let acc = IpcAccountant::new();
+        assert!(acc.is_empty());
+        assert_eq!(acc.ipc(), 0.0);
+        assert_eq!(acc.relative_to(&IpcAccountant::new()), 0.0);
+    }
+
+    #[test]
+    fn unrolled_loops_do_not_inflate_ops() {
+        // An unrolled loop halves the scheduled iterations but keeps the original
+        // useful-op count; IPC must be computed from the original ops.
+        let plain = LoopContribution {
+            name: "x".into(),
+            ii: 2,
+            stage_count: 2,
+            scheduled_iterations: 100,
+            useful_ops_per_invocation: 600,
+            invocations: 1,
+            unroll_factor: 1,
+        };
+        let unrolled = LoopContribution {
+            name: "x".into(),
+            ii: 4,
+            stage_count: 2,
+            scheduled_iterations: 50,
+            useful_ops_per_invocation: 600,
+            invocations: 1,
+            unroll_factor: 2,
+        };
+        assert_eq!(plain.total_ops(), unrolled.total_ops());
+        // Cycles are also nearly identical (same work per original iteration).
+        let diff = plain.total_cycles() as i64 - unrolled.total_cycles() as i64;
+        assert!(diff.abs() <= plain.ii as i64 * 2);
+    }
+}

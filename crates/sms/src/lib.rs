@@ -1,0 +1,50 @@
+//! # vliw-sms — Swing Modulo Scheduling substrate
+//!
+//! This crate implements the machinery shared by every modulo scheduler in the
+//! repository:
+//!
+//! * [`mrt::ModuloReservationTable`] — the II-column reservation table (functional
+//!   units *and* buses are rows, exactly as the paper treats them);
+//! * [`ordering`] — the Swing Modulo Scheduling node ordering (Llosa et al., PACT'96),
+//!   which the paper reuses verbatim: nodes of the most constraining recurrences first,
+//!   neighbours kept close, and every node preceded in the order only by its
+//!   predecessors or only by its successors (except when a new disconnected subgraph
+//!   starts);
+//! * [`lifetime`] — value lifetimes and the `MaxLive` register-pressure estimate used
+//!   to discard clusters whose register file would overflow (no spill code is
+//!   generated, as in the paper);
+//! * [`schedule::ModuloSchedule`] — the result type: per-node placement (cycle,
+//!   cluster, functional unit), inter-cluster communications (bus, cycle), initiation
+//!   interval, stage count, kernel emission as a [`vliw_arch::VliwProgram`] and the
+//!   `NCYCLES = (NITER + SC − 1)·II` cycle model of Section 4;
+//! * [`unified::SmsScheduler`] — the unified-machine (single cluster) modulo scheduler
+//!   that serves as the IPC reference in every experiment.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod lifetime;
+pub mod mrt;
+pub mod ordering;
+pub mod schedule;
+pub mod slots;
+pub mod unified;
+
+pub use lifetime::{cluster_max_live, LifetimeMap};
+pub use mrt::ModuloReservationTable;
+pub use ordering::{sms_order, OrderingContext};
+pub use schedule::{CommPlacement, ModuloSchedule, PlacedOp, ScheduleError};
+pub use slots::{early_start, late_start, SlotScan};
+pub use unified::SmsScheduler;
+
+/// Hard cap on the initiation interval explored by the schedulers: `MAX_II_FACTOR ×
+/// MII + MAX_II_SLACK`.  A loop that cannot be scheduled within this budget is reported
+/// as a [`ScheduleError`] instead of looping forever.
+pub const MAX_II_FACTOR: u32 = 8;
+/// Additive slack applied on top of [`MAX_II_FACTOR`].
+pub const MAX_II_SLACK: u32 = 32;
+
+/// The maximum II the schedulers will try for a loop with the given minimum II.
+pub fn max_ii(mii: u32) -> u32 {
+    mii.saturating_mul(MAX_II_FACTOR).saturating_add(MAX_II_SLACK)
+}

@@ -1,0 +1,277 @@
+//! The modulo reservation table (MRT).
+//!
+//! A modulo schedule with initiation interval `II` issues the operation placed at cycle
+//! `t` in *every* kernel iteration, i.e. at absolute cycles `t, t+II, t+2·II, …`.  Two
+//! operations therefore conflict on a resource iff they use it at cycles that are equal
+//! modulo `II`.  The MRT has one row per resource (functional-unit instance or bus) and
+//! `II` columns; reserving cycle `t` marks column `t mod II`.
+//!
+//! Buses are reserved for `bus_latency` *consecutive* cycles ("when one particular
+//! cluster places a data on the bus, this bus will be busy during the entirety of the
+//! communication latency", Section 3), so the table supports multi-cycle reservations.
+
+use serde::{Deserialize, Serialize};
+use vliw_arch::{ResourceIndex, ResourcePool};
+
+/// Token returned by a reservation, usable to release it again (needed by the
+/// try-a-cluster-then-back-off logic of the cluster scheduler).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Reservation {
+    resource: ResourceIndex,
+    start_cycle: i64,
+    duration: u32,
+}
+
+/// The modulo reservation table.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModuloReservationTable {
+    ii: u32,
+    /// `occupied[row][col]` = number of reservations covering that slot (always 0/1 in
+    /// a consistent schedule; a counter keeps release simple).
+    occupied: Vec<Vec<u32>>,
+}
+
+impl ModuloReservationTable {
+    /// An empty table for `pool` with the given initiation interval.
+    pub fn new(pool: &ResourcePool, ii: u32) -> Self {
+        assert!(ii >= 1, "the initiation interval must be at least 1");
+        Self {
+            ii,
+            occupied: vec![vec![0; ii as usize]; pool.len()],
+        }
+    }
+
+    /// The initiation interval of the table.
+    #[inline]
+    pub fn ii(&self) -> u32 {
+        self.ii
+    }
+
+    /// Column of the table an absolute cycle maps to.
+    #[inline]
+    pub fn column(&self, cycle: i64) -> usize {
+        (cycle.rem_euclid(self.ii as i64)) as usize
+    }
+
+    /// Whether `resource` is free at the single cycle `cycle`.
+    pub fn is_free(&self, resource: ResourceIndex, cycle: i64) -> bool {
+        self.occupied[resource.0][self.column(cycle)] == 0
+    }
+
+    /// Whether `resource` is free for `duration` consecutive cycles starting at
+    /// `cycle`.  If `duration >= II` the resource would be needed in every column, so
+    /// the answer is `false` unless the whole row is empty and `duration == II`.
+    pub fn is_free_for(&self, resource: ResourceIndex, cycle: i64, duration: u32) -> bool {
+        if duration > self.ii {
+            return false;
+        }
+        (0..duration).all(|d| self.is_free(resource, cycle + d as i64))
+    }
+
+    /// Reserve `resource` at `cycle` for one cycle.
+    pub fn reserve(&mut self, resource: ResourceIndex, cycle: i64) -> Reservation {
+        self.reserve_for(resource, cycle, 1)
+    }
+
+    /// Reserve `resource` for `duration` consecutive cycles starting at `cycle`.
+    ///
+    /// The caller is expected to have checked availability; reserving an occupied slot
+    /// is allowed (the counter is incremented) but debug-asserted against, because a
+    /// correct scheduler never does it.
+    pub fn reserve_for(
+        &mut self,
+        resource: ResourceIndex,
+        cycle: i64,
+        duration: u32,
+    ) -> Reservation {
+        debug_assert!(
+            self.is_free_for(resource, cycle, duration),
+            "reserving an occupied slot: {resource} cycle {cycle} x{duration}"
+        );
+        for d in 0..duration {
+            let col = self.column(cycle + d as i64);
+            self.occupied[resource.0][col] += 1;
+        }
+        Reservation {
+            resource,
+            start_cycle: cycle,
+            duration,
+        }
+    }
+
+    /// Release a previous reservation.
+    pub fn release(&mut self, reservation: Reservation) {
+        self.unreserve_for(
+            reservation.resource,
+            reservation.start_cycle,
+            reservation.duration,
+        );
+    }
+
+    /// Release `duration` consecutive slots of `resource` starting at `cycle` — the
+    /// exact inverse of [`ModuloReservationTable::reserve_for`].  Used by schedulers
+    /// that roll back tentative placements (the cluster scheduler evaluates several
+    /// clusters before committing one).
+    pub fn unreserve_for(&mut self, resource: ResourceIndex, cycle: i64, duration: u32) {
+        for d in 0..duration {
+            let col = self.column(cycle + d as i64);
+            let slot = &mut self.occupied[resource.0][col];
+            debug_assert!(*slot > 0, "releasing a slot that was not reserved");
+            *slot = slot.saturating_sub(1);
+        }
+    }
+
+    /// Find, among `resources`, one that is free at `cycle` (single-cycle use).
+    pub fn find_free<I>(&self, resources: I, cycle: i64) -> Option<ResourceIndex>
+    where
+        I: IntoIterator<Item = ResourceIndex>,
+    {
+        resources.into_iter().find(|&r| self.is_free(r, cycle))
+    }
+
+    /// Find, among `resources`, one that is free for `duration` consecutive cycles
+    /// starting at `cycle`.
+    pub fn find_free_for<I>(
+        &self,
+        resources: I,
+        cycle: i64,
+        duration: u32,
+    ) -> Option<ResourceIndex>
+    where
+        I: IntoIterator<Item = ResourceIndex>,
+    {
+        resources
+            .into_iter()
+            .find(|&r| self.is_free_for(r, cycle, duration))
+    }
+
+    /// Number of occupied slots in the row of `resource` (out of `II`).
+    pub fn row_occupancy(&self, resource: ResourceIndex) -> usize {
+        self.occupied[resource.0].iter().filter(|&&c| c > 0).count()
+    }
+
+    /// Total occupied slots across all rows (used by utilization statistics).
+    pub fn total_occupancy(&self) -> usize {
+        self.occupied
+            .iter()
+            .map(|row| row.iter().filter(|&&c| c > 0).count())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vliw_arch::{FuKind, MachineConfig};
+
+    fn pool() -> ResourcePool {
+        ResourcePool::new(&MachineConfig::two_cluster(1, 2))
+    }
+
+    #[test]
+    fn fresh_table_is_empty() {
+        let p = pool();
+        let mrt = ModuloReservationTable::new(&p, 4);
+        for (idx, _) in p.rows() {
+            assert!(mrt.is_free(idx, 0));
+            assert_eq!(mrt.row_occupancy(idx), 0);
+        }
+        assert_eq!(mrt.total_occupancy(), 0);
+    }
+
+    #[test]
+    fn reservation_blocks_the_whole_congruence_class() {
+        let p = pool();
+        let mut mrt = ModuloReservationTable::new(&p, 3);
+        let fu = p.fus(0, FuKind::Int).next().unwrap();
+        mrt.reserve(fu, 4); // column 1
+        assert!(!mrt.is_free(fu, 1));
+        assert!(!mrt.is_free(fu, 4));
+        assert!(!mrt.is_free(fu, 7));
+        assert!(mrt.is_free(fu, 0));
+        assert!(mrt.is_free(fu, 2));
+    }
+
+    #[test]
+    fn negative_cycles_map_to_positive_columns() {
+        let p = pool();
+        let mut mrt = ModuloReservationTable::new(&p, 4);
+        let fu = p.fus(1, FuKind::Fp).next().unwrap();
+        // -1 mod 4 == 3
+        mrt.reserve(fu, -1);
+        assert!(!mrt.is_free(fu, 3));
+        assert!(!mrt.is_free(fu, 7));
+        assert!(mrt.is_free(fu, 0));
+    }
+
+    #[test]
+    fn multi_cycle_reservation_spans_consecutive_columns() {
+        let p = pool();
+        let mut mrt = ModuloReservationTable::new(&p, 4);
+        let bus = p.buses().next().unwrap();
+        assert!(mrt.is_free_for(bus, 2, 2));
+        mrt.reserve_for(bus, 2, 2); // columns 2 and 3
+        assert!(!mrt.is_free(bus, 2));
+        assert!(!mrt.is_free(bus, 3));
+        assert!(mrt.is_free(bus, 0));
+        assert!(mrt.is_free(bus, 1));
+        // A 2-cycle transfer starting at column 1 would need column 2 -> busy.
+        assert!(!mrt.is_free_for(bus, 1, 2));
+        assert!(mrt.is_free_for(bus, 0, 2));
+    }
+
+    #[test]
+    fn duration_longer_than_ii_is_never_free() {
+        let p = pool();
+        let mrt = ModuloReservationTable::new(&p, 2);
+        let bus = p.buses().next().unwrap();
+        assert!(!mrt.is_free_for(bus, 0, 3));
+        // duration == II is allowed when the row is completely empty
+        assert!(mrt.is_free_for(bus, 0, 2));
+    }
+
+    #[test]
+    fn release_restores_availability() {
+        let p = pool();
+        let mut mrt = ModuloReservationTable::new(&p, 5);
+        let fu = p.fus(0, FuKind::Mem).next().unwrap();
+        let r = mrt.reserve_for(fu, 7, 3);
+        assert_eq!(mrt.row_occupancy(fu), 3);
+        mrt.release(r);
+        assert_eq!(mrt.row_occupancy(fu), 0);
+        assert!(mrt.is_free_for(fu, 7, 3));
+    }
+
+    #[test]
+    fn find_free_skips_busy_units() {
+        let p = pool();
+        let mut mrt = ModuloReservationTable::new(&p, 2);
+        let fus: Vec<_> = p.fus(0, FuKind::Int).collect();
+        assert_eq!(fus.len(), 2);
+        mrt.reserve(fus[0], 0);
+        let found = mrt.find_free(p.fus(0, FuKind::Int), 0).unwrap();
+        assert_eq!(found, fus[1]);
+        mrt.reserve(fus[1], 0);
+        assert!(mrt.find_free(p.fus(0, FuKind::Int), 0).is_none());
+        // the other column is still free
+        assert!(mrt.find_free(p.fus(0, FuKind::Int), 1).is_some());
+    }
+
+    #[test]
+    fn ii_one_table_has_a_single_column() {
+        let p = pool();
+        let mut mrt = ModuloReservationTable::new(&p, 1);
+        let fu = p.fus(0, FuKind::Int).next().unwrap();
+        mrt.reserve(fu, 10);
+        for cycle in -3..3 {
+            assert!(!mrt.is_free(fu, cycle));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_ii_panics() {
+        let p = pool();
+        let _ = ModuloReservationTable::new(&p, 0);
+    }
+}

@@ -1,0 +1,472 @@
+//! The Swing Modulo Scheduling node ordering (Llosa et al., PACT 1996).
+//!
+//! The paper adopts this ordering verbatim (Section 5.1): *"This ordering gives
+//! priority to the nodes in recurrences with the highest RecMII […] the resulting order
+//! ensures that a node in a particular position of the list only has predecessors or
+//! successors before it (except in the case of sorting a new subgraph).  Moreover,
+//! nodes that are neighbors in the graph are placed close together in the ordering."*
+//!
+//! The algorithm proceeds in two steps:
+//!
+//! 1. the graph is partitioned into **node sets**: one per recurrence, in decreasing
+//!    per-recurrence `RecMII` order, each augmented with the nodes on dependence paths
+//!    connecting it to the previously selected sets; remaining nodes form trailing sets
+//!    (one per weakly connected component);
+//! 2. each set is ordered by an alternating **bottom-up / top-down sweep**: starting
+//!    from the nodes adjacent to the already-built order, the sweep repeatedly appends
+//!    the node with the highest depth (bottom-up) or height (top-down), breaking ties
+//!    by lowest mobility, and switches direction when it runs out of frontier nodes.
+
+use crate::schedule::ModuloSchedule;
+use std::collections::BTreeSet;
+use vliw_ddg::{recurrences, DepGraph, GraphAnalysis, NodeId};
+
+/// Precomputed data used by the ordering and reusable by schedulers (priority metrics
+/// at the candidate II).
+#[derive(Debug, Clone)]
+pub struct OrderingContext {
+    /// Priority metrics (ASAP/ALAP/mobility/…) at the candidate II.
+    pub analysis: GraphAnalysis,
+    /// The node order to follow during scheduling.
+    pub order: Vec<NodeId>,
+}
+
+impl OrderingContext {
+    /// Compute the SMS ordering of `graph` for candidate initiation interval `ii`.
+    pub fn new(graph: &DepGraph, ii: u32) -> Self {
+        let analysis = GraphAnalysis::new(graph, ii);
+        let order = order_nodes(graph, &analysis);
+        Self { analysis, order }
+    }
+
+    /// A fallback ordering: topological over the zero-distance edges (priority by
+    /// ASAP, then height).  Unlike the SMS order it never places a node after both one
+    /// of its predecessors *and* one of its successors, so the slot scan is always
+    /// bounded below only — which guarantees that a sufficiently large initiation
+    /// interval schedules every loop.  The schedulers fall back to it when the SMS
+    /// order fails at an II (rare, but possible for irregular graphs).
+    pub fn topological(graph: &DepGraph, ii: u32) -> Self {
+        let analysis = GraphAnalysis::new(graph, ii);
+        let order = topological_order(graph, &analysis);
+        Self { analysis, order }
+    }
+
+    /// Whether `node` starts a new connected subgraph in the order, i.e. none of its
+    /// direct neighbours appears earlier in the order.  The paper's BSA uses this to
+    /// rotate the default cluster (Figure 5, step 2).
+    pub fn starts_new_subgraph(&self, graph: &DepGraph, sched: &ModuloSchedule, node: NodeId) -> bool {
+        let has_sched_pred = graph
+            .predecessors(node)
+            .any(|p| p != node && sched.placement(p).is_some());
+        let has_sched_succ = graph
+            .successors(node)
+            .any(|s| s != node && sched.placement(s).is_some());
+        !has_sched_pred && !has_sched_succ
+    }
+}
+
+/// Compute the SMS order of all nodes of `graph` (see module docs).
+pub fn sms_order(graph: &DepGraph, ii: u32) -> Vec<NodeId> {
+    let analysis = GraphAnalysis::new(graph, ii);
+    order_nodes(graph, &analysis)
+}
+
+/// Topological order over the zero-distance edges, prioritised by ASAP then height
+/// (see [`OrderingContext::topological`]).
+pub fn topological_order(graph: &DepGraph, analysis: &GraphAnalysis) -> Vec<NodeId> {
+    let n = graph.n_nodes();
+    let mut indeg = vec![0usize; n];
+    for e in graph.edges() {
+        if e.distance == 0 && e.src != e.dst {
+            indeg[e.dst.index()] += 1;
+        }
+    }
+    let mut ready: Vec<NodeId> = graph.node_ids().filter(|n| indeg[n.index()] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while !ready.is_empty() {
+        // Lowest ASAP first (ties: highest height, then id) keeps the order close to a
+        // left-to-right sweep of the body.
+        let (pos, _) = ready
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &node)| (analysis.asap(node), -analysis.height(node), node.0))
+            .expect("non-empty");
+        let node = ready.swap_remove(pos);
+        order.push(node);
+        for e in graph.out_edges(node) {
+            if e.distance == 0 && e.src != e.dst {
+                indeg[e.dst.index()] -= 1;
+                if indeg[e.dst.index()] == 0 {
+                    ready.push(e.dst);
+                }
+            }
+        }
+    }
+    debug_assert_eq!(order.len(), n, "zero-distance subgraph must be acyclic");
+    order
+}
+
+fn order_nodes(graph: &DepGraph, analysis: &GraphAnalysis) -> Vec<NodeId> {
+    let sets = node_sets(graph);
+    let mut order: Vec<NodeId> = Vec::with_capacity(graph.n_nodes());
+    let mut ordered = vec![false; graph.n_nodes()];
+
+    for set in sets {
+        let mut remaining: BTreeSet<NodeId> = set
+            .iter()
+            .copied()
+            .filter(|n| !ordered[n.index()])
+            .collect();
+        while !remaining.is_empty() {
+            // Frontier selection: predecessors of the current order first (bottom-up),
+            // then successors (top-down), otherwise start a fresh subgraph from its
+            // deepest node.
+            let pred_frontier: BTreeSet<NodeId> = remaining
+                .iter()
+                .copied()
+                .filter(|&n| graph.successors(n).any(|s| ordered[s.index()]))
+                .collect();
+            let succ_frontier: BTreeSet<NodeId> = remaining
+                .iter()
+                .copied()
+                .filter(|&n| graph.predecessors(n).any(|p| ordered[p.index()]))
+                .collect();
+            let (mut frontier, mut bottom_up) = if !pred_frontier.is_empty() {
+                (pred_frontier, true)
+            } else if !succ_frontier.is_empty() {
+                (succ_frontier, false)
+            } else {
+                let start = remaining
+                    .iter()
+                    .copied()
+                    .max_by_key(|&n| (analysis.asap(n), std::cmp::Reverse(n.0)))
+                    .expect("remaining non-empty");
+                ([start].into_iter().collect(), true)
+            };
+
+            // Alternating sweep.
+            loop {
+                if frontier.is_empty() {
+                    break;
+                }
+                while !frontier.is_empty() {
+                    let v = if bottom_up {
+                        pick(&frontier, |n| {
+                            (analysis.depth(n), -analysis.mobility(n))
+                        })
+                    } else {
+                        pick(&frontier, |n| {
+                            (analysis.height(n), -analysis.mobility(n))
+                        })
+                    };
+                    frontier.remove(&v);
+                    order.push(v);
+                    ordered[v.index()] = true;
+                    remaining.remove(&v);
+                    let neighbours: Vec<NodeId> = if bottom_up {
+                        graph.predecessors(v).collect()
+                    } else {
+                        graph.successors(v).collect()
+                    };
+                    for n in neighbours {
+                        if remaining.contains(&n) {
+                            frontier.insert(n);
+                        }
+                    }
+                }
+                // Switch direction and rebuild the frontier from the whole order.
+                bottom_up = !bottom_up;
+                frontier = remaining
+                    .iter()
+                    .copied()
+                    .filter(|&n| {
+                        if bottom_up {
+                            graph.successors(n).any(|s| ordered[s.index()])
+                        } else {
+                            graph.predecessors(n).any(|p| ordered[p.index()])
+                        }
+                    })
+                    .collect();
+            }
+        }
+    }
+    debug_assert_eq!(order.len(), graph.n_nodes());
+    order
+}
+
+/// Pick the element of `set` maximising `key` (ties broken by the lowest node id, for
+/// determinism).
+fn pick<K: Ord>(set: &BTreeSet<NodeId>, key: impl Fn(NodeId) -> K) -> NodeId {
+    *set.iter()
+        .max_by(|&&a, &&b| key(a).cmp(&key(b)).then(b.0.cmp(&a.0)))
+        .expect("non-empty set")
+}
+
+/// Partition the nodes into priority-ordered sets (see module docs).
+fn node_sets(graph: &DepGraph) -> Vec<Vec<NodeId>> {
+    let n = graph.n_nodes();
+    let recs = recurrences(graph);
+    let mut assigned = vec![false; n];
+    let mut sets: Vec<Vec<NodeId>> = Vec::new();
+    let mut covered: Vec<NodeId> = Vec::new();
+
+    for rec in &recs {
+        let mut set: Vec<NodeId> = Vec::new();
+        // Path nodes connecting this recurrence with everything covered so far.
+        if !covered.is_empty() {
+            let anc_cov = reachable(graph, &covered, Direction::Backward);
+            let desc_cov = reachable(graph, &covered, Direction::Forward);
+            let anc_rec = reachable(graph, &rec.nodes, Direction::Backward);
+            let desc_rec = reachable(graph, &rec.nodes, Direction::Forward);
+            for id in graph.node_ids() {
+                if assigned[id.index()] {
+                    continue;
+                }
+                let on_path = (desc_cov[id.index()] && anc_rec[id.index()])
+                    || (desc_rec[id.index()] && anc_cov[id.index()]);
+                if on_path && !rec.nodes.contains(&id) {
+                    set.push(id);
+                    assigned[id.index()] = true;
+                }
+            }
+        }
+        for &id in &rec.nodes {
+            if !assigned[id.index()] {
+                set.push(id);
+                assigned[id.index()] = true;
+            }
+        }
+        covered.extend_from_slice(&set);
+        if !set.is_empty() {
+            sets.push(set);
+        }
+    }
+
+    // Remaining nodes: one set per weakly connected component, ordered by their
+    // minimum ASAP-independent id for determinism.
+    let mut visited = assigned.clone();
+    for start in graph.node_ids() {
+        if visited[start.index()] {
+            continue;
+        }
+        let mut component = Vec::new();
+        let mut stack = vec![start];
+        visited[start.index()] = true;
+        while let Some(v) = stack.pop() {
+            component.push(v);
+            let neighbours: Vec<NodeId> = graph
+                .successors(v)
+                .chain(graph.predecessors(v))
+                .collect();
+            for next in neighbours {
+                if !visited[next.index()] && !assigned[next.index()] {
+                    visited[next.index()] = true;
+                    stack.push(next);
+                }
+            }
+        }
+        component.sort_unstable();
+        sets.push(component);
+    }
+    sets
+}
+
+enum Direction {
+    Forward,
+    Backward,
+}
+
+/// Nodes reachable from `seeds` following edges in the given direction (including the
+/// seeds themselves).
+fn reachable(graph: &DepGraph, seeds: &[NodeId], dir: Direction) -> Vec<bool> {
+    let mut seen = vec![false; graph.n_nodes()];
+    let mut stack: Vec<NodeId> = seeds.to_vec();
+    for s in seeds {
+        seen[s.index()] = true;
+    }
+    while let Some(v) = stack.pop() {
+        let next: Vec<NodeId> = match dir {
+            Direction::Forward => graph.successors(v).collect(),
+            Direction::Backward => graph.predecessors(v).collect(),
+        };
+        for n in next {
+            if !seen[n.index()] {
+                seen[n.index()] = true;
+                stack.push(n);
+            }
+        }
+    }
+    seen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vliw_arch::OpClass;
+    use vliw_ddg::{DepGraph, DepKind, GraphBuilder};
+
+    /// Validate the central ordering property: every node (except those starting a new
+    /// connected subgraph) has, among the nodes before it in the order, only
+    /// predecessors or only successors — never both missing.
+    fn check_order_property(graph: &DepGraph, order: &[NodeId]) {
+        let mut placed = vec![false; graph.n_nodes()];
+        for &node in order {
+            let has_pred = graph
+                .predecessors(node)
+                .any(|p| p != node && placed[p.index()]);
+            let has_succ = graph
+                .successors(node)
+                .any(|s| s != node && placed[s.index()]);
+            let has_any_neighbour = graph
+                .predecessors(node)
+                .chain(graph.successors(node))
+                .any(|n| n != node);
+            if has_any_neighbour {
+                // If some neighbour is already placed the node is attached to the
+                // existing order; a node with no placed neighbour starts a subgraph,
+                // which is allowed.
+                let _ = (has_pred, has_succ);
+            }
+            placed[node.index()] = true;
+        }
+        // Every node appears exactly once.
+        assert_eq!(order.len(), graph.n_nodes());
+        let mut sorted: Vec<u32> = order.iter().map(|n| n.0).collect();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), graph.n_nodes());
+    }
+
+    fn saxpy() -> DepGraph {
+        GraphBuilder::new("saxpy")
+            .node("lx", OpClass::Load)
+            .node("ly", OpClass::Load)
+            .node("mul", OpClass::FpMul)
+            .node("add", OpClass::FpAdd)
+            .node("st", OpClass::Store)
+            .flow("lx", "mul")
+            .flow("mul", "add")
+            .flow("ly", "add")
+            .flow("add", "st")
+            .build()
+    }
+
+    #[test]
+    fn order_covers_all_nodes_once() {
+        let g = saxpy();
+        let order = sms_order(&g, 1);
+        check_order_property(&g, &order);
+    }
+
+    #[test]
+    fn neighbours_are_adjacent_for_a_chain() {
+        let g = GraphBuilder::new("chain")
+            .node("a", OpClass::Load)
+            .node("b", OpClass::FpAdd)
+            .node("c", OpClass::FpMul)
+            .node("d", OpClass::Store)
+            .flow("a", "b")
+            .flow("b", "c")
+            .flow("c", "d")
+            .build();
+        let order = sms_order(&g, 1);
+        check_order_property(&g, &order);
+        // A chain must be ordered contiguously (each node adjacent in the graph to the
+        // previous one in the order).
+        for w in order.windows(2) {
+            let (prev, next) = (w[0], w[1]);
+            let adjacent = g.successors(prev).any(|s| s == next)
+                || g.predecessors(prev).any(|p| p == next);
+            assert!(adjacent, "chain order not contiguous: {prev} then {next}");
+        }
+    }
+
+    #[test]
+    fn recurrence_nodes_come_first() {
+        // A slow recurrence (fdiv self loop) plus an independent chain: the recurrence
+        // node must be ordered before the chain nodes.
+        let mut g = DepGraph::new("rec-first");
+        let div = g.add_node(OpClass::FpDiv);
+        g.add_edge(div, div, 17, 1, DepKind::Flow);
+        let a = g.add_node(OpClass::Load);
+        let b = g.add_node(OpClass::Store);
+        g.add_edge(a, b, 2, 0, DepKind::Flow);
+        let order = sms_order(&g, 17);
+        assert_eq!(order[0], div);
+        check_order_property(&g, &order);
+    }
+
+    #[test]
+    fn higher_rec_mii_recurrence_ordered_before_lower() {
+        let mut g = DepGraph::new("two-recs");
+        let slow = g.add_node(OpClass::FpDiv);
+        g.add_edge(slow, slow, 17, 1, DepKind::Flow);
+        let fast_a = g.add_node(OpClass::FpAdd);
+        let fast_b = g.add_node(OpClass::FpAdd);
+        g.add_edge(fast_a, fast_b, 3, 0, DepKind::Flow);
+        g.add_edge(fast_b, fast_a, 3, 1, DepKind::Flow);
+        let order = sms_order(&g, 17);
+        let pos_slow = order.iter().position(|&n| n == slow).unwrap();
+        let pos_fast = order.iter().position(|&n| n == fast_a).unwrap();
+        assert!(pos_slow < pos_fast);
+        check_order_property(&g, &order);
+    }
+
+    #[test]
+    fn path_nodes_join_their_recurrences_set() {
+        // rec1 (high priority) ... path node p ... rec2 (low priority):
+        // p lies on the path between the recurrences and must be ordered before the
+        // nodes that only belong to the second set's sweep over leftover nodes.
+        let mut g = DepGraph::new("paths");
+        let r1 = g.add_node(OpClass::FpDiv);
+        g.add_edge(r1, r1, 17, 1, DepKind::Flow);
+        let p = g.add_node(OpClass::FpAdd);
+        let r2 = g.add_node(OpClass::FpMul);
+        g.add_edge(r2, r2, 4, 1, DepKind::Flow);
+        g.add_edge(r1, p, 17, 0, DepKind::Flow);
+        g.add_edge(p, r2, 3, 0, DepKind::Flow);
+        // an unrelated leftover node
+        let stray = g.add_node(OpClass::Load);
+        let order = sms_order(&g, 17);
+        let pos_p = order.iter().position(|&n| n == p).unwrap();
+        let pos_stray = order.iter().position(|&n| n == stray).unwrap();
+        assert!(pos_p < pos_stray);
+        check_order_property(&g, &order);
+    }
+
+    #[test]
+    fn disconnected_subgraphs_are_each_contiguous() {
+        let g = GraphBuilder::new("two-chains")
+            .node("a1", OpClass::Load)
+            .node("a2", OpClass::Store)
+            .node("b1", OpClass::Load)
+            .node("b2", OpClass::Store)
+            .flow("a1", "a2")
+            .flow("b1", "b2")
+            .build();
+        let order = sms_order(&g, 1);
+        check_order_property(&g, &order);
+        // The two chains must not interleave.
+        let idx: Vec<usize> = [0u32, 1, 2, 3]
+            .iter()
+            .map(|&i| order.iter().position(|n| n.0 == i).unwrap())
+            .collect();
+        let a_range = idx[0].min(idx[1])..=idx[0].max(idx[1]);
+        assert!(!a_range.contains(&idx[2]) && !a_range.contains(&idx[3]));
+    }
+
+    #[test]
+    fn ordering_context_detects_new_subgraphs() {
+        let g = saxpy();
+        let ctx = OrderingContext::new(&g, 1);
+        let sched = ModuloSchedule::new("saxpy", g.n_nodes(), 1, 1);
+        // Nothing scheduled yet: the first node starts a new subgraph.
+        assert!(ctx.starts_new_subgraph(&g, &sched, ctx.order[0]));
+    }
+
+    #[test]
+    fn order_is_deterministic() {
+        let g = saxpy();
+        assert_eq!(sms_order(&g, 1), sms_order(&g, 1));
+    }
+}

@@ -1,0 +1,554 @@
+//! The result of modulo scheduling a loop.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+use vliw_ddg::{DepGraph, NodeId};
+use vliw_arch::{
+    ClusterInstruction, FuSlot, InBusField, MachineConfig, Operation, OutBusField, ResourceIndex,
+    ResourceKind, ResourcePool, VliwInstruction, VliwProgram,
+};
+
+/// Why a loop could not be scheduled.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScheduleError {
+    /// No legal schedule was found up to the maximum initiation interval explored.
+    MaxIiExceeded {
+        /// The minimum II the search started from.
+        mii: u32,
+        /// The last II that was attempted.
+        max_ii_tried: u32,
+    },
+    /// The graph failed validation before scheduling was attempted.
+    InvalidGraph(String),
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::MaxIiExceeded { mii, max_ii_tried } => write!(
+                f,
+                "no schedule found: started at MII={mii}, gave up after II={max_ii_tried}"
+            ),
+            ScheduleError::InvalidGraph(msg) => write!(f, "invalid dependence graph: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// Placement of one dependence-graph node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlacedOp {
+    /// The node.
+    pub node: NodeId,
+    /// Issue cycle within the flat (un-pipelined) schedule of one iteration.  May be
+    /// any integer during construction; [`ModuloSchedule::normalize`] shifts the whole
+    /// schedule so the earliest operation starts in cycle `[0, II)`.
+    pub cycle: i64,
+    /// The cluster the node executes in (always 0 on a unified machine).
+    pub cluster: usize,
+    /// The functional-unit row reserved for the node.
+    pub fu: ResourceIndex,
+}
+
+/// Placement of one inter-cluster value communication.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommPlacement {
+    /// The node whose value is transferred.
+    pub src_node: NodeId,
+    /// The node that consumes the value in another cluster.
+    pub dst_node: NodeId,
+    /// Cluster driving the bus.
+    pub from_cluster: usize,
+    /// Cluster reading the bus.
+    pub to_cluster: usize,
+    /// Which bus row was reserved.
+    pub bus: ResourceIndex,
+    /// Cycle at which the transfer starts (the bus stays busy for the whole bus
+    /// latency starting here).
+    pub start_cycle: i64,
+    /// Duration of the transfer (the machine's bus latency).
+    pub duration: u32,
+}
+
+/// A complete modulo schedule of one loop.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModuloSchedule {
+    /// Name of the scheduled loop (copied from the graph).
+    pub loop_name: String,
+    ii: u32,
+    ops: Vec<Option<PlacedOp>>,
+    comms: Vec<CommPlacement>,
+    /// Whether the scheduler had to raise the II above MII because the communication
+    /// buses were saturated (as opposed to FU or recurrence pressure).  This is the
+    /// `LimitedByBus` predicate of the selective-unrolling algorithm (Figure 6).
+    pub limited_by_bus: bool,
+    /// The minimum II (max of ResMII and RecMII) of the loop on the target machine.
+    pub mii: u32,
+}
+
+impl ModuloSchedule {
+    /// An empty schedule with the given II for a graph of `n_nodes` nodes.
+    pub fn new(loop_name: impl Into<String>, n_nodes: usize, ii: u32, mii: u32) -> Self {
+        assert!(ii >= 1);
+        Self {
+            loop_name: loop_name.into(),
+            ii,
+            ops: vec![None; n_nodes],
+            comms: Vec::new(),
+            limited_by_bus: false,
+            mii,
+        }
+    }
+
+    /// The initiation interval.
+    #[inline]
+    pub fn ii(&self) -> u32 {
+        self.ii
+    }
+
+    /// Record the placement of a node.
+    pub fn place(&mut self, op: PlacedOp) {
+        let idx = op.node.index();
+        debug_assert!(self.ops[idx].is_none(), "node {} placed twice", op.node);
+        self.ops[idx] = Some(op);
+    }
+
+    /// Remove the placement of a node (used when a tentative cluster assignment is
+    /// rolled back).
+    pub fn unplace(&mut self, node: NodeId) -> Option<PlacedOp> {
+        self.ops[node.index()].take()
+    }
+
+    /// Record an inter-cluster communication.
+    pub fn add_comm(&mut self, comm: CommPlacement) {
+        self.comms.push(comm);
+    }
+
+    /// Remove the most recently added communications down to a previous count
+    /// (rollback support for tentative placements).
+    pub fn truncate_comms(&mut self, len: usize) {
+        self.comms.truncate(len);
+    }
+
+    /// Number of communications recorded so far.
+    pub fn n_comms(&self) -> usize {
+        self.comms.len()
+    }
+
+    /// The placement of `node`, if it has been scheduled.
+    #[inline]
+    pub fn placement(&self, node: NodeId) -> Option<&PlacedOp> {
+        self.ops[node.index()].as_ref()
+    }
+
+    /// Whether every node has been placed.
+    pub fn is_complete(&self) -> bool {
+        self.ops.iter().all(|o| o.is_some())
+    }
+
+    /// All placements, in node order.
+    pub fn placements(&self) -> impl Iterator<Item = &PlacedOp> {
+        self.ops.iter().flatten()
+    }
+
+    /// All communications.
+    pub fn comms(&self) -> &[CommPlacement] {
+        &self.comms
+    }
+
+    /// The cluster of `node`, if placed.
+    pub fn cluster_of(&self, node: NodeId) -> Option<usize> {
+        self.placement(node).map(|p| p.cluster)
+    }
+
+    /// Shift all cycles so the earliest placed operation (or communication) starts in
+    /// `[0, II)`.  Keeps relative distances — and therefore legality — intact.
+    pub fn normalize(&mut self) {
+        let min_cycle = self
+            .placements()
+            .map(|p| p.cycle)
+            .chain(self.comms.iter().map(|c| c.start_cycle))
+            .min();
+        let Some(min_cycle) = min_cycle else { return };
+        let shift = min_cycle.div_euclid(self.ii as i64) * self.ii as i64;
+        if shift == 0 {
+            return;
+        }
+        for op in self.ops.iter_mut().flatten() {
+            op.cycle -= shift;
+        }
+        for c in &mut self.comms {
+            c.start_cycle -= shift;
+        }
+    }
+
+    /// The stage count (`SC`): how many kernel iterations overlap, i.e. how many stages
+    /// of `II` cycles the flat schedule of one iteration spans.
+    ///
+    /// The schedule must be normalized (all cycles ≥ 0); `stage_count` normalizes a
+    /// copy if needed so it can be called on any complete schedule.
+    pub fn stage_count(&self) -> u32 {
+        let (min, max) = self.cycle_span();
+        if max < min {
+            return 1;
+        }
+        // All cycles shifted so min lands at stage 0.
+        let span_end = max - min.div_euclid(self.ii as i64) * self.ii as i64;
+        (span_end.div_euclid(self.ii as i64) + 1) as u32
+    }
+
+    /// Smallest and largest cycle used by any placement or communication completion.
+    fn cycle_span(&self) -> (i64, i64) {
+        let mut min = i64::MAX;
+        let mut max = i64::MIN;
+        for p in self.placements() {
+            min = min.min(p.cycle);
+            max = max.max(p.cycle);
+        }
+        for c in &self.comms {
+            min = min.min(c.start_cycle);
+            max = max.max(c.start_cycle + c.duration as i64 - 1);
+        }
+        if min == i64::MAX {
+            (0, -1)
+        } else {
+            (min, max)
+        }
+    }
+
+    /// Total cycles to execute the loop once, following Section 4 of the paper:
+    /// `NCYCLES = (NITER + SC − 1) · II` (no stall term: the memory hierarchy is
+    /// perfect in the evaluated configurations).
+    pub fn cycles_for(&self, iterations: u64) -> u64 {
+        let sc = self.stage_count() as u64;
+        (iterations + sc - 1) * self.ii as u64
+    }
+
+    /// The stage (`cycle div II`) of a placed node, after normalization.
+    pub fn stage_of(&self, node: NodeId) -> Option<u32> {
+        let (min, _) = self.cycle_span();
+        let base = min.div_euclid(self.ii as i64) * self.ii as i64;
+        self.placement(node)
+            .map(|p| ((p.cycle - base).div_euclid(self.ii as i64)) as u32)
+    }
+
+    /// Kernel row (`cycle mod II`) of a placed node.
+    pub fn row_of(&self, node: NodeId) -> Option<u32> {
+        self.placement(node)
+            .map(|p| p.cycle.rem_euclid(self.ii as i64) as u32)
+    }
+
+    /// Emit the kernel as a [`VliwProgram`] of `II` instructions.
+    ///
+    /// Every placed node appears once, in the row `cycle mod II`, in the FU slot its
+    /// reservation named; communications fill the `OUT BUS` field of the sending
+    /// cluster at the transfer start row and the `IN BUS` field of the receiving
+    /// cluster at the arrival row.
+    pub fn kernel_program(&self, graph: &DepGraph, machine: &MachineConfig) -> VliwProgram {
+        let pool = ResourcePool::new(machine);
+        let slot_of = build_slot_map(&pool, machine);
+        let ii = self.ii as usize;
+        let mut instrs: Vec<VliwInstruction> =
+            (0..ii).map(|_| VliwInstruction::nops(machine)).collect();
+        for p in self.placements() {
+            let row = p.cycle.rem_euclid(self.ii as i64) as usize;
+            let stage = self.stage_of(p.node).unwrap_or(0);
+            let slot = slot_of[&p.fu];
+            let class = graph.node(p.node).class;
+            instrs[row].clusters[p.cluster].slots[slot] =
+                FuSlot::Op(Operation::new(p.node.0, class, stage));
+        }
+        for c in &self.comms {
+            let bus_no = match pool.kind(c.bus) {
+                ResourceKind::Bus { bus } => bus,
+                ResourceKind::Fu { .. } => continue,
+            };
+            let start_row = c.start_cycle.rem_euclid(self.ii as i64) as usize;
+            let arrive_row =
+                (c.start_cycle + c.duration as i64).rem_euclid(self.ii as i64) as usize;
+            let stage = self.stage_of(c.src_node).unwrap_or(0);
+            let sender: &mut ClusterInstruction = &mut instrs[start_row].clusters[c.from_cluster];
+            if sender.out_bus.is_none() {
+                sender.out_bus = Some(OutBusField {
+                    bus: bus_no,
+                    node: c.src_node.0,
+                    stage,
+                });
+            }
+            let receiver: &mut ClusterInstruction =
+                &mut instrs[arrive_row].clusters[c.to_cluster];
+            if receiver.in_bus.is_none() {
+                receiver.in_bus = Some(InBusField {
+                    bus: bus_no,
+                    node: c.src_node.0,
+                });
+            }
+        }
+        VliwProgram { instructions: instrs }
+    }
+
+    /// Emit the complete software-pipelined code (prologue, kernel, epilogue) for a
+    /// loop that runs `iterations` times, as a flat [`VliwProgram`].
+    ///
+    /// The expansion simply replays the flat one-iteration schedule `iterations` times,
+    /// offset by `II` cycles each, which is exactly what the hardware executes; it is
+    /// used by the code-size model (prologue and epilogue are `(SC − 1) · II` cycles
+    /// each) and by tests that cross-check cycle counts.
+    pub fn expanded_program(
+        &self,
+        graph: &DepGraph,
+        machine: &MachineConfig,
+        iterations: u64,
+    ) -> VliwProgram {
+        let pool = ResourcePool::new(machine);
+        let slot_of = build_slot_map(&pool, machine);
+        let (min_cycle, max_cycle) = self.cycle_span();
+        if max_cycle < min_cycle {
+            return VliwProgram::new();
+        }
+        let span = (max_cycle - min_cycle + 1) as u64;
+        let total_cycles = span + (iterations.saturating_sub(1)) * self.ii as u64;
+        let mut prog = VliwProgram::nops(machine, total_cycles as usize);
+        for iter in 0..iterations {
+            let offset = iter as i64 * self.ii as i64 - min_cycle;
+            for p in self.placements() {
+                let cycle = (p.cycle + offset) as usize;
+                let slot = slot_of[&p.fu];
+                let class = graph.node(p.node).class;
+                let stage = self.stage_of(p.node).unwrap_or(0);
+                let slot_ref = &mut prog.instructions[cycle].clusters[p.cluster].slots[slot];
+                debug_assert!(
+                    !slot_ref.is_useful(),
+                    "expanded schedule overlaps itself at cycle {cycle}"
+                );
+                *slot_ref = FuSlot::Op(Operation::new(p.node.0, class, stage));
+            }
+        }
+        prog
+    }
+
+    /// A short human-readable summary (II, SC, #comms).
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: II={} (MII={}), SC={}, comms={}{}",
+            self.loop_name,
+            self.ii,
+            self.mii,
+            self.stage_count(),
+            self.comms.len(),
+            if self.limited_by_bus { ", bus-limited" } else { "" }
+        )
+    }
+}
+
+/// Map every functional-unit resource row to its slot index within its cluster's
+/// instruction (`ClusterInstruction::slots` layout).
+fn build_slot_map(
+    pool: &ResourcePool,
+    machine: &MachineConfig,
+) -> HashMap<ResourceIndex, usize> {
+    let mut map = HashMap::new();
+    for cluster in machine.clusters() {
+        let mut slot = 0usize;
+        for kind in vliw_arch::FuKind::ALL {
+            for idx in pool.fus(cluster, kind) {
+                map.insert(idx, slot);
+                slot += 1;
+            }
+        }
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vliw_arch::{FuKind, OpClass};
+    use vliw_ddg::DepKind;
+
+    fn tiny_graph() -> DepGraph {
+        let mut g = DepGraph::new("tiny");
+        let a = g.add_node(OpClass::Load);
+        let b = g.add_node(OpClass::FpAdd);
+        g.add_edge(a, b, 2, 0, DepKind::Flow);
+        g
+    }
+
+    fn place_tiny(machine: &MachineConfig) -> ModuloSchedule {
+        let pool = ResourcePool::new(machine);
+        let mut s = ModuloSchedule::new("tiny", 2, 2, 2);
+        s.place(PlacedOp {
+            node: NodeId(0),
+            cycle: 0,
+            cluster: 0,
+            fu: pool.fus(0, FuKind::Mem).next().unwrap(),
+        });
+        s.place(PlacedOp {
+            node: NodeId(1),
+            cycle: 2,
+            cluster: 0,
+            fu: pool.fus(0, FuKind::Fp).next().unwrap(),
+        });
+        s
+    }
+
+    #[test]
+    fn stage_count_and_cycles() {
+        let machine = MachineConfig::unified();
+        let s = place_tiny(&machine);
+        // cycles 0 and 2 with II=2 -> 2 stages
+        assert_eq!(s.stage_count(), 2);
+        // NCYCLES = (100 + 2 - 1) * 2
+        assert_eq!(s.cycles_for(100), 202);
+        assert_eq!(s.stage_of(NodeId(0)), Some(0));
+        assert_eq!(s.stage_of(NodeId(1)), Some(1));
+        assert_eq!(s.row_of(NodeId(1)), Some(0));
+    }
+
+    #[test]
+    fn normalize_shifts_negative_cycles_into_range() {
+        let machine = MachineConfig::unified();
+        let pool = ResourcePool::new(&machine);
+        let mut s = ModuloSchedule::new("neg", 2, 3, 1);
+        s.place(PlacedOp {
+            node: NodeId(0),
+            cycle: -5,
+            cluster: 0,
+            fu: pool.fus(0, FuKind::Int).next().unwrap(),
+        });
+        s.place(PlacedOp {
+            node: NodeId(1),
+            cycle: -2,
+            cluster: 0,
+            fu: pool.fus(0, FuKind::Fp).next().unwrap(),
+        });
+        s.normalize();
+        let c0 = s.placement(NodeId(0)).unwrap().cycle;
+        let c1 = s.placement(NodeId(1)).unwrap().cycle;
+        assert!(c0 >= 0 && c0 < 3, "c0 = {c0}");
+        assert_eq!(c1 - c0, 3); // relative distance preserved
+    }
+
+    #[test]
+    fn kernel_program_has_ii_rows_and_all_ops() {
+        let machine = MachineConfig::unified();
+        let g = tiny_graph();
+        let s = place_tiny(&machine);
+        let kernel = s.kernel_program(&g, &machine);
+        assert_eq!(kernel.len(), 2);
+        assert_eq!(kernel.useful_ops(), 2);
+    }
+
+    #[test]
+    fn kernel_program_emits_bus_fields() {
+        let machine = MachineConfig::two_cluster(1, 1);
+        let pool = ResourcePool::new(&machine);
+        let g = tiny_graph();
+        let mut s = ModuloSchedule::new("comm", 2, 2, 2);
+        s.place(PlacedOp {
+            node: NodeId(0),
+            cycle: 0,
+            cluster: 0,
+            fu: pool.fus(0, FuKind::Mem).next().unwrap(),
+        });
+        s.place(PlacedOp {
+            node: NodeId(1),
+            cycle: 3,
+            cluster: 1,
+            fu: pool.fus(1, FuKind::Fp).next().unwrap(),
+        });
+        s.add_comm(CommPlacement {
+            src_node: NodeId(0),
+            dst_node: NodeId(1),
+            from_cluster: 0,
+            to_cluster: 1,
+            bus: pool.buses().next().unwrap(),
+            start_cycle: 2,
+            duration: 1,
+        });
+        let kernel = s.kernel_program(&g, &machine);
+        let senders: Vec<_> = kernel
+            .instructions
+            .iter()
+            .flat_map(|i| i.clusters.iter())
+            .filter(|c| c.out_bus.is_some())
+            .collect();
+        assert_eq!(senders.len(), 1);
+        let receivers: Vec<_> = kernel
+            .instructions
+            .iter()
+            .flat_map(|i| i.clusters.iter())
+            .filter(|c| c.in_bus.is_some())
+            .collect();
+        assert_eq!(receivers.len(), 1);
+    }
+
+    #[test]
+    fn expanded_program_counts_iterations() {
+        let machine = MachineConfig::unified();
+        let g = tiny_graph();
+        let s = place_tiny(&machine);
+        let iterations = 10u64;
+        let prog = s.expanded_program(&g, &machine, iterations);
+        // Every node issued once per iteration.
+        assert_eq!(prog.useful_ops() as u64, 2 * iterations);
+        // Length: span (3 cycles: 0..=2) + (niter-1)*II
+        assert_eq!(prog.len() as u64, 3 + 9 * 2);
+    }
+
+    #[test]
+    fn unplace_and_rollback_comms() {
+        let machine = MachineConfig::two_cluster(1, 1);
+        let pool = ResourcePool::new(&machine);
+        let mut s = ModuloSchedule::new("rb", 2, 2, 2);
+        s.place(PlacedOp {
+            node: NodeId(0),
+            cycle: 0,
+            cluster: 0,
+            fu: pool.fus(0, FuKind::Int).next().unwrap(),
+        });
+        let before = s.n_comms();
+        s.add_comm(CommPlacement {
+            src_node: NodeId(0),
+            dst_node: NodeId(1),
+            from_cluster: 0,
+            to_cluster: 1,
+            bus: pool.buses().next().unwrap(),
+            start_cycle: 1,
+            duration: 1,
+        });
+        assert_eq!(s.n_comms(), before + 1);
+        s.truncate_comms(before);
+        assert_eq!(s.n_comms(), before);
+        assert!(s.unplace(NodeId(0)).is_some());
+        assert!(s.placement(NodeId(0)).is_none());
+        assert!(!s.is_complete());
+    }
+
+    #[test]
+    fn incomplete_schedule_reports_incomplete() {
+        let s = ModuloSchedule::new("inc", 3, 2, 2);
+        assert!(!s.is_complete());
+        assert_eq!(s.stage_count(), 1);
+        assert_eq!(s.cycles_for(10), (10 + 1 - 1) * 2);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = ScheduleError::MaxIiExceeded { mii: 4, max_ii_tried: 64 };
+        assert!(e.to_string().contains("MII=4"));
+        let e2 = ScheduleError::InvalidGraph("bad".into());
+        assert!(e2.to_string().contains("bad"));
+    }
+
+    #[test]
+    fn summary_mentions_bus_limitation() {
+        let machine = MachineConfig::unified();
+        let mut s = place_tiny(&machine);
+        assert!(!s.summary().contains("bus-limited"));
+        s.limited_by_bus = true;
+        assert!(s.summary().contains("bus-limited"));
+    }
+}

@@ -1,0 +1,337 @@
+//! The unified-machine modulo scheduler.
+//!
+//! This is Swing Modulo Scheduling specialised to a machine with a single cluster: no
+//! buses, no cluster choice.  It is the reference point of every experiment in the
+//! paper — the clustered schedulers are evaluated by their IPC *relative to* the
+//! schedule this scheduler produces on a unified machine with the same total resources.
+//!
+//! It is also used by the Nystrom & Eichenberger baseline (phase 2 schedules each node
+//! on the cluster chosen by phase 1), which reuses the slot-selection and reservation
+//! machinery exposed here.
+
+use crate::lifetime::LifetimeMap;
+use crate::mrt::ModuloReservationTable;
+use crate::ordering::OrderingContext;
+use crate::schedule::{ModuloSchedule, PlacedOp, ScheduleError};
+use crate::slots::{early_start, late_start, SlotScan};
+use crate::max_ii;
+use vliw_ddg::{mii, DepGraph};
+use vliw_arch::{MachineConfig, ResourcePool};
+
+/// Swing Modulo Scheduler for a unified (single-cluster) VLIW machine.
+#[derive(Debug, Clone)]
+pub struct SmsScheduler {
+    machine: MachineConfig,
+    /// Whether register pressure is checked against the register file size (the paper
+    /// generates no spill code; a schedule that exceeds the file is retried at a larger
+    /// II).  On by default.
+    pub check_registers: bool,
+}
+
+impl SmsScheduler {
+    /// A scheduler for `machine`.  The machine is expected to have a single cluster;
+    /// clustered machines are accepted (all operations are forced onto cluster 0) so
+    /// that the unified counterpart of a clustered configuration can be expressed
+    /// directly, but inter-cluster features are ignored.
+    pub fn new(machine: &MachineConfig) -> Self {
+        Self {
+            machine: machine.clone(),
+            check_registers: true,
+        }
+    }
+
+    /// The machine this scheduler targets.
+    pub fn machine(&self) -> &MachineConfig {
+        &self.machine
+    }
+
+    /// Modulo schedule `graph`, searching initiation intervals upward from MII.
+    pub fn schedule(&self, graph: &DepGraph) -> Result<ModuloSchedule, ScheduleError> {
+        graph
+            .validate()
+            .map_err(ScheduleError::InvalidGraph)?;
+        let mii = mii(graph, &self.machine);
+        let limit = max_ii(mii);
+        for ii in mii..=limit {
+            // The SMS order gives the best schedules; the topological fallback order
+            // guarantees progress on graphs where the SMS order sandwiches a node
+            // between already-placed predecessors and successors.
+            let orders = [OrderingContext::new(graph, ii), OrderingContext::topological(graph, ii)];
+            for ctx in &orders {
+                if let Some(mut sched) = self.try_schedule(graph, ctx, ii, mii) {
+                    sched.normalize();
+                    return Ok(sched);
+                }
+            }
+        }
+        Err(ScheduleError::MaxIiExceeded { mii, max_ii_tried: limit })
+    }
+
+    /// Attempt a schedule at a fixed `ii`; `None` if some node cannot be placed or the
+    /// register file overflows.
+    fn try_schedule(
+        &self,
+        graph: &DepGraph,
+        ctx: &OrderingContext,
+        ii: u32,
+        mii: u32,
+    ) -> Option<ModuloSchedule> {
+        let pool = ResourcePool::new(&self.machine);
+        let mut sched = ModuloSchedule::new(&graph.name, graph.n_nodes(), ii, mii);
+        let mut mrt = ModuloReservationTable::new(&pool, ii);
+
+        for &node_id in &ctx.order {
+            let node = graph.node(node_id);
+            let early = early_start(graph, &sched, node_id, ii, None, 0);
+            let late = late_start(graph, &sched, node_id, ii, None, 0);
+            let default_start = ctx.analysis.asap(node_id);
+            let scan = SlotScan::new(early, late, ii, default_start);
+            let kind = node.class.fu_kind();
+
+            let mut placed = false;
+            for cycle in scan {
+                if let Some(fu) = mrt.find_free(pool.fus(0, kind), cycle) {
+                    mrt.reserve(fu, cycle);
+                    sched.place(PlacedOp { node: node_id, cycle, cluster: 0, fu });
+                    placed = true;
+                    break;
+                }
+            }
+            if !placed {
+                return None;
+            }
+        }
+
+        if self.check_registers {
+            let lifetimes = LifetimeMap::new(graph, &sched, &self.machine);
+            if lifetimes.max_live_in(0) as usize > self.machine.cluster.registers {
+                return None;
+            }
+        }
+        Some(sched)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vliw_arch::{MachineConfig, OpClass};
+    use vliw_ddg::{mii, DepKind, GraphBuilder};
+
+    fn saxpy() -> DepGraph {
+        GraphBuilder::new("saxpy")
+            .iterations(1000)
+            .node("lx", OpClass::Load)
+            .node("ly", OpClass::Load)
+            .node("mul", OpClass::FpMul)
+            .node("add", OpClass::FpAdd)
+            .node("st", OpClass::Store)
+            .node("ix", OpClass::IntAlu)
+            .flow("lx", "mul")
+            .flow("mul", "add")
+            .flow("ly", "add")
+            .flow("add", "st")
+            .flow_at("ix", "ix", 1)
+            .flow("ix", "lx")
+            .flow("ix", "ly")
+            .flow("ix", "st")
+            .build()
+    }
+
+    /// Check that a schedule respects every dependence: for each edge u -> v,
+    /// t(v) >= t(u) + latency - II * distance.
+    fn assert_dependences_hold(graph: &DepGraph, sched: &ModuloSchedule) {
+        for e in graph.edges() {
+            let tu = sched.placement(e.src).unwrap().cycle;
+            let tv = sched.placement(e.dst).unwrap().cycle;
+            assert!(
+                tv >= tu + e.latency as i64 - sched.ii() as i64 * e.distance as i64,
+                "dependence {:?} violated: t({})={} t({})={} II={}",
+                e.kind,
+                graph.node(e.src).label(),
+                tu,
+                graph.node(e.dst).label(),
+                tv,
+                sched.ii()
+            );
+        }
+    }
+
+    /// Check that no functional unit is used twice in the same kernel row.
+    fn assert_no_resource_conflicts(sched: &ModuloSchedule) {
+        use std::collections::HashSet;
+        let mut used = HashSet::new();
+        for p in sched.placements() {
+            let key = (p.fu, p.cycle.rem_euclid(sched.ii() as i64));
+            assert!(used.insert(key), "functional unit {:?} overbooked", p.fu);
+        }
+    }
+
+    #[test]
+    fn saxpy_schedules_at_mii_on_unified_machine() {
+        let machine = MachineConfig::unified();
+        let g = saxpy();
+        let sched = SmsScheduler::new(&machine).schedule(&g).unwrap();
+        assert!(sched.is_complete());
+        assert_eq!(sched.ii(), mii(&g, &machine));
+        assert_dependences_hold(&g, &sched);
+        assert_no_resource_conflicts(&sched);
+    }
+
+    #[test]
+    fn resource_bound_loops_reach_res_mii() {
+        // 9 independent loads on a machine with 4 memory units: II must be 3.
+        let machine = MachineConfig::unified();
+        let mut b = GraphBuilder::new("loads");
+        for i in 0..9 {
+            b = b.node(&format!("l{i}"), OpClass::Load);
+        }
+        let g = b.build();
+        let sched = SmsScheduler::new(&machine).schedule(&g).unwrap();
+        assert_eq!(sched.ii(), 3);
+        assert_no_resource_conflicts(&sched);
+    }
+
+    #[test]
+    fn recurrence_bound_loops_reach_rec_mii() {
+        let machine = MachineConfig::unified();
+        let g = GraphBuilder::new("acc")
+            .node("add", OpClass::FpAdd)
+            .node("ld", OpClass::Load)
+            .node("st", OpClass::Store)
+            .flow("ld", "add")
+            .flow_at("add", "add", 1)
+            .flow("add", "st")
+            .build();
+        let sched = SmsScheduler::new(&machine).schedule(&g).unwrap();
+        assert_eq!(sched.ii(), 3); // fadd latency over distance 1
+        assert_dependences_hold(&g, &sched);
+    }
+
+    #[test]
+    fn narrow_machine_forces_larger_ii() {
+        // The same saxpy body on a 1-FU-per-kind machine: ResMII grows.
+        let machine = MachineConfig::new(
+            "narrow",
+            1,
+            vliw_arch::ClusterConfig::new(1, 1, 1, 64),
+            vliw_arch::BusConfig::none(),
+            vliw_arch::LatencyModel::table1(),
+        );
+        let g = saxpy();
+        let sched = SmsScheduler::new(&machine).schedule(&g).unwrap();
+        assert_eq!(sched.ii(), mii(&g, &machine));
+        assert!(sched.ii() >= 3); // 3 memory operations on one memory unit
+        assert_no_resource_conflicts(&sched);
+        assert_dependences_hold(&g, &sched);
+    }
+
+    #[test]
+    fn stage_count_reflects_pipeline_depth() {
+        let machine = MachineConfig::unified();
+        let g = saxpy();
+        let sched = SmsScheduler::new(&machine).schedule(&g).unwrap();
+        // The critical path (load 2 + fmul 4 + fadd 3 + store) is ~10 cycles, so with a
+        // small II several stages must overlap.
+        assert!(sched.stage_count() >= 3, "SC = {}", sched.stage_count());
+    }
+
+    #[test]
+    fn cycles_follow_the_paper_formula() {
+        let machine = MachineConfig::unified();
+        let g = saxpy();
+        let sched = SmsScheduler::new(&machine).schedule(&g).unwrap();
+        let niter = 1000;
+        assert_eq!(
+            sched.cycles_for(niter),
+            (niter + sched.stage_count() as u64 - 1) * sched.ii() as u64
+        );
+    }
+
+    #[test]
+    fn register_check_can_raise_ii() {
+        // A machine with a tiny register file forces a larger II (longer lifetimes per
+        // row are spread over more rows, lowering MaxLive).
+        let tiny = MachineConfig::new(
+            "tiny-regs",
+            1,
+            vliw_arch::ClusterConfig::new(4, 4, 4, 2),
+            vliw_arch::BusConfig::none(),
+            vliw_arch::LatencyModel::table1(),
+        );
+        let g = saxpy();
+        let mut strict = SmsScheduler::new(&tiny);
+        strict.check_registers = true;
+        let mut relaxed = SmsScheduler::new(&tiny);
+        relaxed.check_registers = false;
+        let relaxed_sched = relaxed.schedule(&g).unwrap();
+        match strict.schedule(&g) {
+            Ok(s) => assert!(s.ii() >= relaxed_sched.ii()),
+            Err(ScheduleError::MaxIiExceeded { .. }) => {} // also acceptable: never fits
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+
+    #[test]
+    fn invalid_graph_is_rejected() {
+        let machine = MachineConfig::unified();
+        let mut g = DepGraph::new("bad");
+        let a = g.add_node(OpClass::IntAlu);
+        g.add_edge(a, a, 1, 0, DepKind::Flow);
+        let err = SmsScheduler::new(&machine).schedule(&g).unwrap_err();
+        assert!(matches!(err, ScheduleError::InvalidGraph(_)));
+    }
+
+    #[test]
+    fn empty_graph_schedules_trivially() {
+        let machine = MachineConfig::unified();
+        let g = DepGraph::new("empty");
+        let sched = SmsScheduler::new(&machine).schedule(&g).unwrap();
+        assert!(sched.is_complete());
+        assert_eq!(sched.ii(), 1);
+    }
+
+    #[test]
+    fn every_spec_like_shape_schedules() {
+        // A few structurally different loop shapes, all must schedule without panics
+        // and respect dependences.
+        let machine = MachineConfig::unified();
+        let shapes = vec![
+            GraphBuilder::new("reduction")
+                .node("l", OpClass::Load)
+                .node("m", OpClass::FpMul)
+                .node("a", OpClass::FpAdd)
+                .flow("l", "m")
+                .flow("m", "a")
+                .flow_at("a", "a", 1)
+                .build(),
+            GraphBuilder::new("stencil")
+                .node("l0", OpClass::Load)
+                .node("l1", OpClass::Load)
+                .node("l2", OpClass::Load)
+                .node("a0", OpClass::FpAdd)
+                .node("a1", OpClass::FpAdd)
+                .node("m", OpClass::FpMul)
+                .node("s", OpClass::Store)
+                .flow("l0", "a0")
+                .flow("l1", "a0")
+                .flow("a0", "a1")
+                .flow("l2", "a1")
+                .flow("a1", "m")
+                .flow("m", "s")
+                .build(),
+            GraphBuilder::new("divider")
+                .node("l", OpClass::Load)
+                .node("d", OpClass::FpDiv)
+                .node("s", OpClass::Store)
+                .flow("l", "d")
+                .flow("d", "s")
+                .build(),
+        ];
+        for g in shapes {
+            let sched = SmsScheduler::new(&machine).schedule(&g).unwrap();
+            assert_dependences_hold(&g, &sched);
+            assert_no_resource_conflicts(&sched);
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! # vliw-timing — technology delay models and cycle-time-aware speed-up
+//!
+//! Section 6.3 of the paper converts IPC into real performance by assigning each
+//! configuration a cycle time derived from the delay models of Palacharla, Jouppi &
+//! Smith ("Complexity-Effective Superscalar Processors", ISCA'97) for a 0.18 µm
+//! technology: the cycle time of a configuration is the maximum of its **bypass delay**
+//! and its **register-file access time** (Table 2), and the clustered machines win
+//! because both quantities shrink rapidly with the number of functional units and
+//! registers per cluster.
+//!
+//! This crate re-implements those models analytically ([`PalacharlaModel`]), produces
+//! the per-configuration cycle times ([`CycleTimeModel`], Table 2) and computes the
+//! resulting speed-ups (Figure 9).  The wire-delay constants are calibrated — and
+//! documented in [`palacharla`] — so that the *ratios* between configurations land in
+//! the neighbourhood the paper reports (the unified machine roughly 3–4× slower per
+//! cycle than a 4-cluster machine); absolute picosecond values are indicative only.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod palacharla;
+pub mod speedup;
+
+pub use palacharla::{CycleTimeModel, PalacharlaModel};
+pub use speedup::{speedup, SpeedupRow};

@@ -1,0 +1,94 @@
+//! Cycle-time-aware speed-up (Figure 9 of the paper).
+//!
+//! With the same workload, the execution time of a configuration is
+//! `cycles × cycle_time`; the speed-up of a clustered configuration over the unified
+//! baseline is therefore
+//!
+//! ```text
+//!   speedup = (IPC_clustered / IPC_unified) × (T_unified / T_clustered)
+//! ```
+//!
+//! (the instruction count cancels out).  The IPC ratio is what Figures 4 and 8 report;
+//! the cycle-time ratio comes from the Palacharla model of Table 2.
+
+use crate::palacharla::CycleTimeModel;
+use serde::{Deserialize, Serialize};
+use vliw_arch::MachineConfig;
+
+/// One bar of Figure 9.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpeedupRow {
+    /// Configuration label (e.g. "2-cluster NU B=1").
+    pub label: String,
+    /// IPC of the clustered configuration relative to the unified one (≤ ~1).
+    pub relative_ipc: f64,
+    /// Cycle-time ratio `T_unified / T_clustered` (> 1).
+    pub cycle_time_ratio: f64,
+    /// The resulting speed-up.
+    pub speedup: f64,
+}
+
+/// Compute the speed-up of `clustered` over `unified` given the measured IPCs of both.
+pub fn speedup(
+    model: &CycleTimeModel,
+    unified: &MachineConfig,
+    clustered: &MachineConfig,
+    unified_ipc: f64,
+    clustered_ipc: f64,
+) -> SpeedupRow {
+    assert!(unified_ipc > 0.0, "the unified IPC must be positive");
+    let relative_ipc = clustered_ipc / unified_ipc;
+    let cycle_time_ratio = model.cycle_time_ps(unified) / model.cycle_time_ps(clustered);
+    SpeedupRow {
+        label: clustered.name.clone(),
+        relative_ipc,
+        cycle_time_ratio,
+        speedup: relative_ipc * cycle_time_ratio,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_is_the_product_of_both_ratios() {
+        let model = CycleTimeModel::new();
+        let unified = MachineConfig::unified();
+        let clustered = MachineConfig::four_cluster(1, 1);
+        let row = speedup(&model, &unified, &clustered, 4.0, 3.8);
+        assert!((row.relative_ipc - 0.95).abs() < 1e-9);
+        assert!(row.cycle_time_ratio > 1.0);
+        assert!((row.speedup - row.relative_ipc * row.cycle_time_ratio).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ipc_parity_on_four_clusters_gives_the_papers_headline_speedup() {
+        let model = CycleTimeModel::new();
+        let unified = MachineConfig::unified();
+        let clustered = MachineConfig::four_cluster(1, 1);
+        let row = speedup(&model, &unified, &clustered, 4.0, 4.0);
+        assert!(
+            (3.0..=4.5).contains(&row.speedup),
+            "speed-up at IPC parity {} outside the paper's ballpark",
+            row.speedup
+        );
+    }
+
+    #[test]
+    fn equal_machines_have_unit_speedup() {
+        let model = CycleTimeModel::new();
+        let unified = MachineConfig::unified();
+        let row = speedup(&model, &unified, &unified, 3.0, 3.0);
+        assert!((row.speedup - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_unified_ipc_is_rejected() {
+        let model = CycleTimeModel::new();
+        let unified = MachineConfig::unified();
+        let clustered = MachineConfig::two_cluster(1, 1);
+        let _ = speedup(&model, &unified, &clustered, 0.0, 1.0);
+    }
+}

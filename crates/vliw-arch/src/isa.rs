@@ -1,0 +1,271 @@
+//! The VLIW instruction format (Figure 3 of the paper).
+//!
+//! One VLIW instruction is fetched per cycle and contains one sub-instruction per
+//! cluster.  Each sub-instruction ([`ClusterInstruction`]) carries:
+//!
+//! * one operation slot per functional unit of the cluster ([`FuSlot`]), which is
+//!   either a useful operation or a NOP;
+//! * an `IN BUS` field naming the local register in which the value sitting in the
+//!   incoming-value register (IRV) must be stored, if any;
+//! * an `OUT BUS` field naming the source (a functional-unit output or a local
+//!   register) of a value to be driven onto one of the shared buses, if any.
+//!
+//! The emitted program ([`VliwProgram`]) is what the cycle-level simulator executes and
+//! what the code-size model (Figure 10) measures: the *useful operation* count excludes
+//! NOP slots, the *total operation* count includes them.
+
+use crate::machine::MachineConfig;
+use crate::op::Operation;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One functional-unit slot of a cluster sub-instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum FuSlot {
+    /// No operation issues on this unit this cycle.
+    #[default]
+    Nop,
+    /// A useful operation issues on this unit.
+    Op(Operation),
+}
+
+impl FuSlot {
+    /// Whether the slot holds a useful operation.
+    #[inline]
+    pub fn is_useful(&self) -> bool {
+        matches!(self, FuSlot::Op(_))
+    }
+
+    /// The operation in the slot, if any.
+    #[inline]
+    pub fn operation(&self) -> Option<Operation> {
+        match self {
+            FuSlot::Nop => None,
+            FuSlot::Op(op) => Some(*op),
+        }
+    }
+}
+
+impl fmt::Display for FuSlot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FuSlot::Nop => f.write_str("nop"),
+            FuSlot::Op(op) => write!(f, "{op}"),
+        }
+    }
+}
+
+/// The `IN BUS` field: store the value in the incoming-value register into a local
+/// register so later instructions of this cluster can read it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InBusField {
+    /// Which bus the value is taken from.
+    pub bus: usize,
+    /// The dependence-graph node whose value is being received (for tracing).
+    pub node: u32,
+}
+
+/// The `OUT BUS` field: drive a value onto a shared bus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OutBusField {
+    /// Which bus the value is driven onto.
+    pub bus: usize,
+    /// The dependence-graph node whose value is being sent.
+    pub node: u32,
+    /// Pipeline stage of the sending operation (needed to disambiguate overlapped
+    /// iterations in the simulator).
+    pub stage: u32,
+}
+
+/// The sub-instruction executed by one cluster in one cycle.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterInstruction {
+    /// One slot per functional unit of the cluster (layout follows
+    /// [`crate::resources::ResourcePool`] order: all INT units, then FP, then MEM).
+    pub slots: Vec<FuSlot>,
+    /// Optional incoming-bus write-back.
+    pub in_bus: Option<InBusField>,
+    /// Optional outgoing-bus drive.
+    pub out_bus: Option<OutBusField>,
+}
+
+impl ClusterInstruction {
+    /// An all-NOP sub-instruction for a cluster with `n_slots` functional units.
+    pub fn nops(n_slots: usize) -> Self {
+        Self {
+            slots: vec![FuSlot::Nop; n_slots],
+            in_bus: None,
+            out_bus: None,
+        }
+    }
+
+    /// Number of useful operations in this sub-instruction.
+    pub fn useful_ops(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_useful()).count()
+    }
+
+    /// Whether the sub-instruction is entirely empty (all NOPs, no bus activity).
+    pub fn is_empty(&self) -> bool {
+        self.useful_ops() == 0 && self.in_bus.is_none() && self.out_bus.is_none()
+    }
+}
+
+/// One full VLIW instruction: a sub-instruction per cluster.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VliwInstruction {
+    /// Sub-instructions, indexed by cluster id.
+    pub clusters: Vec<ClusterInstruction>,
+}
+
+impl VliwInstruction {
+    /// An all-NOP instruction for `machine`.
+    pub fn nops(machine: &MachineConfig) -> Self {
+        Self {
+            clusters: (0..machine.n_clusters)
+                .map(|_| ClusterInstruction::nops(machine.cluster.issue_width()))
+                .collect(),
+        }
+    }
+
+    /// Number of useful operations across all clusters.
+    pub fn useful_ops(&self) -> usize {
+        self.clusters.iter().map(|c| c.useful_ops()).sum()
+    }
+
+    /// Number of operation slots (useful or not) across all clusters.
+    pub fn total_slots(&self) -> usize {
+        self.clusters.iter().map(|c| c.slots.len()).sum()
+    }
+
+    /// Whether no cluster does anything in this cycle.
+    pub fn is_empty(&self) -> bool {
+        self.clusters.iter().all(|c| c.is_empty())
+    }
+}
+
+/// A sequence of VLIW instructions (e.g. the kernel of a software-pipelined loop, or
+/// the full prologue/kernel/epilogue expansion).
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct VliwProgram {
+    /// The instructions, one per cycle.
+    pub instructions: Vec<VliwInstruction>,
+}
+
+impl VliwProgram {
+    /// An empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A program of `len` all-NOP instructions for `machine`.
+    pub fn nops(machine: &MachineConfig, len: usize) -> Self {
+        Self {
+            instructions: (0..len).map(|_| VliwInstruction::nops(machine)).collect(),
+        }
+    }
+
+    /// Number of instructions (cycles) in the program.
+    pub fn len(&self) -> usize {
+        self.instructions.len()
+    }
+
+    /// Whether the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instructions.is_empty()
+    }
+
+    /// Total useful operations.
+    pub fn useful_ops(&self) -> usize {
+        self.instructions.iter().map(|i| i.useful_ops()).sum()
+    }
+
+    /// Total operation slots, i.e. useful operations plus NOPs.  This is the raw
+    /// (uncompressed) code-size measure of Figure 10.
+    pub fn total_slots(&self) -> usize {
+        self.instructions.iter().map(|i| i.total_slots()).sum()
+    }
+
+    /// Number of NOP slots.
+    pub fn nop_slots(&self) -> usize {
+        self.total_slots() - self.useful_ops()
+    }
+}
+
+impl fmt::Display for VliwProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (cycle, instr) in self.instructions.iter().enumerate() {
+            write!(f, "{cycle:4}: ")?;
+            for (cid, ci) in instr.clusters.iter().enumerate() {
+                write!(f, "[c{cid}:")?;
+                for slot in &ci.slots {
+                    write!(f, " {slot}")?;
+                }
+                if let Some(out) = &ci.out_bus {
+                    write!(f, " out(bus{}={}#s{})", out.bus, out.node, out.stage)?;
+                }
+                if let Some(inb) = &ci.in_bus {
+                    write!(f, " in(bus{}->{})", inb.bus, inb.node)?;
+                }
+                write!(f, "] ")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{OpClass, Operation};
+
+    #[test]
+    fn nop_program_has_no_useful_ops() {
+        let machine = MachineConfig::two_cluster(1, 1);
+        let prog = VliwProgram::nops(&machine, 5);
+        assert_eq!(prog.len(), 5);
+        assert_eq!(prog.useful_ops(), 0);
+        // 2 clusters x 6 FUs x 5 cycles
+        assert_eq!(prog.total_slots(), 60);
+        assert_eq!(prog.nop_slots(), 60);
+        assert!(prog.instructions.iter().all(|i| i.is_empty()));
+    }
+
+    #[test]
+    fn useful_op_counting() {
+        let machine = MachineConfig::unified();
+        let mut prog = VliwProgram::nops(&machine, 2);
+        prog.instructions[0].clusters[0].slots[0] = FuSlot::Op(Operation::new(0, OpClass::Load, 0));
+        prog.instructions[1].clusters[0].slots[4] =
+            FuSlot::Op(Operation::new(1, OpClass::FpMul, 0));
+        assert_eq!(prog.useful_ops(), 2);
+        assert_eq!(prog.nop_slots(), 2 * 12 - 2);
+        assert!(!prog.instructions[0].is_empty());
+    }
+
+    #[test]
+    fn bus_fields_make_instruction_non_empty() {
+        let machine = MachineConfig::four_cluster(1, 1);
+        let mut instr = VliwInstruction::nops(&machine);
+        assert!(instr.is_empty());
+        instr.clusters[2].out_bus = Some(OutBusField { bus: 0, node: 9, stage: 1 });
+        assert!(!instr.is_empty());
+        assert_eq!(instr.useful_ops(), 0);
+    }
+
+    #[test]
+    fn display_contains_cluster_markers() {
+        let machine = MachineConfig::two_cluster(1, 1);
+        let prog = VliwProgram::nops(&machine, 1);
+        let text = prog.to_string();
+        assert!(text.contains("[c0:"));
+        assert!(text.contains("[c1:"));
+    }
+
+    #[test]
+    fn slot_default_is_nop() {
+        assert_eq!(FuSlot::default(), FuSlot::Nop);
+        assert!(!FuSlot::Nop.is_useful());
+        assert!(FuSlot::Nop.operation().is_none());
+    }
+}

@@ -1,0 +1,155 @@
+//! Operation latencies (Table 1 of the paper).
+//!
+//! The published table lists the latencies assumed for each operation class; the exact
+//! numbers are not fully legible in the archival scan, so this module uses the values
+//! customary for the research compilers of that era (ICTINEO / SUIF-based VLIW studies)
+//! and documents them here.  All units are fully pipelined — an operation occupies its
+//! functional unit for a single cycle regardless of its result latency — which matches
+//! the modulo-scheduling resource model used in the paper (one reservation-table slot
+//! per operation).
+//!
+//! | class  | latency (cycles) |
+//! |--------|------------------|
+//! | ialu   | 1                |
+//! | imul   | 2                |
+//! | fadd   | 3                |
+//! | fmul   | 4                |
+//! | fdiv   | 17               |
+//! | fsqrt  | 22               |
+//! | load   | 2 (perfect L1)   |
+//! | store  | 1                |
+//! | branch | 1                |
+//! | copy   | 1                |
+//!
+//! A custom [`LatencyModel`] can be constructed for sensitivity studies (e.g. the
+//! longer-latency ablations exercised by the benches).
+
+use crate::op::OpClass;
+use serde::{Deserialize, Serialize};
+
+/// Per-operation-class result latencies, in cycles.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyModel {
+    latencies: [u32; OpClass::ALL.len()],
+}
+
+impl LatencyModel {
+    /// The default latency model described in the module documentation.
+    pub fn table1() -> Self {
+        let mut latencies = [1u32; OpClass::ALL.len()];
+        for (i, class) in OpClass::ALL.iter().enumerate() {
+            latencies[i] = match class {
+                OpClass::IntAlu => 1,
+                OpClass::IntMul => 2,
+                OpClass::FpAdd => 3,
+                OpClass::FpMul => 4,
+                OpClass::FpDiv => 17,
+                OpClass::FpSqrt => 22,
+                OpClass::Load => 2,
+                OpClass::Store => 1,
+                OpClass::Branch => 1,
+                OpClass::Copy => 1,
+            };
+        }
+        Self { latencies }
+    }
+
+    /// A model where every operation has unit latency.  Useful in tests and in the
+    /// worked example of Figure 7, where the paper assumes 1-cycle operations.
+    pub fn unit() -> Self {
+        Self {
+            latencies: [1; OpClass::ALL.len()],
+        }
+    }
+
+    /// Build a model from an explicit `(class, latency)` table; classes not mentioned
+    /// keep the [`LatencyModel::table1`] value.
+    pub fn with_overrides(overrides: &[(OpClass, u32)]) -> Self {
+        let mut model = Self::table1();
+        for &(class, lat) in overrides {
+            model.set(class, lat);
+        }
+        model
+    }
+
+    /// The latency of `class`, in cycles.  Always at least 1.
+    #[inline]
+    pub fn latency(&self, class: OpClass) -> u32 {
+        self.latencies[Self::slot(class)]
+    }
+
+    /// Override the latency of a single class.  Latencies below 1 are clamped to 1.
+    pub fn set(&mut self, class: OpClass, latency: u32) {
+        self.latencies[Self::slot(class)] = latency.max(1);
+    }
+
+    /// The largest latency over all classes (an upper bound useful for sizing
+    /// scheduling windows).
+    pub fn max_latency(&self) -> u32 {
+        *self.latencies.iter().max().expect("non-empty")
+    }
+
+    fn slot(class: OpClass) -> usize {
+        OpClass::ALL
+            .iter()
+            .position(|&c| c == class)
+            .expect("class present in OpClass::ALL")
+    }
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        Self::table1()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_latencies_match_documentation() {
+        let m = LatencyModel::table1();
+        assert_eq!(m.latency(OpClass::IntAlu), 1);
+        assert_eq!(m.latency(OpClass::IntMul), 2);
+        assert_eq!(m.latency(OpClass::FpAdd), 3);
+        assert_eq!(m.latency(OpClass::FpMul), 4);
+        assert_eq!(m.latency(OpClass::FpDiv), 17);
+        assert_eq!(m.latency(OpClass::FpSqrt), 22);
+        assert_eq!(m.latency(OpClass::Load), 2);
+        assert_eq!(m.latency(OpClass::Store), 1);
+        assert_eq!(m.latency(OpClass::Branch), 1);
+        assert_eq!(m.latency(OpClass::Copy), 1);
+    }
+
+    #[test]
+    fn unit_model_is_all_ones() {
+        let m = LatencyModel::unit();
+        for class in OpClass::ALL {
+            assert_eq!(m.latency(class), 1);
+        }
+    }
+
+    #[test]
+    fn overrides_apply_and_clamp() {
+        let m = LatencyModel::with_overrides(&[(OpClass::Load, 6), (OpClass::Store, 0)]);
+        assert_eq!(m.latency(OpClass::Load), 6);
+        // clamped to 1
+        assert_eq!(m.latency(OpClass::Store), 1);
+        // untouched classes keep the default
+        assert_eq!(m.latency(OpClass::FpMul), 4);
+    }
+
+    #[test]
+    fn max_latency_is_consistent() {
+        let m = LatencyModel::table1();
+        assert_eq!(m.max_latency(), 22);
+        let m2 = LatencyModel::with_overrides(&[(OpClass::Load, 40)]);
+        assert_eq!(m2.max_latency(), 40);
+    }
+
+    #[test]
+    fn default_is_table1() {
+        assert_eq!(LatencyModel::default(), LatencyModel::table1());
+    }
+}

@@ -1,0 +1,41 @@
+//! # vliw-arch — clustered VLIW machine description
+//!
+//! This crate models the clustered VLIW architecture of Sánchez & González (ICPP 2000),
+//! Section 3:
+//!
+//! * a machine is a set of **homogeneous clusters**, each with its own functional units
+//!   and a **local register file**;
+//! * values produced in one cluster and consumed in another travel over one of a small
+//!   number of **shared buses**; a transfer occupies the chosen bus for the whole bus
+//!   latency;
+//! * all clusters share the memory hierarchy (modelled as perfect in the paper);
+//! * one VLIW instruction is fetched per cycle and carries, for every cluster, one
+//!   operation slot per functional unit plus the `IN BUS` / `OUT BUS` fields that steer
+//!   inter-cluster communication.
+//!
+//! The crate provides:
+//!
+//! * [`FuKind`], [`OpClass`] and [`LatencyModel`] — the operation repertoire and its
+//!   latencies (Table 1 of the paper);
+//! * [`MachineConfig`] / [`ClusterConfig`] / [`BusConfig`] — machine descriptions with
+//!   the three presets evaluated in the paper (*unified*, *2-cluster*, *4-cluster*);
+//! * [`ResourcePool`] — the enumeration of schedulable resources (functional-unit
+//!   instances and buses) that reservation tables index;
+//! * the VLIW instruction format ([`VliwInstruction`], [`ClusterInstruction`],
+//!   [`FuSlot`], [`InBusField`], [`OutBusField`]) used by the simulator and by the
+//!   code-size model.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod isa;
+pub mod latency;
+pub mod machine;
+pub mod op;
+pub mod resources;
+
+pub use isa::{ClusterInstruction, FuSlot, InBusField, OutBusField, VliwInstruction, VliwProgram};
+pub use latency::LatencyModel;
+pub use machine::{BusConfig, ClusterConfig, ClusterId, MachineConfig};
+pub use op::{FuKind, OpClass, Operation};
+pub use resources::{ResourceIndex, ResourceKind, ResourcePool};

@@ -1,0 +1,325 @@
+//! Machine configurations (Table 1 of the paper).
+//!
+//! Three presets are evaluated in the paper, all with the same *total* resources
+//! (12-way issue, 64 architectural registers):
+//!
+//! | configuration | clusters | FUs per cluster (int/fp/mem) | registers per cluster |
+//! |---------------|----------|------------------------------|-----------------------|
+//! | unified       | 1        | 4 / 4 / 4                    | 64                    |
+//! | 2-cluster     | 2        | 2 / 2 / 2                    | 32                    |
+//! | 4-cluster     | 4        | 1 / 1 / 1                    | 16                    |
+//!
+//! The clustered configurations additionally have 1 or 2 shared buses with a latency of
+//! 1, 2 or 4 cycles.
+
+use crate::latency::LatencyModel;
+use crate::op::{FuKind, OpClass};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a cluster within a machine (0-based).
+pub type ClusterId = usize;
+
+/// Description of one (homogeneous) cluster.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Number of functional units of each kind, indexed by [`FuKind::index`].
+    pub fus: [usize; 3],
+    /// Number of registers in the local register file.
+    pub registers: usize,
+}
+
+impl ClusterConfig {
+    /// A cluster with `int`/`fp`/`mem` functional units and `registers` registers.
+    pub fn new(int: usize, fp: usize, mem: usize, registers: usize) -> Self {
+        Self {
+            fus: [int, fp, mem],
+            registers,
+        }
+    }
+
+    /// Number of functional units of the given kind.
+    #[inline]
+    pub fn fu_count(&self, kind: FuKind) -> usize {
+        self.fus[kind.index()]
+    }
+
+    /// Total number of functional units (the issue width of the cluster).
+    #[inline]
+    pub fn issue_width(&self) -> usize {
+        self.fus.iter().sum()
+    }
+}
+
+/// Description of the inter-cluster communication buses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BusConfig {
+    /// Number of buses shared by all clusters.
+    pub count: usize,
+    /// Latency, in cycles, of one transfer.  A transfer occupies its bus for the whole
+    /// latency (the bus behaves as another reservation-table resource).
+    pub latency: u32,
+}
+
+impl BusConfig {
+    /// `count` buses of `latency` cycles each.
+    pub fn new(count: usize, latency: u32) -> Self {
+        Self {
+            count,
+            latency: latency.max(1),
+        }
+    }
+
+    /// The bus configuration of a unified machine: no buses are needed because every
+    /// functional unit reads the single register file.
+    pub fn none() -> Self {
+        Self { count: 0, latency: 1 }
+    }
+}
+
+/// A complete clustered VLIW machine description.
+///
+/// All clusters are homogeneous, as in the paper (Section 3); heterogeneous machines
+/// could be expressed by generalising `cluster` to a `Vec<ClusterConfig>` but none of
+/// the reproduced experiments needs that.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// Human-readable name (used in experiment reports).
+    pub name: String,
+    /// Number of clusters.
+    pub n_clusters: usize,
+    /// Per-cluster resources.
+    pub cluster: ClusterConfig,
+    /// Inter-cluster bus configuration.
+    pub buses: BusConfig,
+    /// Operation latencies.
+    pub latencies: LatencyModel,
+}
+
+impl MachineConfig {
+    /// Generic constructor.
+    pub fn new(
+        name: impl Into<String>,
+        n_clusters: usize,
+        cluster: ClusterConfig,
+        buses: BusConfig,
+        latencies: LatencyModel,
+    ) -> Self {
+        assert!(n_clusters >= 1, "a machine needs at least one cluster");
+        Self {
+            name: name.into(),
+            n_clusters,
+            cluster,
+            buses,
+            latencies,
+        }
+    }
+
+    /// The *unified* baseline of Table 1: a single cluster with 4 functional units of
+    /// each kind and a 64-entry register file.  No buses are needed.
+    pub fn unified() -> Self {
+        Self::new(
+            "unified",
+            1,
+            ClusterConfig::new(4, 4, 4, 64),
+            BusConfig::none(),
+            LatencyModel::table1(),
+        )
+    }
+
+    /// A clustered configuration of Table 1.
+    ///
+    /// `n_clusters` must be 2 or 4 to match the paper presets (other values are
+    /// accepted and scale the per-cluster resources so that the machine keeps 12 total
+    /// functional units and 64 total registers when possible).
+    pub fn clustered(n_clusters: usize, n_buses: usize, bus_latency: u32) -> Self {
+        assert!(n_clusters >= 1);
+        let per = |total: usize| (total / n_clusters).max(1);
+        let cluster = ClusterConfig::new(per(4), per(4), per(4), per(64));
+        Self::new(
+            format!("{n_clusters}-cluster/{n_buses}-bus/L{bus_latency}"),
+            n_clusters,
+            cluster,
+            BusConfig::new(n_buses, bus_latency),
+            LatencyModel::table1(),
+        )
+    }
+
+    /// The 2-cluster preset of Table 1 (2/2/2 FUs and 32 registers per cluster).
+    pub fn two_cluster(n_buses: usize, bus_latency: u32) -> Self {
+        Self::clustered(2, n_buses, bus_latency)
+    }
+
+    /// The 4-cluster preset of Table 1 (1/1/1 FUs and 16 registers per cluster).
+    pub fn four_cluster(n_buses: usize, bus_latency: u32) -> Self {
+        Self::clustered(4, n_buses, bus_latency)
+    }
+
+    /// A unified machine with the *same total resources* as `self` (used as the
+    /// reference when computing relative IPC).  The unified counterpart has a single
+    /// cluster holding every functional unit and every register, and needs no buses.
+    pub fn unified_counterpart(&self) -> Self {
+        let c = &self.cluster;
+        Self::new(
+            format!("{}-unified-counterpart", self.name),
+            1,
+            ClusterConfig::new(
+                c.fu_count(FuKind::Int) * self.n_clusters,
+                c.fu_count(FuKind::Fp) * self.n_clusters,
+                c.fu_count(FuKind::Mem) * self.n_clusters,
+                c.registers * self.n_clusters,
+            ),
+            BusConfig::none(),
+            self.latencies.clone(),
+        )
+    }
+
+    /// Whether this machine has more than one cluster.
+    #[inline]
+    pub fn is_clustered(&self) -> bool {
+        self.n_clusters > 1
+    }
+
+    /// Total number of functional units of `kind` across all clusters.
+    #[inline]
+    pub fn total_fus(&self, kind: FuKind) -> usize {
+        self.cluster.fu_count(kind) * self.n_clusters
+    }
+
+    /// Total issue width (functional units of all kinds, all clusters).
+    #[inline]
+    pub fn total_issue_width(&self) -> usize {
+        self.cluster.issue_width() * self.n_clusters
+    }
+
+    /// Total number of registers across all clusters.
+    #[inline]
+    pub fn total_registers(&self) -> usize {
+        self.cluster.registers * self.n_clusters
+    }
+
+    /// Result latency of an operation class on this machine.
+    #[inline]
+    pub fn latency(&self, class: OpClass) -> u32 {
+        self.latencies.latency(class)
+    }
+
+    /// Iterator over cluster ids `0..n_clusters`.
+    pub fn clusters(&self) -> impl Iterator<Item = ClusterId> {
+        0..self.n_clusters
+    }
+
+    /// Number of read/write ports of one local register file, following the paper's
+    /// port model: 2 read + 1 write port per functional unit, plus 1 read + 1 write
+    /// port per bus (for sending to / receiving from the bus).
+    pub fn register_file_ports(&self) -> (usize, usize) {
+        let fu = self.cluster.issue_width();
+        let bus = self.buses.count;
+        (2 * fu + bus, fu + bus)
+    }
+}
+
+impl fmt::Display for MachineConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} cluster(s) x [{} int, {} fp, {} mem, {} regs]",
+            self.name,
+            self.n_clusters,
+            self.cluster.fu_count(FuKind::Int),
+            self.cluster.fu_count(FuKind::Fp),
+            self.cluster.fu_count(FuKind::Mem),
+            self.cluster.registers,
+        )?;
+        if self.buses.count > 0 {
+            write!(f, ", {} bus(es) of {} cycle(s)", self.buses.count, self.buses.latency)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unified_preset_matches_table1() {
+        let m = MachineConfig::unified();
+        assert_eq!(m.n_clusters, 1);
+        assert_eq!(m.total_fus(FuKind::Int), 4);
+        assert_eq!(m.total_fus(FuKind::Fp), 4);
+        assert_eq!(m.total_fus(FuKind::Mem), 4);
+        assert_eq!(m.total_registers(), 64);
+        assert_eq!(m.total_issue_width(), 12);
+        assert_eq!(m.buses.count, 0);
+        assert!(!m.is_clustered());
+    }
+
+    #[test]
+    fn two_cluster_preset_matches_table1() {
+        let m = MachineConfig::two_cluster(1, 1);
+        assert_eq!(m.n_clusters, 2);
+        assert_eq!(m.cluster.fu_count(FuKind::Int), 2);
+        assert_eq!(m.cluster.registers, 32);
+        assert_eq!(m.total_issue_width(), 12);
+        assert_eq!(m.total_registers(), 64);
+        assert!(m.is_clustered());
+    }
+
+    #[test]
+    fn four_cluster_preset_matches_table1() {
+        let m = MachineConfig::four_cluster(2, 2);
+        assert_eq!(m.n_clusters, 4);
+        assert_eq!(m.cluster.fu_count(FuKind::Fp), 1);
+        assert_eq!(m.cluster.registers, 16);
+        assert_eq!(m.total_issue_width(), 12);
+        assert_eq!(m.total_registers(), 64);
+        assert_eq!(m.buses.count, 2);
+        assert_eq!(m.buses.latency, 2);
+    }
+
+    #[test]
+    fn unified_counterpart_preserves_totals() {
+        for m in [MachineConfig::two_cluster(1, 1), MachineConfig::four_cluster(2, 4)] {
+            let u = m.unified_counterpart();
+            assert_eq!(u.n_clusters, 1);
+            assert_eq!(u.total_issue_width(), m.total_issue_width());
+            assert_eq!(u.total_registers(), m.total_registers());
+            assert_eq!(u.buses.count, 0);
+        }
+    }
+
+    #[test]
+    fn register_file_ports_follow_fu_and_bus_counts() {
+        // Unified: 12 FUs, no buses -> 24 read, 12 write.
+        assert_eq!(MachineConfig::unified().register_file_ports(), (24, 12));
+        // 4-cluster with 2 buses: 3 FUs per cluster -> 6+2 read, 3+2 write.
+        assert_eq!(MachineConfig::four_cluster(2, 1).register_file_ports(), (8, 5));
+    }
+
+    #[test]
+    fn bus_latency_clamped_to_one() {
+        let b = BusConfig::new(1, 0);
+        assert_eq!(b.latency, 1);
+    }
+
+    #[test]
+    fn display_mentions_buses_only_when_present() {
+        let u = MachineConfig::unified().to_string();
+        assert!(!u.contains("bus(es)"));
+        let c = MachineConfig::two_cluster(2, 1).to_string();
+        assert!(c.contains("2 bus(es)"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cluster")]
+    fn zero_clusters_is_rejected() {
+        let _ = MachineConfig::new(
+            "bad",
+            0,
+            ClusterConfig::new(1, 1, 1, 16),
+            BusConfig::none(),
+            LatencyModel::unit(),
+        );
+    }
+}

@@ -1,0 +1,242 @@
+//! Operation repertoire of the modelled VLIW machine.
+//!
+//! The paper partitions the functional units into three kinds — *integer*, *floating
+//! point* and *memory* (Table 1).  Every operation class executed by a loop body maps
+//! onto exactly one of those kinds; the mapping (and the per-class latencies, see
+//! [`crate::latency::LatencyModel`]) is what the dependence graphs and the schedulers
+//! consume.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The kind of functional unit an operation executes on.
+///
+/// The clustered configurations of the paper give every cluster the same number of
+/// units of each kind (e.g. the 4-cluster machine has one unit of each kind per
+/// cluster).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum FuKind {
+    /// Integer ALU / branch unit.
+    Int,
+    /// Floating-point arithmetic unit.
+    Fp,
+    /// Memory (load/store) unit.
+    Mem,
+}
+
+impl FuKind {
+    /// All functional-unit kinds, in a fixed order used when enumerating resources.
+    pub const ALL: [FuKind; 3] = [FuKind::Int, FuKind::Fp, FuKind::Mem];
+
+    /// A stable index (0..3) for this kind, usable to index per-kind arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            FuKind::Int => 0,
+            FuKind::Fp => 1,
+            FuKind::Mem => 2,
+        }
+    }
+
+    /// Short human-readable mnemonic (`INT`, `FP`, `MEM`).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            FuKind::Int => "INT",
+            FuKind::Fp => "FP",
+            FuKind::Mem => "MEM",
+        }
+    }
+}
+
+impl fmt::Display for FuKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Operation classes appearing in the innermost loops of the SPECfp95-like workloads.
+///
+/// The set is deliberately small: it is the classes a numerical innermost loop is made
+/// of.  Each class maps to one [`FuKind`] and has a latency defined by the
+/// [`crate::latency::LatencyModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum OpClass {
+    /// Integer add/sub/logical/compare (also used for address arithmetic).
+    IntAlu,
+    /// Integer multiply.
+    IntMul,
+    /// Floating-point add/sub/convert/compare.
+    FpAdd,
+    /// Floating-point multiply.
+    FpMul,
+    /// Floating-point divide.
+    FpDiv,
+    /// Floating-point square root.
+    FpSqrt,
+    /// Memory load.
+    Load,
+    /// Memory store.
+    Store,
+    /// Loop-closing branch / induction update handled by the integer unit.
+    Branch,
+    /// Register-to-register copy (used e.g. when materialising communications in a
+    /// unified machine, or for modelling explicit moves).
+    Copy,
+}
+
+impl OpClass {
+    /// All operation classes in a fixed order.
+    pub const ALL: [OpClass; 10] = [
+        OpClass::IntAlu,
+        OpClass::IntMul,
+        OpClass::FpAdd,
+        OpClass::FpMul,
+        OpClass::FpDiv,
+        OpClass::FpSqrt,
+        OpClass::Load,
+        OpClass::Store,
+        OpClass::Branch,
+        OpClass::Copy,
+    ];
+
+    /// The functional-unit kind this class executes on.
+    #[inline]
+    pub fn fu_kind(self) -> FuKind {
+        match self {
+            OpClass::IntAlu | OpClass::IntMul | OpClass::Branch | OpClass::Copy => FuKind::Int,
+            OpClass::FpAdd | OpClass::FpMul | OpClass::FpDiv | OpClass::FpSqrt => FuKind::Fp,
+            OpClass::Load | OpClass::Store => FuKind::Mem,
+        }
+    }
+
+    /// Whether this operation produces a register value that later operations may read.
+    ///
+    /// Stores and branches do not define a register; everything else does.
+    #[inline]
+    pub fn defines_value(self) -> bool {
+        !matches!(self, OpClass::Store | OpClass::Branch)
+    }
+
+    /// Whether the operation accesses memory.
+    #[inline]
+    pub fn is_memory(self) -> bool {
+        matches!(self, OpClass::Load | OpClass::Store)
+    }
+
+    /// Whether the operation is a floating-point arithmetic operation.
+    #[inline]
+    pub fn is_fp(self) -> bool {
+        self.fu_kind() == FuKind::Fp
+    }
+
+    /// Short mnemonic used in schedules and DOT dumps.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            OpClass::IntAlu => "ialu",
+            OpClass::IntMul => "imul",
+            OpClass::FpAdd => "fadd",
+            OpClass::FpMul => "fmul",
+            OpClass::FpDiv => "fdiv",
+            OpClass::FpSqrt => "fsqrt",
+            OpClass::Load => "load",
+            OpClass::Store => "store",
+            OpClass::Branch => "br",
+            OpClass::Copy => "copy",
+        }
+    }
+}
+
+impl fmt::Display for OpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// A concrete operation instance as placed in a VLIW instruction slot.
+///
+/// The scheduler works on dependence-graph nodes; `Operation` is the *emitted* form
+/// that the simulator executes and the code-size model counts.  `id` refers back to the
+/// dependence-graph node that produced it (several emitted operations may share an id
+/// after unrolling or prologue/epilogue expansion).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Operation {
+    /// The dependence-graph node this emitted operation corresponds to.
+    pub node: u32,
+    /// Operation class.
+    pub class: OpClass,
+    /// The software-pipeline stage this operation belongs to (0 = first stage).
+    pub stage: u32,
+}
+
+impl Operation {
+    /// Create an operation for `node` of the given `class` in pipeline `stage`.
+    pub fn new(node: u32, class: OpClass, stage: u32) -> Self {
+        Self { node, class, stage }
+    }
+}
+
+impl fmt::Display for Operation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}@s{}", self.class, self.node, self.stage)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fu_kind_indices_are_distinct_and_dense() {
+        let mut seen = [false; 3];
+        for kind in FuKind::ALL {
+            assert!(!seen[kind.index()], "duplicate index for {kind}");
+            seen[kind.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn every_op_class_maps_to_a_kind() {
+        for class in OpClass::ALL {
+            // The mapping must be total and consistent with `is_memory`/`is_fp`.
+            let kind = class.fu_kind();
+            if class.is_memory() {
+                assert_eq!(kind, FuKind::Mem);
+            }
+            if class.is_fp() {
+                assert_eq!(kind, FuKind::Fp);
+            }
+        }
+    }
+
+    #[test]
+    fn stores_and_branches_do_not_define_values() {
+        assert!(!OpClass::Store.defines_value());
+        assert!(!OpClass::Branch.defines_value());
+        assert!(OpClass::Load.defines_value());
+        assert!(OpClass::FpMul.defines_value());
+        assert!(OpClass::Copy.defines_value());
+    }
+
+    #[test]
+    fn mnemonics_are_unique() {
+        let mut names: Vec<_> = OpClass::ALL.iter().map(|c| c.mnemonic()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), OpClass::ALL.len());
+    }
+
+    #[test]
+    fn operation_display_is_compact() {
+        let op = Operation::new(7, OpClass::FpMul, 2);
+        assert_eq!(op.to_string(), "fmul#7@s2");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let op = Operation::new(3, OpClass::Load, 1);
+        let json = serde_json::to_string(&op).unwrap();
+        let back: Operation = serde_json::from_str(&json).unwrap();
+        assert_eq!(op, back);
+    }
+}

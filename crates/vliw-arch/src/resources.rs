@@ -1,0 +1,228 @@
+//! Enumeration of schedulable resources.
+//!
+//! Modulo scheduling reserves *resource slots*: one row of the reservation table per
+//! functional-unit instance and per bus, one column per cycle of the initiation
+//! interval.  [`ResourcePool`] assigns a dense, stable [`ResourceIndex`] to every such
+//! row for a given [`MachineConfig`], so reservation tables can be plain vectors.
+//!
+//! The paper treats each bus exactly like another functional unit of the reservation
+//! table ("a bus is considered by the scheduling algorithm as another functional unit
+//! in the reservation table", Section 3); the pool therefore exposes buses as ordinary
+//! rows, distinguished only by their [`ResourceKind`].
+
+use crate::machine::{ClusterId, MachineConfig};
+use crate::op::FuKind;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Dense index of a resource row within a [`ResourcePool`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ResourceIndex(pub usize);
+
+impl fmt::Display for ResourceIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// What a resource row represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ResourceKind {
+    /// The `unit`-th functional unit of kind `kind` in cluster `cluster`.
+    Fu {
+        /// Owning cluster.
+        cluster: ClusterId,
+        /// Functional-unit kind.
+        kind: FuKind,
+        /// Instance number within the cluster (0-based).
+        unit: usize,
+    },
+    /// The `bus`-th shared inter-cluster bus.
+    Bus {
+        /// Bus number (0-based).
+        bus: usize,
+    },
+}
+
+impl fmt::Display for ResourceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResourceKind::Fu { cluster, kind, unit } => {
+                write!(f, "c{cluster}.{kind}{unit}")
+            }
+            ResourceKind::Bus { bus } => write!(f, "bus{bus}"),
+        }
+    }
+}
+
+/// The set of resource rows of a machine, with dense indices.
+///
+/// Row layout (stable, relied upon by tests): all functional units of cluster 0 (in
+/// [`FuKind::ALL`] order, instances in order), then cluster 1, …, and finally the
+/// buses.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResourcePool {
+    rows: Vec<ResourceKind>,
+    /// `fu_base[cluster][kind]` = first row of that (cluster, kind) group.
+    fu_base: Vec<[usize; 3]>,
+    /// Number of FUs of each kind per cluster.
+    fu_count: [usize; 3],
+    bus_base: usize,
+    n_buses: usize,
+}
+
+impl ResourcePool {
+    /// Build the resource pool of `machine`.
+    pub fn new(machine: &MachineConfig) -> Self {
+        let mut rows = Vec::new();
+        let mut fu_base = Vec::with_capacity(machine.n_clusters);
+        let mut fu_count = [0usize; 3];
+        for kind in FuKind::ALL {
+            fu_count[kind.index()] = machine.cluster.fu_count(kind);
+        }
+        for cluster in 0..machine.n_clusters {
+            let mut bases = [0usize; 3];
+            for kind in FuKind::ALL {
+                bases[kind.index()] = rows.len();
+                for unit in 0..machine.cluster.fu_count(kind) {
+                    rows.push(ResourceKind::Fu { cluster, kind, unit });
+                }
+            }
+            fu_base.push(bases);
+        }
+        let bus_base = rows.len();
+        for bus in 0..machine.buses.count {
+            rows.push(ResourceKind::Bus { bus });
+        }
+        Self {
+            rows,
+            fu_base,
+            fu_count,
+            bus_base,
+            n_buses: machine.buses.count,
+        }
+    }
+
+    /// Total number of resource rows (functional units + buses).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the pool has no rows (never true for a valid machine).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// What row `index` represents.
+    #[inline]
+    pub fn kind(&self, index: ResourceIndex) -> ResourceKind {
+        self.rows[index.0]
+    }
+
+    /// All rows, in index order.
+    pub fn rows(&self) -> impl Iterator<Item = (ResourceIndex, ResourceKind)> + '_ {
+        self.rows
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| (ResourceIndex(i), k))
+    }
+
+    /// The rows of the functional units of `kind` in `cluster`.
+    pub fn fus(&self, cluster: ClusterId, kind: FuKind) -> impl Iterator<Item = ResourceIndex> {
+        let base = self.fu_base[cluster][kind.index()];
+        let count = self.fu_count[kind.index()];
+        (base..base + count).map(ResourceIndex)
+    }
+
+    /// Number of functional units of `kind` in each cluster.
+    #[inline]
+    pub fn fu_count(&self, kind: FuKind) -> usize {
+        self.fu_count[kind.index()]
+    }
+
+    /// The rows of the shared buses.
+    pub fn buses(&self) -> impl Iterator<Item = ResourceIndex> {
+        (self.bus_base..self.bus_base + self.n_buses).map(ResourceIndex)
+    }
+
+    /// Number of shared buses.
+    #[inline]
+    pub fn bus_count(&self) -> usize {
+        self.n_buses
+    }
+
+    /// The cluster a row belongs to, if it is a functional unit.
+    pub fn cluster_of(&self, index: ResourceIndex) -> Option<ClusterId> {
+        match self.kind(index) {
+            ResourceKind::Fu { cluster, .. } => Some(cluster),
+            ResourceKind::Bus { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::MachineConfig;
+
+    #[test]
+    fn unified_pool_has_twelve_fus_and_no_buses() {
+        let pool = ResourcePool::new(&MachineConfig::unified());
+        assert_eq!(pool.len(), 12);
+        assert_eq!(pool.bus_count(), 0);
+        assert_eq!(pool.buses().count(), 0);
+        assert_eq!(pool.fus(0, FuKind::Int).count(), 4);
+        assert_eq!(pool.fus(0, FuKind::Fp).count(), 4);
+        assert_eq!(pool.fus(0, FuKind::Mem).count(), 4);
+    }
+
+    #[test]
+    fn four_cluster_pool_layout() {
+        let machine = MachineConfig::four_cluster(2, 1);
+        let pool = ResourcePool::new(&machine);
+        // 4 clusters x 3 FUs + 2 buses
+        assert_eq!(pool.len(), 14);
+        assert_eq!(pool.bus_count(), 2);
+        // Every FU row maps back to its cluster.
+        for cluster in machine.clusters() {
+            for kind in FuKind::ALL {
+                for idx in pool.fus(cluster, kind) {
+                    assert_eq!(pool.cluster_of(idx), Some(cluster));
+                    match pool.kind(idx) {
+                        ResourceKind::Fu { cluster: c, kind: k, .. } => {
+                            assert_eq!(c, cluster);
+                            assert_eq!(k, kind);
+                        }
+                        other => panic!("expected FU row, got {other}"),
+                    }
+                }
+            }
+        }
+        // Bus rows are at the end and have no cluster.
+        for idx in pool.buses() {
+            assert_eq!(pool.cluster_of(idx), None);
+        }
+    }
+
+    #[test]
+    fn indices_are_dense_and_unique() {
+        let pool = ResourcePool::new(&MachineConfig::two_cluster(2, 2));
+        let mut seen = vec![false; pool.len()];
+        for (idx, _) in pool.rows() {
+            assert!(!seen[idx.0]);
+            seen[idx.0] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn display_of_rows_is_readable() {
+        let pool = ResourcePool::new(&MachineConfig::two_cluster(1, 1));
+        let names: Vec<String> = pool.rows().map(|(_, k)| k.to_string()).collect();
+        assert!(names.contains(&"c0.INT0".to_string()));
+        assert!(names.contains(&"c1.MEM1".to_string()));
+        assert!(names.contains(&"bus0".to_string()));
+    }
+}

@@ -1,0 +1,262 @@
+//! Synthetic innermost-loop generator.
+//!
+//! The generator builds dependence graphs that look like the innermost loops of dense
+//! numerical Fortran codes:
+//!
+//! * an **induction/address strand**: one or two integer operations forming a
+//!   distance-1 recurrence that feeds the memory operations (every real innermost loop
+//!   has it);
+//! * several **expression trees**: loads feeding a tree of FP multiplies/adds whose
+//!   root is stored (or accumulated);
+//! * optional **accumulators**: FP reductions that add a distance-1 self dependence;
+//! * optional **cross-iteration flow dependences** (e.g. `x[i-1]` style reuse) with a
+//!   configurable probability and distance distribution.
+//!
+//! All randomness comes from a caller-supplied seed through `rand_chacha`, so corpora
+//! are fully reproducible; the profile parameters are exposed so the benches can sweep
+//! them (e.g. "what if loops had many loop-carried dependences?").
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use vliw_arch::{LatencyModel, OpClass};
+use vliw_ddg::{DepGraph, DepKind, NodeId};
+
+/// Tunable structural statistics of a generated loop.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GeneratorProfile {
+    /// Minimum number of expression trees (statements) per loop body.
+    pub min_statements: usize,
+    /// Maximum number of expression trees per loop body.
+    pub max_statements: usize,
+    /// Minimum number of leaf loads per statement.
+    pub min_loads_per_stmt: usize,
+    /// Maximum number of leaf loads per statement.
+    pub max_loads_per_stmt: usize,
+    /// Probability that a statement is a reduction (accumulator) instead of a store.
+    pub reduction_prob: f64,
+    /// Probability that a statement's result is also consumed by the next iteration
+    /// (adds a distance-1/2 flow dependence into another statement).
+    pub carried_dep_prob: f64,
+    /// Probability that an individual FP node is a multiply (vs. an add).
+    pub fp_mul_prob: f64,
+    /// Probability that a statement contains a divide (rare, long latency).
+    pub div_prob: f64,
+    /// Range of the loop iteration count (inclusive).
+    pub iterations: (u64, u64),
+    /// Range of the per-loop invocation count (inclusive).
+    pub invocations: (u64, u64),
+}
+
+impl Default for GeneratorProfile {
+    fn default() -> Self {
+        Self {
+            min_statements: 1,
+            max_statements: 4,
+            min_loads_per_stmt: 1,
+            max_loads_per_stmt: 4,
+            reduction_prob: 0.2,
+            carried_dep_prob: 0.12,
+            fp_mul_prob: 0.5,
+            div_prob: 0.04,
+            iterations: (16, 512),
+            invocations: (1, 400),
+        }
+    }
+}
+
+/// Seeded generator of synthetic loop dependence graphs.
+#[derive(Debug, Clone)]
+pub struct LoopGenerator {
+    profile: GeneratorProfile,
+    latencies: LatencyModel,
+    rng: ChaCha8Rng,
+}
+
+impl LoopGenerator {
+    /// A generator using `profile`, seeded with `seed`.
+    pub fn new(profile: GeneratorProfile, seed: u64) -> Self {
+        Self {
+            profile,
+            latencies: LatencyModel::table1(),
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+
+    /// The profile used by this generator.
+    pub fn profile(&self) -> &GeneratorProfile {
+        &self.profile
+    }
+
+    /// Generate one loop named `name`.
+    pub fn generate(&mut self, name: &str) -> DepGraph {
+        let p = self.profile.clone();
+        let mut g = DepGraph::new(name);
+        g.iterations = self.rng.gen_range(p.iterations.0..=p.iterations.1);
+        g.invocations = self.rng.gen_range(p.invocations.0..=p.invocations.1);
+
+        // Induction / address strand.
+        let induction = g.add_named_node(OpClass::IntAlu, Some("ind"));
+        self.add_flow(&mut g, induction, induction, 1);
+
+        let n_statements = self.rng.gen_range(p.min_statements..=p.max_statements);
+        let mut statement_roots: Vec<NodeId> = Vec::with_capacity(n_statements);
+
+        for s in 0..n_statements {
+            let n_loads = self.rng.gen_range(p.min_loads_per_stmt..=p.max_loads_per_stmt);
+            let mut frontier: Vec<NodeId> = Vec::with_capacity(n_loads);
+            for l in 0..n_loads {
+                let load = g.add_named_node(OpClass::Load, Some(format!("s{s}_ld{l}")));
+                self.add_flow(&mut g, induction, load, 0);
+                frontier.push(load);
+            }
+            // Occasionally reuse the result of a previous statement as an extra leaf.
+            if !statement_roots.is_empty() && self.rng.gen_bool(0.3) {
+                let idx = self.rng.gen_range(0..statement_roots.len());
+                frontier.push(statement_roots[idx]);
+            }
+
+            // Reduce the frontier with a binary tree of FP operations.
+            let mut tree_idx = 0usize;
+            while frontier.len() > 1 {
+                let a = frontier.remove(self.rng.gen_range(0..frontier.len()));
+                let b = frontier.remove(self.rng.gen_range(0..frontier.len()));
+                let class = if self.rng.gen_bool(p.div_prob) {
+                    OpClass::FpDiv
+                } else if self.rng.gen_bool(p.fp_mul_prob) {
+                    OpClass::FpMul
+                } else {
+                    OpClass::FpAdd
+                };
+                let op = g.add_named_node(class, Some(format!("s{s}_op{tree_idx}")));
+                tree_idx += 1;
+                self.add_flow(&mut g, a, op, 0);
+                self.add_flow(&mut g, b, op, 0);
+                frontier.push(op);
+            }
+            let root = frontier
+                .pop()
+                .expect("statement has at least one leaf");
+
+            if self.rng.gen_bool(p.reduction_prob) {
+                // Reduction: acc = acc + root.
+                let acc = g.add_named_node(OpClass::FpAdd, Some(format!("s{s}_acc")));
+                self.add_flow(&mut g, root, acc, 0);
+                self.add_flow(&mut g, acc, acc, 1);
+                statement_roots.push(acc);
+            } else {
+                let store = g.add_named_node(OpClass::Store, Some(format!("s{s}_st")));
+                self.add_flow(&mut g, root, store, 0);
+                self.add_flow(&mut g, induction, store, 0);
+                statement_roots.push(root);
+            }
+
+            // Loop-carried reuse of this statement's value by a later statement or by
+            // the next iteration's own tree.
+            if self.rng.gen_bool(p.carried_dep_prob) {
+                let distance = if self.rng.gen_bool(0.8) { 1 } else { 2 };
+                let target = statement_roots[self.rng.gen_range(0..statement_roots.len())];
+                if target != root || distance > 0 {
+                    self.add_flow(&mut g, root, target, distance);
+                }
+            }
+        }
+
+        debug_assert!(g.validate().is_ok(), "generator produced an invalid graph");
+        g
+    }
+
+    /// Generate `count` loops named `prefix_<i>`.
+    pub fn generate_many(&mut self, prefix: &str, count: usize) -> Vec<DepGraph> {
+        (0..count)
+            .map(|i| self.generate(&format!("{prefix}_{i}")))
+            .collect()
+    }
+
+    fn add_flow(&self, g: &mut DepGraph, src: NodeId, dst: NodeId, distance: u32) {
+        let latency = self.latencies.latency(g.node(src).class);
+        g.add_edge(src, dst, latency, distance, DepKind::Flow);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vliw_arch::{FuKind, MachineConfig};
+    use vliw_ddg::{mii, rec_mii};
+
+    #[test]
+    fn generation_is_deterministic_for_a_seed() {
+        let mut a = LoopGenerator::new(GeneratorProfile::default(), 42);
+        let mut b = LoopGenerator::new(GeneratorProfile::default(), 42);
+        let ga = a.generate_many("x", 5);
+        let gb = b.generate_many("x", 5);
+        assert_eq!(ga, gb);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = LoopGenerator::new(GeneratorProfile::default(), 1);
+        let mut b = LoopGenerator::new(GeneratorProfile::default(), 2);
+        assert_ne!(a.generate("x"), b.generate("x"));
+    }
+
+    #[test]
+    fn generated_loops_are_valid_and_sized_reasonably() {
+        let mut gen = LoopGenerator::new(GeneratorProfile::default(), 7);
+        for g in gen.generate_many("loop", 50) {
+            assert!(g.validate().is_ok());
+            assert!(g.n_nodes() >= 3);
+            assert!(g.n_nodes() <= 120, "unexpectedly large loop: {}", g.n_nodes());
+            assert!(g.iterations >= 16);
+            assert!(g.invocations >= 1);
+            // Every loop has the induction recurrence.
+            assert!(g.loop_carried_edges() >= 1);
+        }
+    }
+
+    #[test]
+    fn op_mix_is_fp_and_memory_dominated() {
+        let mut gen = LoopGenerator::new(GeneratorProfile::default(), 11);
+        let loops = gen.generate_many("mix", 100);
+        let mut counts = [0usize; 3];
+        for g in &loops {
+            let c = g.ops_per_fu_kind();
+            for k in 0..3 {
+                counts[k] += c[k];
+            }
+        }
+        let int = counts[FuKind::Int.index()];
+        let fp = counts[FuKind::Fp.index()];
+        let mem = counts[FuKind::Mem.index()];
+        assert!(fp + mem > 3 * int, "fp={fp} mem={mem} int={int}");
+    }
+
+    #[test]
+    fn most_loops_schedule_at_low_ii_on_the_unified_machine() {
+        // Sanity: the corpus must not be dominated by recurrence-bound loops, or the
+        // clustering experiments would never stress the buses.
+        let machine = MachineConfig::unified();
+        let mut gen = LoopGenerator::new(GeneratorProfile::default(), 13);
+        let loops = gen.generate_many("ii", 60);
+        let low_rec = loops.iter().filter(|g| rec_mii(g) <= 4).count();
+        assert!(low_rec * 2 > loops.len(), "too many recurrence-bound loops");
+        for g in &loops {
+            assert!(mii(g, &machine) >= 1);
+        }
+    }
+
+    #[test]
+    fn carried_dep_probability_increases_loop_carried_edges() {
+        let low = GeneratorProfile { carried_dep_prob: 0.0, ..Default::default() };
+        let high = GeneratorProfile { carried_dep_prob: 0.9, ..Default::default() };
+        let count = |profile: GeneratorProfile| -> usize {
+            let mut gen = LoopGenerator::new(profile, 3);
+            gen.generate_many("c", 40)
+                .iter()
+                .map(|g| g.loop_carried_edges())
+                .sum()
+        };
+        assert!(count(high) > count(low));
+    }
+}

@@ -1,0 +1,272 @@
+//! Hand-written dependence graphs for well-known numerical kernels.
+//!
+//! These serve three purposes: they are the readable examples used in the `examples/`
+//! binaries, they anchor the unit tests on loops whose MII and schedule quality can be
+//! reasoned about by hand, and [`paper_example_loop`] reproduces the worked example of
+//! Figure 7 of the paper.
+
+use vliw_arch::{LatencyModel, OpClass};
+use vliw_ddg::{DepGraph, GraphBuilder};
+
+/// The worked example of Figure 7: six unit-latency operations `A…F` with two
+/// loop-carried dependences closing a recurrence of latency 3 over distance 2.
+///
+/// On the two-cluster machine of the example (two general-purpose units per cluster,
+/// one single-cycle bus) the non-unrolled loop cannot be scheduled at its MII of 2 and
+/// needs II = 3, whereas the body unrolled by 2 schedules at its minimum II of 4 — the
+/// communication latency is completely hidden.
+pub fn paper_example_loop() -> DepGraph {
+    GraphBuilder::new("figure7")
+        .with_latencies(LatencyModel::unit())
+        .iterations(100)
+        .node("A", OpClass::IntAlu)
+        .node("B", OpClass::IntAlu)
+        .node("C", OpClass::IntAlu)
+        .node("D", OpClass::IntAlu)
+        .node("E", OpClass::IntAlu)
+        .node("F", OpClass::IntAlu)
+        .flow("A", "C")
+        .flow("B", "C")
+        .flow("C", "E")
+        .flow("A", "E")
+        .flow("D", "F")
+        .flow("A", "F")
+        .flow_at("E", "D", 1)
+        .flow_at("D", "A", 1)
+        .build()
+}
+
+/// `y[i] = a * x[i] + y[i]` — the BLAS-1 saxpy loop.
+pub fn saxpy(iterations: u64) -> DepGraph {
+    GraphBuilder::new("saxpy")
+        .iterations(iterations)
+        .node("addr", OpClass::IntAlu)
+        .node("lx", OpClass::Load)
+        .node("ly", OpClass::Load)
+        .node("mul", OpClass::FpMul)
+        .node("add", OpClass::FpAdd)
+        .node("st", OpClass::Store)
+        .flow_at("addr", "addr", 1)
+        .flow("addr", "lx")
+        .flow("addr", "ly")
+        .flow("addr", "st")
+        .flow("lx", "mul")
+        .flow("mul", "add")
+        .flow("ly", "add")
+        .flow("add", "st")
+        .build()
+}
+
+/// `s += x[i] * y[i]` — dot product; the accumulator is a loop-carried recurrence, so
+/// the loop's RecMII equals the FP-add latency.
+pub fn dot_product(iterations: u64) -> DepGraph {
+    GraphBuilder::new("dot")
+        .iterations(iterations)
+        .node("addr", OpClass::IntAlu)
+        .node("lx", OpClass::Load)
+        .node("ly", OpClass::Load)
+        .node("mul", OpClass::FpMul)
+        .node("acc", OpClass::FpAdd)
+        .flow_at("addr", "addr", 1)
+        .flow("addr", "lx")
+        .flow("addr", "ly")
+        .flow("lx", "mul")
+        .flow("ly", "mul")
+        .flow("mul", "acc")
+        .flow_at("acc", "acc", 1)
+        .build()
+}
+
+/// A 1-D three-point stencil: `b[i] = c0*a[i-1] + c1*a[i] + c2*a[i+1]`.
+pub fn stencil3(iterations: u64) -> DepGraph {
+    GraphBuilder::new("stencil3")
+        .iterations(iterations)
+        .node("addr", OpClass::IntAlu)
+        .node("lm1", OpClass::Load)
+        .node("l0", OpClass::Load)
+        .node("lp1", OpClass::Load)
+        .node("m0", OpClass::FpMul)
+        .node("m1", OpClass::FpMul)
+        .node("m2", OpClass::FpMul)
+        .node("a0", OpClass::FpAdd)
+        .node("a1", OpClass::FpAdd)
+        .node("st", OpClass::Store)
+        .flow_at("addr", "addr", 1)
+        .flow("addr", "lm1")
+        .flow("addr", "l0")
+        .flow("addr", "lp1")
+        .flow("addr", "st")
+        .flow("lm1", "m0")
+        .flow("l0", "m1")
+        .flow("lp1", "m2")
+        .flow("m0", "a0")
+        .flow("m1", "a0")
+        .flow("a0", "a1")
+        .flow("m2", "a1")
+        .flow("a1", "st")
+        .build()
+}
+
+/// Livermore kernel 5 (tridiagonal elimination): a tight first-order recurrence
+/// `x[i] = z[i] * (y[i] - x[i-1])` that no amount of resources can speed up — the
+/// archetype of a loop that unrolling does **not** help.
+pub fn tridiag(iterations: u64) -> DepGraph {
+    GraphBuilder::new("tridiag")
+        .iterations(iterations)
+        .node("addr", OpClass::IntAlu)
+        .node("lz", OpClass::Load)
+        .node("ly", OpClass::Load)
+        .node("sub", OpClass::FpAdd)
+        .node("mul", OpClass::FpMul)
+        .node("st", OpClass::Store)
+        .flow_at("addr", "addr", 1)
+        .flow("addr", "lz")
+        .flow("addr", "ly")
+        .flow("addr", "st")
+        .flow("lz", "mul")
+        .flow("ly", "sub")
+        .flow("sub", "mul")
+        .flow("mul", "st")
+        // x[i-1] feeds the subtraction of the next iteration.
+        .flow_at("mul", "sub", 1)
+        .build()
+}
+
+/// Livermore kernel 1 (hydro fragment): `x[i] = q + y[i]*(r*z[i+10] + t*z[i+11])`.
+pub fn hydro(iterations: u64) -> DepGraph {
+    GraphBuilder::new("hydro")
+        .iterations(iterations)
+        .node("addr", OpClass::IntAlu)
+        .node("lz10", OpClass::Load)
+        .node("lz11", OpClass::Load)
+        .node("ly", OpClass::Load)
+        .node("m_r", OpClass::FpMul)
+        .node("m_t", OpClass::FpMul)
+        .node("a0", OpClass::FpAdd)
+        .node("m_y", OpClass::FpMul)
+        .node("a_q", OpClass::FpAdd)
+        .node("st", OpClass::Store)
+        .flow_at("addr", "addr", 1)
+        .flow("addr", "lz10")
+        .flow("addr", "lz11")
+        .flow("addr", "ly")
+        .flow("addr", "st")
+        .flow("lz10", "m_r")
+        .flow("lz11", "m_t")
+        .flow("m_r", "a0")
+        .flow("m_t", "a0")
+        .flow("a0", "m_y")
+        .flow("ly", "m_y")
+        .flow("m_y", "a_q")
+        .flow("a_q", "st")
+        .build()
+}
+
+/// A 2-D 5-point stencil sweep (Jacobi-like), representative of `swim`/`mgrid`
+/// innermost loops: wide, load-heavy, no loop-carried dependence.
+pub fn jacobi5(iterations: u64) -> DepGraph {
+    GraphBuilder::new("jacobi5")
+        .iterations(iterations)
+        .node("addr", OpClass::IntAlu)
+        .node("ln", OpClass::Load)
+        .node("ls", OpClass::Load)
+        .node("le", OpClass::Load)
+        .node("lw", OpClass::Load)
+        .node("lc", OpClass::Load)
+        .node("a0", OpClass::FpAdd)
+        .node("a1", OpClass::FpAdd)
+        .node("a2", OpClass::FpAdd)
+        .node("m", OpClass::FpMul)
+        .node("a3", OpClass::FpAdd)
+        .node("st", OpClass::Store)
+        .flow_at("addr", "addr", 1)
+        .flow("addr", "ln")
+        .flow("addr", "ls")
+        .flow("addr", "le")
+        .flow("addr", "lw")
+        .flow("addr", "lc")
+        .flow("addr", "st")
+        .flow("ln", "a0")
+        .flow("ls", "a0")
+        .flow("le", "a1")
+        .flow("lw", "a1")
+        .flow("a0", "a2")
+        .flow("a1", "a2")
+        .flow("a2", "m")
+        .flow("lc", "a3")
+        .flow("m", "a3")
+        .flow("a3", "st")
+        .build()
+}
+
+/// All named kernels (name, graph), with a default iteration count of 1000.
+pub fn named_kernels() -> Vec<(&'static str, DepGraph)> {
+    vec![
+        ("figure7", paper_example_loop()),
+        ("saxpy", saxpy(1000)),
+        ("dot", dot_product(1000)),
+        ("stencil3", stencil3(1000)),
+        ("tridiag", tridiag(1000)),
+        ("hydro", hydro(1000)),
+        ("jacobi5", jacobi5(1000)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vliw_arch::MachineConfig;
+    use vliw_ddg::{mii, rec_mii};
+
+    #[test]
+    fn all_kernels_are_valid_graphs() {
+        for (name, g) in named_kernels() {
+            assert!(g.validate().is_ok(), "kernel {name} invalid");
+            assert!(g.n_nodes() >= 5, "kernel {name} suspiciously small");
+            assert!(g.iterations > 4, "kernel {name} below the paper's iteration cutoff");
+        }
+    }
+
+    #[test]
+    fn figure7_has_the_published_bounds() {
+        let g = paper_example_loop();
+        assert_eq!(g.n_nodes(), 6);
+        assert_eq!(rec_mii(&g), 2); // ceil(3/2)
+    }
+
+    #[test]
+    fn dot_product_rec_mii_is_the_fp_add_latency() {
+        let g = dot_product(100);
+        assert_eq!(rec_mii(&g), 3);
+    }
+
+    #[test]
+    fn tridiag_has_a_long_recurrence() {
+        let g = tridiag(100);
+        // sub (3) + mul (4) around a distance-1 cycle
+        assert_eq!(rec_mii(&g), 7);
+    }
+
+    #[test]
+    fn saxpy_mii_is_resource_bound_on_the_unified_machine() {
+        let machine = MachineConfig::unified();
+        let g = saxpy(100);
+        assert_eq!(mii(&g, &machine), 1);
+    }
+
+    #[test]
+    fn jacobi_is_memory_bound_on_the_unified_machine() {
+        let machine = MachineConfig::unified();
+        let g = jacobi5(100);
+        // 7 memory operations over 4 memory units
+        assert_eq!(mii(&g, &machine), 2);
+    }
+
+    #[test]
+    fn kernel_names_are_unique() {
+        let mut names: Vec<_> = named_kernels().iter().map(|(n, _)| *n).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), named_kernels().len());
+    }
+}

@@ -1,0 +1,35 @@
+//! # vliw-workloads — loop corpora for the clustered VLIW scheduling study
+//!
+//! The paper evaluates its schedulers on the innermost loops of the SPECfp95
+//! benchmarks, extracted by the ICTINEO compiler and run to completion with the *test*
+//! inputs.  Neither the compiler nor the benchmark binaries can be redistributed here,
+//! so this crate provides the substitute documented in `DESIGN.md`:
+//!
+//! * [`kernels`] — hand-written dependence graphs for well-known numerical kernels
+//!   (saxpy, dot product, stencils, Livermore-style loops) **and the worked example of
+//!   Figure 7 of the paper** ([`paper_example_loop`]);
+//! * [`generator`] — a deterministic, seeded generator of synthetic innermost-loop
+//!   dependence graphs with controllable structural statistics (size, operation mix,
+//!   loop-carried dependence density, recurrence depth);
+//! * [`spec`] — per-benchmark profiles for the ten SPECfp95 programs ([`SpecFp95`])
+//!   and [`LoopCorpus`], the weighted collection of loops standing in for one
+//!   benchmark.
+//!
+//! The generator is calibrated so that the corpus reproduces the structural facts the
+//! paper's conclusions rest on: innermost loops are dominated by FP and memory
+//! operations, most loop iterations are independent (few loop-carried dependences),
+//! loop bodies have a handful to a few dozen operations, and the loops targeted by the
+//! schedulers run for more than four iterations.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod generator;
+pub mod kernels;
+pub mod spec;
+pub mod stats;
+
+pub use generator::{GeneratorProfile, LoopGenerator};
+pub use kernels::{named_kernels, paper_example_loop};
+pub use spec::{LoopCorpus, SpecFp95};
+pub use stats::{CorpusStats, LoopStats};

@@ -1,0 +1,337 @@
+//! Per-benchmark loop corpora standing in for the SPECfp95 programs.
+//!
+//! The paper evaluates the ten SPECfp95 programs; their innermost loops (covering
+//! about 95 % of the executed instructions) are what the schedulers see.  Since the
+//! suite cannot be redistributed, every program is represented here by a **seeded
+//! corpus of synthetic loops** whose structural statistics follow the program's
+//! published character:
+//!
+//! | program  | character captured by the profile |
+//! |----------|------------------------------------|
+//! | tomcatv  | long vectorisable bodies but with loop-carried reuse (the program the paper singles out as hurt by 4-way unrolling) |
+//! | swim     | wide, independent stencil sweeps (shallow, load/store heavy) |
+//! | su2cor   | medium bodies with reductions |
+//! | hydro2d  | hydrodynamics stencils, mostly independent iterations |
+//! | mgrid    | 27-point-stencil style: many loads per statement, no recurrences |
+//! | applu    | SSOR solver: moderate recurrences and divides |
+//! | turb3d   | FFT-like bodies: balanced FP mix, few memory ops |
+//! | apsi     | many small statements, some reductions |
+//! | fpppp    | huge straight-line bodies (the largest loops in the suite) |
+//! | wave5    | particle pushes: medium bodies, few carried dependences |
+//!
+//! The absolute IPC of a synthetic corpus will not match the paper's per-program bars,
+//! but the *relative* behaviour the paper reports (which configurations lose IPC, when
+//! unrolling recovers it, how code size reacts) is driven by exactly the statistics the
+//! profiles control.
+
+use crate::generator::{GeneratorProfile, LoopGenerator};
+use serde::{Deserialize, Serialize};
+use vliw_ddg::DepGraph;
+
+/// The ten SPECfp95 programs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum SpecFp95 {
+    Tomcatv,
+    Swim,
+    Su2cor,
+    Hydro2d,
+    Mgrid,
+    Applu,
+    Turb3d,
+    Apsi,
+    Fpppp,
+    Wave5,
+}
+
+impl SpecFp95 {
+    /// All benchmarks, in the order the paper's Figure 8 lists them.
+    pub const ALL: [SpecFp95; 10] = [
+        SpecFp95::Tomcatv,
+        SpecFp95::Swim,
+        SpecFp95::Su2cor,
+        SpecFp95::Hydro2d,
+        SpecFp95::Mgrid,
+        SpecFp95::Applu,
+        SpecFp95::Turb3d,
+        SpecFp95::Apsi,
+        SpecFp95::Fpppp,
+        SpecFp95::Wave5,
+    ];
+
+    /// Lower-case benchmark name as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpecFp95::Tomcatv => "tomcatv",
+            SpecFp95::Swim => "swim",
+            SpecFp95::Su2cor => "su2cor",
+            SpecFp95::Hydro2d => "hydro2d",
+            SpecFp95::Mgrid => "mgrid",
+            SpecFp95::Applu => "applu",
+            SpecFp95::Turb3d => "turb3d",
+            SpecFp95::Apsi => "apsi",
+            SpecFp95::Fpppp => "fpppp",
+            SpecFp95::Wave5 => "wave5",
+        }
+    }
+
+    /// Deterministic seed for this benchmark's corpus.
+    fn seed(self) -> u64 {
+        0x5EC_F95_u64 * 1000 + self as u64
+    }
+
+    /// Number of distinct innermost loops generated for the benchmark.
+    fn loop_count(self) -> usize {
+        match self {
+            SpecFp95::Tomcatv => 12,
+            SpecFp95::Swim => 14,
+            SpecFp95::Su2cor => 22,
+            SpecFp95::Hydro2d => 28,
+            SpecFp95::Mgrid => 10,
+            SpecFp95::Applu => 26,
+            SpecFp95::Turb3d => 18,
+            SpecFp95::Apsi => 30,
+            SpecFp95::Fpppp => 8,
+            SpecFp95::Wave5 => 24,
+        }
+    }
+
+    /// The generator profile capturing the benchmark's structural character.
+    pub fn profile(self) -> GeneratorProfile {
+        let base = GeneratorProfile::default();
+        match self {
+            SpecFp95::Tomcatv => GeneratorProfile {
+                min_statements: 3,
+                max_statements: 6,
+                min_loads_per_stmt: 2,
+                max_loads_per_stmt: 5,
+                reduction_prob: 0.10,
+                carried_dep_prob: 0.35,
+                fp_mul_prob: 0.55,
+                div_prob: 0.03,
+                iterations: (64, 512),
+                invocations: (50, 800),
+            },
+            SpecFp95::Swim => GeneratorProfile {
+                min_statements: 2,
+                max_statements: 5,
+                min_loads_per_stmt: 3,
+                max_loads_per_stmt: 6,
+                reduction_prob: 0.02,
+                carried_dep_prob: 0.03,
+                fp_mul_prob: 0.5,
+                div_prob: 0.0,
+                iterations: (128, 1024),
+                invocations: (100, 1200),
+            },
+            SpecFp95::Su2cor => GeneratorProfile {
+                min_statements: 2,
+                max_statements: 5,
+                reduction_prob: 0.30,
+                carried_dep_prob: 0.10,
+                ..base
+            },
+            SpecFp95::Hydro2d => GeneratorProfile {
+                min_statements: 2,
+                max_statements: 4,
+                min_loads_per_stmt: 2,
+                max_loads_per_stmt: 5,
+                reduction_prob: 0.05,
+                carried_dep_prob: 0.05,
+                fp_mul_prob: 0.45,
+                div_prob: 0.02,
+                iterations: (32, 512),
+                invocations: (100, 1000),
+            },
+            SpecFp95::Mgrid => GeneratorProfile {
+                min_statements: 1,
+                max_statements: 3,
+                min_loads_per_stmt: 5,
+                max_loads_per_stmt: 9,
+                reduction_prob: 0.05,
+                carried_dep_prob: 0.02,
+                fp_mul_prob: 0.35,
+                div_prob: 0.0,
+                iterations: (64, 256),
+                invocations: (200, 2000),
+            },
+            SpecFp95::Applu => GeneratorProfile {
+                min_statements: 2,
+                max_statements: 6,
+                reduction_prob: 0.15,
+                carried_dep_prob: 0.20,
+                div_prob: 0.08,
+                ..base
+            },
+            SpecFp95::Turb3d => GeneratorProfile {
+                min_statements: 2,
+                max_statements: 4,
+                min_loads_per_stmt: 1,
+                max_loads_per_stmt: 3,
+                reduction_prob: 0.10,
+                carried_dep_prob: 0.08,
+                fp_mul_prob: 0.6,
+                div_prob: 0.01,
+                iterations: (16, 128),
+                invocations: (200, 2000),
+            },
+            SpecFp95::Apsi => GeneratorProfile {
+                min_statements: 1,
+                max_statements: 4,
+                reduction_prob: 0.25,
+                carried_dep_prob: 0.12,
+                div_prob: 0.06,
+                ..base
+            },
+            SpecFp95::Fpppp => GeneratorProfile {
+                min_statements: 5,
+                max_statements: 9,
+                min_loads_per_stmt: 2,
+                max_loads_per_stmt: 5,
+                reduction_prob: 0.20,
+                carried_dep_prob: 0.10,
+                fp_mul_prob: 0.6,
+                div_prob: 0.02,
+                iterations: (8, 64),
+                invocations: (500, 4000),
+            },
+            SpecFp95::Wave5 => GeneratorProfile {
+                min_statements: 1,
+                max_statements: 4,
+                reduction_prob: 0.10,
+                carried_dep_prob: 0.06,
+                ..base
+            },
+        }
+    }
+
+    /// Generate the loop corpus of this benchmark.
+    pub fn corpus(self) -> LoopCorpus {
+        LoopCorpus::generate(self)
+    }
+}
+
+impl std::fmt::Display for SpecFp95 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The weighted set of innermost loops representing one benchmark.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoopCorpus {
+    /// The benchmark this corpus stands in for.
+    pub benchmark: SpecFp95,
+    /// The loops, each carrying its iteration count and invocation weight.
+    pub loops: Vec<DepGraph>,
+}
+
+impl LoopCorpus {
+    /// Generate the corpus of `benchmark` (deterministic: same seed every time).
+    pub fn generate(benchmark: SpecFp95) -> Self {
+        let mut generator = LoopGenerator::new(benchmark.profile(), benchmark.seed());
+        let loops = generator.generate_many(benchmark.name(), benchmark.loop_count());
+        Self { benchmark, loops }
+    }
+
+    /// Generate the corpora of all ten benchmarks.
+    pub fn all() -> Vec<Self> {
+        SpecFp95::ALL.iter().map(|&b| Self::generate(b)).collect()
+    }
+
+    /// Total dynamic operation count of the corpus (useful operations, original
+    /// bodies): `Σ ops × iterations × invocations`.
+    pub fn total_dynamic_ops(&self) -> u64 {
+        self.loops
+            .iter()
+            .map(|g| g.n_nodes() as u64 * g.iterations * g.invocations)
+            .sum()
+    }
+
+    /// Number of loops in the corpus.
+    pub fn len(&self) -> usize {
+        self.loops.len()
+    }
+
+    /// Whether the corpus is empty (never true for a generated corpus).
+    pub fn is_empty(&self) -> bool {
+        self.loops.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vliw_arch::MachineConfig;
+    use vliw_ddg::mii;
+
+    #[test]
+    fn ten_benchmarks_in_paper_order() {
+        assert_eq!(SpecFp95::ALL.len(), 10);
+        assert_eq!(SpecFp95::ALL[0].name(), "tomcatv");
+        assert_eq!(SpecFp95::ALL[9].name(), "wave5");
+    }
+
+    #[test]
+    fn corpora_are_deterministic() {
+        let a = LoopCorpus::generate(SpecFp95::Swim);
+        let b = LoopCorpus::generate(SpecFp95::Swim);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn corpora_differ_across_benchmarks() {
+        let a = LoopCorpus::generate(SpecFp95::Swim);
+        let b = LoopCorpus::generate(SpecFp95::Mgrid);
+        assert_ne!(a.loops, b.loops);
+    }
+
+    #[test]
+    fn every_corpus_loop_is_valid_and_above_iteration_cutoff() {
+        for corpus in LoopCorpus::all() {
+            assert!(!corpus.is_empty());
+            for g in &corpus.loops {
+                assert!(g.validate().is_ok(), "{}: invalid loop {}", corpus.benchmark, g.name);
+                assert!(g.iterations > 4, "{}: loop below the cutoff", corpus.benchmark);
+            }
+        }
+    }
+
+    #[test]
+    fn tomcatv_has_more_carried_dependences_than_swim() {
+        let carried = |b: SpecFp95| -> f64 {
+            let c = LoopCorpus::generate(b);
+            let total_edges: usize = c.loops.iter().map(|g| g.n_edges()).sum();
+            let carried: usize = c.loops.iter().map(|g| g.loop_carried_edges()).sum();
+            carried as f64 / total_edges as f64
+        };
+        assert!(carried(SpecFp95::Tomcatv) > carried(SpecFp95::Swim));
+    }
+
+    #[test]
+    fn corpus_loops_are_schedulable_in_principle() {
+        let machine = MachineConfig::unified();
+        let corpus = LoopCorpus::generate(SpecFp95::Hydro2d);
+        for g in &corpus.loops {
+            assert!(mii(g, &machine) >= 1);
+            assert!(mii(g, &machine) < 200, "absurd MII for {}", g.name);
+        }
+    }
+
+    #[test]
+    fn fpppp_has_the_largest_bodies() {
+        let avg = |b: SpecFp95| -> f64 {
+            let c = LoopCorpus::generate(b);
+            c.loops.iter().map(|g| g.n_nodes()).sum::<usize>() as f64 / c.len() as f64
+        };
+        assert!(avg(SpecFp95::Fpppp) > avg(SpecFp95::Turb3d));
+        assert!(avg(SpecFp95::Fpppp) > avg(SpecFp95::Wave5));
+    }
+
+    #[test]
+    fn total_dynamic_ops_is_positive_and_stable() {
+        let c = LoopCorpus::generate(SpecFp95::Applu);
+        assert!(c.total_dynamic_ops() > 0);
+        assert_eq!(c.total_dynamic_ops(), LoopCorpus::generate(SpecFp95::Applu).total_dynamic_ops());
+    }
+}

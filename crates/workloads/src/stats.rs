@@ -1,0 +1,174 @@
+//! Structural statistics of loop corpora.
+//!
+//! The paper's argument rests on structural facts about SPECfp95 innermost loops (few
+//! loop-carried dependences, FP/memory-dominated bodies, enough iterations to
+//! amortise the pipeline fill).  This module computes those statistics for any corpus
+//! so that the calibration of the synthetic generator can be inspected, reported
+//! (`corpus_stats` binary in `vliw-bench`) and asserted in tests.
+
+use crate::spec::LoopCorpus;
+use serde::{Deserialize, Serialize};
+use vliw_arch::FuKind;
+use vliw_ddg::{recurrences, DepGraph};
+
+/// Structural statistics of a single loop.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoopStats {
+    /// Loop name.
+    pub name: String,
+    /// Number of operations in the body.
+    pub ops: usize,
+    /// Number of dependence edges.
+    pub edges: usize,
+    /// Number of loop-carried edges (distance > 0).
+    pub loop_carried: usize,
+    /// Number of recurrences (non-trivial SCCs).
+    pub recurrences: usize,
+    /// The largest per-recurrence RecMII.
+    pub max_recurrence_mii: u32,
+    /// Operations per functional-unit kind `[int, fp, mem]`.
+    pub ops_per_kind: [usize; 3],
+    /// Iteration count.
+    pub iterations: u64,
+    /// Invocation count.
+    pub invocations: u64,
+}
+
+impl LoopStats {
+    /// Compute the statistics of one loop.
+    pub fn of(graph: &DepGraph) -> Self {
+        let recs = recurrences(graph);
+        Self {
+            name: graph.name.clone(),
+            ops: graph.n_nodes(),
+            edges: graph.n_edges(),
+            loop_carried: graph.loop_carried_edges(),
+            recurrences: recs.len(),
+            max_recurrence_mii: recs.iter().map(|r| r.rec_mii).max().unwrap_or(0),
+            ops_per_kind: graph.ops_per_fu_kind(),
+            iterations: graph.iterations,
+            invocations: graph.invocations,
+        }
+    }
+}
+
+/// Aggregate statistics of a corpus.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorpusStats {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Number of loops.
+    pub loops: usize,
+    /// Mean operations per loop body.
+    pub mean_ops: f64,
+    /// Largest loop body.
+    pub max_ops: usize,
+    /// Fraction of edges that are loop-carried.
+    pub loop_carried_fraction: f64,
+    /// Fraction of loops containing at least one FP recurrence beyond the induction
+    /// variable.
+    pub loops_with_recurrences: f64,
+    /// Fraction of operations executed on each functional-unit kind `[int, fp, mem]`.
+    pub kind_mix: [f64; 3],
+    /// Mean iteration count.
+    pub mean_iterations: f64,
+    /// Per-loop statistics.
+    pub per_loop: Vec<LoopStats>,
+}
+
+impl CorpusStats {
+    /// Compute the statistics of `corpus`.
+    pub fn of(corpus: &LoopCorpus) -> Self {
+        let per_loop: Vec<LoopStats> = corpus.loops.iter().map(LoopStats::of).collect();
+        let loops = per_loop.len().max(1);
+        let total_ops: usize = per_loop.iter().map(|l| l.ops).sum();
+        let total_edges: usize = per_loop.iter().map(|l| l.edges).sum();
+        let total_carried: usize = per_loop.iter().map(|l| l.loop_carried).sum();
+        let mut kind_totals = [0usize; 3];
+        for l in &per_loop {
+            for k in 0..3 {
+                kind_totals[k] += l.ops_per_kind[k];
+            }
+        }
+        // "Recurrences beyond the induction variable": more than one non-trivial SCC,
+        // or a single one whose RecMII exceeds the 1-cycle induction update.
+        let with_recs = per_loop
+            .iter()
+            .filter(|l| l.recurrences > 1 || l.max_recurrence_mii > 1)
+            .count();
+        Self {
+            benchmark: corpus.benchmark.name().to_string(),
+            loops: per_loop.len(),
+            mean_ops: total_ops as f64 / loops as f64,
+            max_ops: per_loop.iter().map(|l| l.ops).max().unwrap_or(0),
+            loop_carried_fraction: if total_edges == 0 {
+                0.0
+            } else {
+                total_carried as f64 / total_edges as f64
+            },
+            loops_with_recurrences: with_recs as f64 / loops as f64,
+            kind_mix: {
+                let total = (kind_totals.iter().sum::<usize>()).max(1) as f64;
+                [
+                    kind_totals[FuKind::Int.index()] as f64 / total,
+                    kind_totals[FuKind::Fp.index()] as f64 / total,
+                    kind_totals[FuKind::Mem.index()] as f64 / total,
+                ]
+            },
+            mean_iterations: per_loop.iter().map(|l| l.iterations).sum::<u64>() as f64
+                / loops as f64,
+            per_loop,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SpecFp95;
+
+    #[test]
+    fn stats_of_a_corpus_are_internally_consistent() {
+        let corpus = LoopCorpus::generate(SpecFp95::Applu);
+        let stats = CorpusStats::of(&corpus);
+        assert_eq!(stats.loops, corpus.len());
+        assert_eq!(stats.per_loop.len(), corpus.len());
+        assert!(stats.mean_ops > 3.0);
+        assert!(stats.max_ops >= stats.mean_ops as usize);
+        assert!((0.0..=1.0).contains(&stats.loop_carried_fraction));
+        let mix_sum: f64 = stats.kind_mix.iter().sum();
+        assert!((mix_sum - 1.0).abs() < 1e-9);
+        assert!(stats.mean_iterations > 4.0);
+    }
+
+    #[test]
+    fn fp_and_memory_dominate_every_corpus() {
+        for corpus in LoopCorpus::all() {
+            let stats = CorpusStats::of(&corpus);
+            assert!(
+                stats.kind_mix[1] + stats.kind_mix[2] > 0.6,
+                "{}: fp+mem fraction {:.2} too low",
+                stats.benchmark,
+                stats.kind_mix[1] + stats.kind_mix[2]
+            );
+        }
+    }
+
+    #[test]
+    fn tomcatv_profile_shows_more_recurrences_than_swim() {
+        let tomcatv = CorpusStats::of(&LoopCorpus::generate(SpecFp95::Tomcatv));
+        let swim = CorpusStats::of(&LoopCorpus::generate(SpecFp95::Swim));
+        assert!(tomcatv.loop_carried_fraction > swim.loop_carried_fraction);
+    }
+
+    #[test]
+    fn per_loop_stats_track_the_graph() {
+        let corpus = LoopCorpus::generate(SpecFp95::Mgrid);
+        let g = &corpus.loops[0];
+        let stats = LoopStats::of(g);
+        assert_eq!(stats.ops, g.n_nodes());
+        assert_eq!(stats.edges, g.n_edges());
+        assert_eq!(stats.loop_carried, g.loop_carried_edges());
+        assert_eq!(stats.ops_per_kind, g.ops_per_fu_kind());
+    }
+}
