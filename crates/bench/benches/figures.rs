@@ -21,7 +21,10 @@ fn small_corpus(bench: SpecFp95) -> LoopCorpus {
 fn fig4_point(c: &mut Criterion) {
     let corpus = small_corpus(SpecFp95::Hydro2d);
     let mut group = c.benchmark_group("fig4-point");
-    for (label, alg) in [("bsa", Algorithm::Bsa), ("ne", Algorithm::NystromEichenberger)] {
+    for (label, alg) in [
+        ("bsa", Algorithm::Bsa),
+        ("ne", Algorithm::NystromEichenberger),
+    ] {
         for buses in [1usize, 4] {
             let machine = MachineConfig::four_cluster(buses, 1);
             group.bench_with_input(
@@ -57,12 +60,7 @@ fn table2_point(c: &mut Criterion) {
         MachineConfig::four_cluster(2, 1),
     ];
     c.bench_function("table2-cycle-times", |b| {
-        b.iter(|| {
-            configs
-                .iter()
-                .map(|m| model.cycle_time_ps(m))
-                .sum::<f64>()
-        })
+        b.iter(|| configs.iter().map(|m| model.cycle_time_ps(m)).sum::<f64>())
     });
 }
 

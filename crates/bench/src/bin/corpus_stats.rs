@@ -28,7 +28,10 @@ fn main() {
             s.max_ops.to_string(),
             format!("{:.3}", s.loop_carried_fraction),
             format!("{:.2}", s.loops_with_recurrences),
-            format!("{:.2}/{:.2}/{:.2}", s.kind_mix[0], s.kind_mix[1], s.kind_mix[2]),
+            format!(
+                "{:.2}/{:.2}/{:.2}",
+                s.kind_mix[0], s.kind_mix[1], s.kind_mix[2]
+            ),
             format!("{:.0}", s.mean_iterations),
         ]);
     }

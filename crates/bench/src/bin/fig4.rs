@@ -74,7 +74,13 @@ fn main() {
             &corpora
                 .iter()
                 .map(|c| {
-                    relative_ipc(c, &machine, Algorithm::NystromEichenberger, UnrollPolicy::None).2
+                    relative_ipc(
+                        c,
+                        &machine,
+                        Algorithm::NystromEichenberger,
+                        UnrollPolicy::None,
+                    )
+                    .2
                 })
                 .collect::<Vec<_>>(),
         );

@@ -33,11 +33,15 @@ fn main() {
         for corpus in &corpora {
             let unified = MachineConfig::unified();
             println!("--- {} ---", corpus.benchmark.name());
-            let mut table =
-                TextTable::new(["policy", "config", "unified IPC", "clustered IPC", "relative"]);
+            let mut table = TextTable::new([
+                "policy",
+                "config",
+                "unified IPC",
+                "clustered IPC",
+                "relative",
+            ]);
             for policy in policies {
-                let unified_result =
-                    run_corpus(corpus, &unified, Algorithm::UnifiedSms, policy);
+                let unified_result = run_corpus(corpus, &unified, Algorithm::UnifiedSms, policy);
                 for &buses in &bus_counts {
                     for &lat in &bus_latencies {
                         let machine = MachineConfig::clustered(clusters, buses, lat);

@@ -33,12 +33,17 @@ fn main() {
     }
     println!("Table 1a — machine configurations");
     println!("{table}");
-    println!("Clustered configurations are evaluated with 1 or 2 buses of latency 1, 2 or 4 cycles.\n");
+    println!(
+        "Clustered configurations are evaluated with 1 or 2 buses of latency 1, 2 or 4 cycles.\n"
+    );
 
     let machine = MachineConfig::unified();
     let mut latencies = TextTable::new(["operation class", "latency (cycles)"]);
     for class in OpClass::ALL {
-        latencies.row([class.mnemonic().to_string(), machine.latency(class).to_string()]);
+        latencies.row([
+            class.mnemonic().to_string(),
+            machine.latency(class).to_string(),
+        ]);
     }
     println!("Table 1b — operation latencies");
     println!("{latencies}");

@@ -22,15 +22,13 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
-use cvliw_core::{
-    BsaScheduler, ClusterSchedule, NeScheduler, SelectiveUnroller, UnrollPolicy,
-};
+use cvliw_core::{BsaScheduler, ClusterSchedule, NeScheduler, SelectiveUnroller, UnrollPolicy};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use vliw_arch::MachineConfig;
 use vliw_ddg::DepGraph;
 use vliw_metrics::{CodeSizeModel, CodeSizeReport, IpcAccountant, LoopContribution};
 use vliw_sms::{ScheduleError, SmsScheduler};
-use vliw_arch::MachineConfig;
 use vliw_workloads::LoopCorpus;
 
 /// Which scheduling algorithm to run.

@@ -20,9 +20,9 @@
 
 use crate::ne::NeScheduler;
 use crate::result::LoopScheduler;
+use vliw_arch::MachineConfig;
 use vliw_ddg::DepGraph;
 use vliw_sms::{ModuloSchedule, ScheduleError};
-use vliw_arch::MachineConfig;
 
 /// Ablation: assign node `i` to cluster `i mod n_clusters`, then schedule.
 #[derive(Debug, Clone)]
@@ -33,7 +33,9 @@ pub struct RoundRobinScheduler {
 impl RoundRobinScheduler {
     /// A round-robin-assignment scheduler for `machine`.
     pub fn new(machine: &MachineConfig) -> Self {
-        Self { inner: NeScheduler::new(machine) }
+        Self {
+            inner: NeScheduler::new(machine),
+        }
     }
 
     /// Schedule `graph` with the round-robin assignment.
@@ -68,7 +70,9 @@ pub struct LoadBalancedScheduler {
 impl LoadBalancedScheduler {
     /// A balance-only-assignment scheduler for `machine`.
     pub fn new(machine: &MachineConfig) -> Self {
-        Self { inner: NeScheduler::new(machine) }
+        Self {
+            inner: NeScheduler::new(machine),
+        }
     }
 
     /// Schedule `graph` with the balance-only assignment.

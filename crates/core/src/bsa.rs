@@ -21,12 +21,12 @@
 
 use crate::comm::{allocate_comms, required_comms, CommAllocation};
 use crate::result::LoopScheduler;
+use vliw_arch::{MachineConfig, ResourcePool};
 use vliw_ddg::{mii, DepGraph, NodeId};
 use vliw_sms::{
     early_start, late_start, max_ii, LifetimeMap, ModuloReservationTable, ModuloSchedule,
     OrderingContext, PlacedOp, ScheduleError, SlotScan,
 };
-use vliw_arch::{MachineConfig, ResourcePool};
 
 /// The paper's cluster-oriented modulo scheduler.
 #[derive(Debug, Clone)]
@@ -75,8 +75,10 @@ impl BsaScheduler {
         for ii in mii..=limit {
             // SMS order first; topological fallback guarantees progress on graphs
             // where the SMS order leaves a node with an empty scheduling window.
-            let orders =
-                [OrderingContext::new(graph, ii), OrderingContext::topological(graph, ii)];
+            let orders = [
+                OrderingContext::new(graph, ii),
+                OrderingContext::topological(graph, ii),
+            ];
             for ctx in &orders {
                 match self.try_schedule(graph, ctx, ii, mii) {
                     Ok(mut sched) => {
@@ -90,7 +92,10 @@ impl BsaScheduler {
                 }
             }
         }
-        Err(ScheduleError::MaxIiExceeded { mii, max_ii_tried: limit })
+        Err(ScheduleError::MaxIiExceeded {
+            mii,
+            max_ii_tried: limit,
+        })
     }
 
     /// One scheduling attempt at a fixed II with a given node order.
@@ -126,7 +131,15 @@ impl BsaScheduler {
             let mut node_bus_blocked = false;
             for cluster in machine.clusters() {
                 match self.try_node_on_cluster(
-                    graph, &ctx, &sched, &mut mrt, &pool, &assignment, node_id, cluster, ii,
+                    graph,
+                    ctx,
+                    &sched,
+                    &mut mrt,
+                    &pool,
+                    &assignment,
+                    node_id,
+                    cluster,
+                    ii,
                 ) {
                     TrialOutcome::Feasible(trial) => trials.push(trial),
                     TrialOutcome::BusBlocked => node_bus_blocked = true,
@@ -140,15 +153,15 @@ impl BsaScheduler {
                 // (5) No feasible cluster: fail this II.
                 return Err(node_bus_blocked || bus_blocked_anywhere);
             };
-            let candlist: Vec<&Trial> =
-                trials.iter().filter(|t| t.profit == best_profit).collect();
+            let candlist: Vec<&Trial> = trials.iter().filter(|t| t.profit == best_profit).collect();
 
             // (6)-(9) Choose among the candidates.
             let chosen: &Trial = if candlist.len() == 1 {
                 candlist[0]
-            } else if let Some(t) = candlist.iter().find(|t| {
-                cluster_holds_neighbour(graph, &assignment, node_id, t.cluster)
-            }) {
+            } else if let Some(t) = candlist
+                .iter()
+                .find(|t| cluster_holds_neighbour(graph, &assignment, node_id, t.cluster))
+            {
                 t
             } else if let Some(t) = candlist.iter().find(|t| t.cluster == defcluster) {
                 t
@@ -220,7 +233,12 @@ impl BsaScheduler {
                         for c in &comms {
                             scratch.add_comm(*c);
                         }
-                        scratch.place(PlacedOp { node, cycle, cluster, fu });
+                        scratch.place(PlacedOp {
+                            node,
+                            cycle,
+                            cluster,
+                            fu,
+                        });
                         let lt = LifetimeMap::new(graph, &scratch, machine);
                         let fits = lt
                             .max_live()
@@ -434,7 +452,10 @@ mod tests {
         }
         // A cross-cluster flow edge must be backed by a communication of its value to
         // the consumer's cluster.
-        for e in graph.edges().filter(|e| e.kind.carries_value() && e.src != e.dst) {
+        for e in graph
+            .edges()
+            .filter(|e| e.kind.carries_value() && e.src != e.dst)
+        {
             let pu = sched.placement(e.src).unwrap();
             let pv = sched.placement(e.dst).unwrap();
             if pu.cluster != pv.cluster {
@@ -460,7 +481,11 @@ mod tests {
         let unified = SmsScheduler::new(&machine.unified_counterpart())
             .schedule(&g)
             .unwrap();
-        assert_eq!(sched.ii(), unified.ii(), "clustered II should match unified");
+        assert_eq!(
+            sched.ii(),
+            unified.ii(),
+            "clustered II should match unified"
+        );
     }
 
     #[test]
@@ -535,7 +560,9 @@ mod tests {
         let sched = BsaScheduler::new(&machine).schedule(&unrolled).unwrap();
         assert_valid(&unrolled, &sched, &machine);
         let copy0_cluster = sched.cluster_of(vliw_ddg::NodeId(0)).unwrap();
-        let copy1_cluster = sched.cluster_of(vliw_ddg::NodeId(g.n_nodes() as u32)).unwrap();
+        let copy1_cluster = sched
+            .cluster_of(vliw_ddg::NodeId(g.n_nodes() as u32))
+            .unwrap();
         assert_ne!(copy0_cluster, copy1_cluster);
         assert_eq!(sched.comms().len(), 0);
     }
@@ -641,7 +668,9 @@ mod tests {
     #[test]
     fn empty_graph_schedules() {
         let machine = MachineConfig::four_cluster(1, 1);
-        let sched = BsaScheduler::new(&machine).schedule(&DepGraph::new("empty")).unwrap();
+        let sched = BsaScheduler::new(&machine)
+            .schedule(&DepGraph::new("empty"))
+            .unwrap();
         assert!(sched.is_complete());
     }
 

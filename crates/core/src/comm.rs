@@ -15,9 +15,9 @@
 //! through exactly this case: "value from D − value from A was previously brought"),
 //! so the allocator first checks the communications recorded so far.
 
+use vliw_arch::{MachineConfig, ResourcePool};
 use vliw_ddg::{DepGraph, NodeId};
 use vliw_sms::{CommPlacement, ModuloReservationTable, ModuloSchedule};
-use vliw_arch::{MachineConfig, ResourcePool};
 
 /// One communication that a tentative placement needs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,7 +71,9 @@ pub fn required_comms(
         if e.src == node {
             continue;
         }
-        let Some(p) = sched.placement(e.src) else { continue };
+        let Some(p) = sched.placement(e.src) else {
+            continue;
+        };
         if p.cluster == cluster {
             continue;
         }
@@ -92,7 +94,9 @@ pub fn required_comms(
         if e.dst == node {
             continue;
         }
-        let Some(s) = sched.placement(e.dst) else { continue };
+        let Some(s) = sched.placement(e.dst) else {
+            continue;
+        };
         if s.cluster == cluster {
             continue;
         }
@@ -159,16 +163,12 @@ pub fn allocate_comms(
         // Re-use an existing transfer of the same value to the same cluster if it
         // arrives in time and was not sent before the value was ready (modulo-II
         // periodicity makes any earlier compatible transfer usable every iteration).
-        let reused = sched
-            .comms()
-            .iter()
-            .chain(new_comms.iter())
-            .any(|c| {
-                c.src_node == req.src_node
-                    && c.to_cluster == req.to_cluster
-                    && c.start_cycle >= req.ready
-                    && c.start_cycle + c.duration as i64 <= req.deadline
-            });
+        let reused = sched.comms().iter().chain(new_comms.iter()).any(|c| {
+            c.src_node == req.src_node
+                && c.to_cluster == req.to_cluster
+                && c.start_cycle >= req.ready
+                && c.start_cycle + c.duration as i64 <= req.deadline
+        });
         if reused {
             continue;
         }
@@ -300,8 +300,16 @@ mod tests {
         assert_eq!(mrt.row_occupancy(bus), 1);
 
         // The single bus (II = 2, one slot left) cannot take two more transfers.
-        let req2 = CommRequest { ready: 3, deadline: 6, ..req };
-        let req3 = CommRequest { ready: 4, deadline: 7, ..req };
+        let req2 = CommRequest {
+            ready: 3,
+            deadline: 6,
+            ..req
+        };
+        let req3 = CommRequest {
+            ready: 4,
+            deadline: 7,
+            ..req
+        };
         let before = mrt.row_occupancy(bus);
         let result = allocate_comms(&[req2, req3], &sched, &pool, &mut mrt, &machine);
         assert_eq!(result, CommAllocation::BusUnavailable);

@@ -27,12 +27,12 @@
 
 use crate::comm::{allocate_comms, required_comms, CommAllocation};
 use crate::result::LoopScheduler;
+use vliw_arch::{FuKind, MachineConfig, ResourcePool};
 use vliw_ddg::{mii, sccs, DepGraph};
 use vliw_sms::{
     early_start, late_start, max_ii, LifetimeMap, ModuloReservationTable, ModuloSchedule,
     OrderingContext, PlacedOp, ScheduleError, SlotScan,
 };
-use vliw_arch::{FuKind, MachineConfig, ResourcePool};
 
 /// Fraction of a cluster's capacity the assignment phase is willing to fill before
 /// looking at other clusters (N&E avoid aggressively filling clusters).
@@ -69,8 +69,10 @@ impl NeScheduler {
         let mut bus_failure_seen = false;
         for ii in mii..=limit {
             let assignment = self.assign_clusters(graph, ii);
-            let orders =
-                [OrderingContext::new(graph, ii), OrderingContext::topological(graph, ii)];
+            let orders = [
+                OrderingContext::new(graph, ii),
+                OrderingContext::topological(graph, ii),
+            ];
             for ctx in &orders {
                 match self.try_schedule(graph, ctx, &assignment, ii, mii) {
                     Ok(mut sched) => {
@@ -82,7 +84,10 @@ impl NeScheduler {
                 }
             }
         }
-        Err(ScheduleError::MaxIiExceeded { mii, max_ii_tried: limit })
+        Err(ScheduleError::MaxIiExceeded {
+            mii,
+            max_ii_tried: limit,
+        })
     }
 
     /// Modulo schedule `graph` with a *fixed*, caller-supplied cluster assignment
@@ -108,8 +113,10 @@ impl NeScheduler {
         let limit = max_ii(mii);
         let mut bus_failure_seen = false;
         for ii in mii..=limit {
-            let orders =
-                [OrderingContext::new(graph, ii), OrderingContext::topological(graph, ii)];
+            let orders = [
+                OrderingContext::new(graph, ii),
+                OrderingContext::topological(graph, ii),
+            ];
             for ctx in &orders {
                 match self.try_schedule(graph, ctx, assignment, ii, mii) {
                     Ok(mut sched) => {
@@ -121,7 +128,10 @@ impl NeScheduler {
                 }
             }
         }
-        Err(ScheduleError::MaxIiExceeded { mii, max_ii_tried: limit })
+        Err(ScheduleError::MaxIiExceeded {
+            mii,
+            max_ii_tried: limit,
+        })
     }
 
     /// Phase 1: partition the nodes across the clusters (see module docs).
@@ -247,7 +257,12 @@ impl NeScheduler {
                             for c in &comms {
                                 scratch.add_comm(*c);
                             }
-                            scratch.place(PlacedOp { node: node_id, cycle, cluster, fu });
+                            scratch.place(PlacedOp {
+                                node: node_id,
+                                cycle,
+                                cluster,
+                                fu,
+                            });
                             let lt = LifetimeMap::new(graph, &scratch, machine);
                             let fits = lt
                                 .max_live()
@@ -264,7 +279,12 @@ impl NeScheduler {
                         for c in comms {
                             sched.add_comm(c);
                         }
-                        sched.place(PlacedOp { node: node_id, cycle, cluster, fu });
+                        sched.place(PlacedOp {
+                            node: node_id,
+                            cycle,
+                            cluster,
+                            fu,
+                        });
                         placed = true;
                         break;
                     }

@@ -1,9 +1,9 @@
 //! Result types shared by the clustered schedulers and the unrolling policies.
 
 use serde::{Deserialize, Serialize};
+use vliw_arch::MachineConfig;
 use vliw_ddg::DepGraph;
 use vliw_sms::{ModuloSchedule, ScheduleError, SmsScheduler};
-use vliw_arch::MachineConfig;
 
 /// The outcome of scheduling one loop (possibly after unrolling).
 ///

@@ -35,8 +35,11 @@ pub enum UnrollPolicy {
 
 impl UnrollPolicy {
     /// All policies, in the order the paper's Figure 8 presents them.
-    pub const ALL: [UnrollPolicy; 3] =
-        [UnrollPolicy::None, UnrollPolicy::All, UnrollPolicy::Selective];
+    pub const ALL: [UnrollPolicy; 3] = [
+        UnrollPolicy::None,
+        UnrollPolicy::All,
+        UnrollPolicy::Selective,
+    ];
 
     /// Human-readable label matching the paper's figures.
     pub fn label(self) -> &'static str {
@@ -105,7 +108,9 @@ impl<S: LoopScheduler> SelectiveUnroller<S> {
         }
         let unrolled = unroll(graph, factor);
         match self.scheduler.schedule_loop(&unrolled) {
-            Ok(sched) => Ok(ClusterSchedule::from_unrolled(graph, unrolled, sched, factor)),
+            Ok(sched) => Ok(ClusterSchedule::from_unrolled(
+                graph, unrolled, sched, factor,
+            )),
             Err(_) => self.schedule_original(graph),
         }
     }
@@ -126,7 +131,8 @@ impl<S: LoopScheduler> SelectiveUnroller<S> {
         // (4) comneeded = NDepsNotMult(G) * ufactor
         let comneeded = graph.deps_not_multiple_of(ufactor) as u64 * ufactor as u64;
         // (5) cycneeded = ceil(comneeded / nbuses) * latbus
-        let cycneeded = comneeded.div_ceil(machine.buses.count as u64) * machine.buses.latency as u64;
+        let cycneeded =
+            comneeded.div_ceil(machine.buses.count as u64) * machine.buses.latency as u64;
         // (6) Unroll only if the communications fit under the current II.  Keep the
         // original schedule when the unrolled body turns out to be unschedulable.
         if cycneeded < sched.ii() as u64 {
@@ -242,8 +248,12 @@ mod tests {
         let sel = driver
             .schedule_with_policy(&g, UnrollPolicy::Selective)
             .unwrap();
-        assert!(sel.ipc() + 1e-9 >= none.ipc() * 0.99,
-            "selective {} vs none {}", sel.ipc(), none.ipc());
+        assert!(
+            sel.ipc() + 1e-9 >= none.ipc() * 0.99,
+            "selective {} vs none {}",
+            sel.ipc(),
+            none.ipc()
+        );
     }
 
     #[test]

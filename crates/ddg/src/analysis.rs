@@ -181,6 +181,7 @@ mod tests {
         assert!(an.is_critical(d));
         assert!(!an.is_critical(c));
         assert_eq!(an.mobility(c), 14); // can slide by 17 - 3
+
         // heights decrease towards the sinks
         assert!(an.height(a) > an.height(b));
         assert_eq!(an.height(d), 0);

@@ -177,6 +177,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "unknown node name")]
     fn unknown_name_panics() {
-        let _ = GraphBuilder::new("x").node("a", OpClass::IntAlu).flow("a", "b");
+        let _ = GraphBuilder::new("x")
+            .node("a", OpClass::IntAlu)
+            .flow("a", "b");
     }
 }

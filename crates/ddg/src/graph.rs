@@ -164,10 +164,13 @@ impl DepGraph {
         self.nodes.push(Node {
             id,
             class: node.class,
-            name: node
-                .name
-                .as_ref()
-                .map(|n| if copy == 0 { n.clone() } else { format!("{n}'{copy}") }),
+            name: node.name.as_ref().map(|n| {
+                if copy == 0 {
+                    n.clone()
+                } else {
+                    format!("{n}'{copy}")
+                }
+            }),
             copy,
             original: node.original,
         });
@@ -186,7 +189,10 @@ impl DepGraph {
         kind: DepKind,
     ) -> EdgeId {
         assert!(src.index() < self.nodes.len(), "unknown source node {src}");
-        assert!(dst.index() < self.nodes.len(), "unknown destination node {dst}");
+        assert!(
+            dst.index() < self.nodes.len(),
+            "unknown destination node {dst}"
+        );
         let id = EdgeId(self.edges.len() as u32);
         self.edges.push(Edge {
             id,

@@ -28,7 +28,10 @@ pub fn res_mii(graph: &DepGraph, machine: &MachineConfig) -> u32 {
         if ops == 0 {
             continue;
         }
-        assert!(units > 0, "graph uses {kind} units but the machine has none");
+        assert!(
+            units > 0,
+            "graph uses {kind} units but the machine has none"
+        );
         let bound = ops.div_ceil(units) as u32;
         best = best.max(bound);
     }

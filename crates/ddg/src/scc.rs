@@ -87,17 +87,18 @@ pub fn recurrences(graph: &DepGraph) -> Vec<Recurrence> {
     let mut recs: Vec<Recurrence> = sccs(graph)
         .into_iter()
         .filter(|component| {
-            component.len() > 1
-                || graph
-                    .out_edges(component[0])
-                    .any(|e| e.dst == component[0])
+            component.len() > 1 || graph.out_edges(component[0]).any(|e| e.dst == component[0])
         })
         .map(|nodes| {
             let rec_mii = component_rec_mii(graph, &nodes);
             Recurrence { nodes, rec_mii }
         })
         .collect();
-    recs.sort_by(|a, b| b.rec_mii.cmp(&a.rec_mii).then(a.nodes.len().cmp(&b.nodes.len())));
+    recs.sort_by(|a, b| {
+        b.rec_mii
+            .cmp(&a.rec_mii)
+            .then(a.nodes.len().cmp(&b.nodes.len()))
+    });
     recs
 }
 
@@ -115,7 +116,11 @@ fn component_rec_mii(graph: &DepGraph, nodes: &[NodeId]) -> u32 {
     if internal_edges.is_empty() {
         return 1;
     }
-    let hi_bound: u64 = internal_edges.iter().map(|e| e.latency as u64).sum::<u64>().max(1);
+    let hi_bound: u64 = internal_edges
+        .iter()
+        .map(|e| e.latency as u64)
+        .sum::<u64>()
+        .max(1);
     let positive_cycle = |ii: u32| -> bool {
         let mut dist = vec![0i64; graph.n_nodes()];
         for _ in 0..nodes.len() {

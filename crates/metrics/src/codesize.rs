@@ -18,8 +18,8 @@
 //! cross-check lives in the tests).
 
 use serde::{Deserialize, Serialize};
-use vliw_sms::ModuloSchedule;
 use vliw_arch::MachineConfig;
+use vliw_sms::ModuloSchedule;
 
 /// Code-size of one scheduled loop, in operation slots.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -44,7 +44,10 @@ impl CodeSizeReport {
 
     /// An all-zero report.
     pub fn zero() -> Self {
-        Self { useful_ops: 0, total_slots: 0 }
+        Self {
+            useful_ops: 0,
+            total_slots: 0,
+        }
     }
 }
 
@@ -57,7 +60,9 @@ pub struct CodeSizeModel {
 impl CodeSizeModel {
     /// A code-size model for `machine`.
     pub fn new(machine: &MachineConfig) -> Self {
-        Self { machine: machine.clone() }
+        Self {
+            machine: machine.clone(),
+        }
     }
 
     /// The code size of one scheduled loop.
@@ -173,14 +178,23 @@ mod tests {
         let unrolled = vliw_ddg::unroll(&g, 2);
         let sched = SmsScheduler::new(&machine).schedule(&unrolled).unwrap();
         let report = CodeSizeModel::new(&machine).loop_size(&sched, unrolled.n_nodes());
-        assert_eq!(report.useful_ops, unrolled.n_nodes() as u64 * sched.stage_count() as u64);
+        assert_eq!(
+            report.useful_ops,
+            unrolled.n_nodes() as u64 * sched.stage_count() as u64
+        );
         assert!(report.useful_ops >= g.n_nodes() as u64 * 2);
     }
 
     #[test]
     fn aggregation_sums_reports() {
-        let a = CodeSizeReport { useful_ops: 10, total_slots: 100 };
-        let b = CodeSizeReport { useful_ops: 5, total_slots: 50 };
+        let a = CodeSizeReport {
+            useful_ops: 10,
+            total_slots: 100,
+        };
+        let b = CodeSizeReport {
+            useful_ops: 5,
+            total_slots: 50,
+        };
         let sum = CodeSizeModel::aggregate([a, b]);
         assert_eq!(sum.useful_ops, 15);
         assert_eq!(sum.total_slots, 150);

@@ -11,9 +11,9 @@
 
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use vliw_arch::MachineConfig;
 use vliw_ddg::DepGraph;
 use vliw_sms::ModuloSchedule;
-use vliw_arch::MachineConfig;
 
 /// Outcome of simulating a scheduled loop.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -59,7 +59,9 @@ pub struct KernelSimulator {
 impl KernelSimulator {
     /// A simulator for `machine`.
     pub fn new(machine: &MachineConfig) -> Self {
-        Self { machine: machine.clone() }
+        Self {
+            machine: machine.clone(),
+        }
     }
 
     /// Execute `iterations` iterations of the scheduled loop.
@@ -181,9 +183,7 @@ impl KernelSimulator {
                         sched
                             .comms()
                             .iter()
-                            .filter(|c| {
-                                c.src_node == e.src && c.to_cluster == consumer.cluster
-                            })
+                            .filter(|c| c.src_node == e.src && c.to_cluster == consumer.cluster)
                             .map(|c| {
                                 let base = c.start_cycle - min_cycle;
                                 let k = (ready - base + ii - 1).div_euclid(ii);

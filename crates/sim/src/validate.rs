@@ -2,9 +2,9 @@
 
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use vliw_arch::{MachineConfig, ResourceKind, ResourcePool};
 use vliw_ddg::DepGraph;
 use vliw_sms::{LifetimeMap, ModuloSchedule};
-use vliw_arch::{MachineConfig, ResourceKind, ResourcePool};
 
 /// One rule violation found in a schedule.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -72,7 +72,9 @@ pub struct ScheduleValidator {
 impl ScheduleValidator {
     /// A validator for `machine`.
     pub fn new(machine: &MachineConfig) -> Self {
-        Self { machine: machine.clone() }
+        Self {
+            machine: machine.clone(),
+        }
     }
 
     /// Audit `sched` against `graph`; returns every violation found (empty = valid).
@@ -176,8 +178,7 @@ impl ScheduleValidator {
                     }
                 }
             } else {
-                let slack =
-                    pv.cycle + e.distance as i64 * ii - (pu.cycle + e.latency as i64);
+                let slack = pv.cycle + e.distance as i64 * ii - (pu.cycle + e.latency as i64);
                 if slack < 0 {
                     violations.push(Violation::DependenceViolated {
                         src: graph.node(e.src).label(),
@@ -266,7 +267,11 @@ mod tests {
         let g = saxpy();
         let sched = SmsScheduler::new(&machine).schedule(&g).unwrap();
         let validator = ScheduleValidator::new(&machine);
-        assert!(validator.is_valid(&g, &sched), "{:?}", validator.validate(&g, &sched));
+        assert!(
+            validator.is_valid(&g, &sched),
+            "{:?}",
+            validator.validate(&g, &sched)
+        );
     }
 
     #[test]
@@ -275,7 +280,9 @@ mod tests {
         let g = saxpy();
         let sched = vliw_sms::ModuloSchedule::new("saxpy", g.n_nodes(), 2, 1);
         let v = ScheduleValidator::new(&machine).validate(&g, &sched);
-        assert!(v.iter().any(|x| matches!(x, Violation::UnscheduledNode { .. })));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::UnscheduledNode { .. })));
     }
 
     #[test]
@@ -315,8 +322,18 @@ mod tests {
         let b = g.add_node(OpClass::Load);
         let mut sched = vliw_sms::ModuloSchedule::new("conflict", 2, 2, 1);
         let fu = pool.fus(0, FuKind::Mem).next().unwrap();
-        sched.place(PlacedOp { node: a, cycle: 0, cluster: 0, fu });
-        sched.place(PlacedOp { node: b, cycle: 2, cluster: 0, fu }); // same row mod 2
+        sched.place(PlacedOp {
+            node: a,
+            cycle: 0,
+            cluster: 0,
+            fu,
+        });
+        sched.place(PlacedOp {
+            node: b,
+            cycle: 2,
+            cluster: 0,
+            fu,
+        }); // same row mod 2
         let v = ScheduleValidator::new(&machine).validate(&g, &sched);
         assert!(v.iter().any(|x| matches!(x, Violation::FuConflict { .. })));
     }
@@ -362,7 +379,9 @@ mod tests {
             fu: pool.fus(0, FuKind::Int).next().unwrap(),
         });
         let v = ScheduleValidator::new(&machine).validate(&g, &sched);
-        assert!(v.iter().any(|x| matches!(x, Violation::BadPlacement { .. })));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::BadPlacement { .. })));
     }
 
     #[test]
@@ -391,6 +410,8 @@ mod tests {
             fu: pool.fus(0, FuKind::Fp).next().unwrap(),
         });
         let v = ScheduleValidator::new(&machine).validate(&g, &sched);
-        assert!(v.iter().any(|x| matches!(x, Violation::RegisterOverflow { .. })));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::RegisterOverflow { .. })));
     }
 }

@@ -46,5 +46,6 @@ pub const MAX_II_SLACK: u32 = 32;
 
 /// The maximum II the schedulers will try for a loop with the given minimum II.
 pub fn max_ii(mii: u32) -> u32 {
-    mii.saturating_mul(MAX_II_FACTOR).saturating_add(MAX_II_SLACK)
+    mii.saturating_mul(MAX_II_FACTOR)
+        .saturating_add(MAX_II_SLACK)
 }

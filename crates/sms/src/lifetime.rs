@@ -24,8 +24,8 @@
 
 use crate::schedule::ModuloSchedule;
 use serde::{Deserialize, Serialize};
-use vliw_ddg::{DepGraph, NodeId};
 use vliw_arch::MachineConfig;
+use vliw_ddg::{DepGraph, NodeId};
 
 /// One live range contributing register pressure to a cluster.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -74,17 +74,22 @@ impl LifetimeMap {
             if !node.class.defines_value() {
                 continue;
             }
-            let Some(prod) = sched.placement(node.id) else { continue };
+            let Some(prod) = sched.placement(node.id) else {
+                continue;
+            };
 
             // Producer-side range: from issue until the last read performed from this
             // cluster's register file (local consumers, or the bus transfer start for
             // remote consumers).
             let mut last_local_read = prod.cycle + 1; // minimum 1-cycle occupancy
+
             // Receiver-side ranges are grouped per destination cluster.
             let mut remote_last_read: Vec<Option<(i64, i64)>> = vec![None; machine.n_clusters];
 
             for e in graph.out_edges(node.id).filter(|e| e.kind.carries_value()) {
-                let Some(cons) = sched.placement(e.dst) else { continue };
+                let Some(cons) = sched.placement(e.dst) else {
+                    continue;
+                };
                 let read_cycle = cons.cycle + e.distance as i64 * ii as i64;
                 if cons.cluster == prod.cluster {
                     last_local_read = last_local_read.max(read_cycle);
@@ -141,8 +146,8 @@ impl LifetimeMap {
                 for (row, slot) in pressure[r.cluster].iter_mut().enumerate() {
                     *slot += full;
                     let covered = (0..rem).any(|k| {
-                        (r.start + (len / ii as i64) * ii as i64 + k as i64)
-                            .rem_euclid(ii as i64) as usize
+                        (r.start + (len / ii as i64) * ii as i64 + k as i64).rem_euclid(ii as i64)
+                            as usize
                             == row
                     });
                     if covered {
@@ -157,7 +162,11 @@ impl LifetimeMap {
             }
         }
 
-        Self { ranges, pressure, ii }
+        Self {
+            ranges,
+            pressure,
+            ii,
+        }
     }
 
     /// Maximum number of simultaneously live values per cluster.

@@ -131,12 +131,7 @@ impl ModuloReservationTable {
 
     /// Find, among `resources`, one that is free for `duration` consecutive cycles
     /// starting at `cycle`.
-    pub fn find_free_for<I>(
-        &self,
-        resources: I,
-        cycle: i64,
-        duration: u32,
-    ) -> Option<ResourceIndex>
+    pub fn find_free_for<I>(&self, resources: I, cycle: i64, duration: u32) -> Option<ResourceIndex>
     where
         I: IntoIterator<Item = ResourceIndex>,
     {

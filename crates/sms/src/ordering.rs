@@ -54,7 +54,12 @@ impl OrderingContext {
     /// Whether `node` starts a new connected subgraph in the order, i.e. none of its
     /// direct neighbours appears earlier in the order.  The paper's BSA uses this to
     /// rotate the default cluster (Figure 5, step 2).
-    pub fn starts_new_subgraph(&self, graph: &DepGraph, sched: &ModuloSchedule, node: NodeId) -> bool {
+    pub fn starts_new_subgraph(
+        &self,
+        graph: &DepGraph,
+        sched: &ModuloSchedule,
+        node: NodeId,
+    ) -> bool {
         let has_sched_pred = graph
             .predecessors(node)
             .any(|p| p != node && sched.placement(p).is_some());
@@ -151,13 +156,9 @@ fn order_nodes(graph: &DepGraph, analysis: &GraphAnalysis) -> Vec<NodeId> {
                 }
                 while !frontier.is_empty() {
                     let v = if bottom_up {
-                        pick(&frontier, |n| {
-                            (analysis.depth(n), -analysis.mobility(n))
-                        })
+                        pick(&frontier, |n| (analysis.depth(n), -analysis.mobility(n)))
                     } else {
-                        pick(&frontier, |n| {
-                            (analysis.height(n), -analysis.mobility(n))
-                        })
+                        pick(&frontier, |n| (analysis.height(n), -analysis.mobility(n)))
                     };
                     frontier.remove(&v);
                     order.push(v);
@@ -254,10 +255,8 @@ fn node_sets(graph: &DepGraph) -> Vec<Vec<NodeId>> {
         visited[start.index()] = true;
         while let Some(v) = stack.pop() {
             component.push(v);
-            let neighbours: Vec<NodeId> = graph
-                .successors(v)
-                .chain(graph.predecessors(v))
-                .collect();
+            let neighbours: Vec<NodeId> =
+                graph.successors(v).chain(graph.predecessors(v)).collect();
             for next in neighbours {
                 if !visited[next.index()] && !assigned[next.index()] {
                     visited[next.index()] = true;
@@ -375,8 +374,8 @@ mod tests {
         // previous one in the order).
         for w in order.windows(2) {
             let (prev, next) = (w[0], w[1]);
-            let adjacent = g.successors(prev).any(|s| s == next)
-                || g.predecessors(prev).any(|p| p == next);
+            let adjacent =
+                g.successors(prev).any(|s| s == next) || g.predecessors(prev).any(|p| p == next);
             assert!(adjacent, "chain order not contiguous: {prev} then {next}");
         }
     }

@@ -3,11 +3,11 @@
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
-use vliw_ddg::{DepGraph, NodeId};
 use vliw_arch::{
     ClusterInstruction, FuSlot, InBusField, MachineConfig, Operation, OutBusField, ResourceIndex,
     ResourceKind, ResourcePool, VliwInstruction, VliwProgram,
 };
+use vliw_ddg::{DepGraph, NodeId};
 
 /// Why a loop could not be scheduled.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -277,8 +277,7 @@ impl ModuloSchedule {
                     stage,
                 });
             }
-            let receiver: &mut ClusterInstruction =
-                &mut instrs[arrive_row].clusters[c.to_cluster];
+            let receiver: &mut ClusterInstruction = &mut instrs[arrive_row].clusters[c.to_cluster];
             if receiver.in_bus.is_none() {
                 receiver.in_bus = Some(InBusField {
                     bus: bus_no,
@@ -286,7 +285,9 @@ impl ModuloSchedule {
                 });
             }
         }
-        VliwProgram { instructions: instrs }
+        VliwProgram {
+            instructions: instrs,
+        }
     }
 
     /// Emit the complete software-pipelined code (prologue, kernel, epilogue) for a
@@ -338,17 +339,18 @@ impl ModuloSchedule {
             self.mii,
             self.stage_count(),
             self.comms.len(),
-            if self.limited_by_bus { ", bus-limited" } else { "" }
+            if self.limited_by_bus {
+                ", bus-limited"
+            } else {
+                ""
+            }
         )
     }
 }
 
 /// Map every functional-unit resource row to its slot index within its cluster's
 /// instruction (`ClusterInstruction::slots` layout).
-fn build_slot_map(
-    pool: &ResourcePool,
-    machine: &MachineConfig,
-) -> HashMap<ResourceIndex, usize> {
+fn build_slot_map(pool: &ResourcePool, machine: &MachineConfig) -> HashMap<ResourceIndex, usize> {
     let mut map = HashMap::new();
     for cluster in machine.clusters() {
         let mut slot = 0usize;
@@ -427,7 +429,7 @@ mod tests {
         s.normalize();
         let c0 = s.placement(NodeId(0)).unwrap().cycle;
         let c1 = s.placement(NodeId(1)).unwrap().cycle;
-        assert!(c0 >= 0 && c0 < 3, "c0 = {c0}");
+        assert!((0..3).contains(&c0), "c0 = {c0}");
         assert_eq!(c1 - c0, 3); // relative distance preserved
     }
 
@@ -537,7 +539,10 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = ScheduleError::MaxIiExceeded { mii: 4, max_ii_tried: 64 };
+        let e = ScheduleError::MaxIiExceeded {
+            mii: 4,
+            max_ii_tried: 64,
+        };
         assert!(e.to_string().contains("MII=4"));
         let e2 = ScheduleError::InvalidGraph("bad".into());
         assert!(e2.to_string().contains("bad"));

@@ -45,7 +45,9 @@ pub fn early_start(
             // constrains the placement cycle itself.
             continue;
         }
-        let Some(p) = sched.placement(e.src) else { continue };
+        let Some(p) = sched.placement(e.src) else {
+            continue;
+        };
         let mut lat = e.latency as i64;
         if let Some(c) = target_cluster {
             if e.kind.carries_value() && p.cluster != c {
@@ -76,7 +78,9 @@ pub fn late_start(
         if e.dst == node {
             continue;
         }
-        let Some(s) = sched.placement(e.dst) else { continue };
+        let Some(s) = sched.placement(e.dst) else {
+            continue;
+        };
         let mut lat = e.latency as i64;
         if let Some(c) = target_cluster {
             if e.kind.carries_value() && s.cluster != c {

@@ -10,13 +10,13 @@
 //! machinery exposed here.
 
 use crate::lifetime::LifetimeMap;
+use crate::max_ii;
 use crate::mrt::ModuloReservationTable;
 use crate::ordering::OrderingContext;
 use crate::schedule::{ModuloSchedule, PlacedOp, ScheduleError};
 use crate::slots::{early_start, late_start, SlotScan};
-use crate::max_ii;
-use vliw_ddg::{mii, DepGraph};
 use vliw_arch::{MachineConfig, ResourcePool};
+use vliw_ddg::{mii, DepGraph};
 
 /// Swing Modulo Scheduler for a unified (single-cluster) VLIW machine.
 #[derive(Debug, Clone)]
@@ -47,16 +47,17 @@ impl SmsScheduler {
 
     /// Modulo schedule `graph`, searching initiation intervals upward from MII.
     pub fn schedule(&self, graph: &DepGraph) -> Result<ModuloSchedule, ScheduleError> {
-        graph
-            .validate()
-            .map_err(ScheduleError::InvalidGraph)?;
+        graph.validate().map_err(ScheduleError::InvalidGraph)?;
         let mii = mii(graph, &self.machine);
         let limit = max_ii(mii);
         for ii in mii..=limit {
             // The SMS order gives the best schedules; the topological fallback order
             // guarantees progress on graphs where the SMS order sandwiches a node
             // between already-placed predecessors and successors.
-            let orders = [OrderingContext::new(graph, ii), OrderingContext::topological(graph, ii)];
+            let orders = [
+                OrderingContext::new(graph, ii),
+                OrderingContext::topological(graph, ii),
+            ];
             for ctx in &orders {
                 if let Some(mut sched) = self.try_schedule(graph, ctx, ii, mii) {
                     sched.normalize();
@@ -64,7 +65,10 @@ impl SmsScheduler {
                 }
             }
         }
-        Err(ScheduleError::MaxIiExceeded { mii, max_ii_tried: limit })
+        Err(ScheduleError::MaxIiExceeded {
+            mii,
+            max_ii_tried: limit,
+        })
     }
 
     /// Attempt a schedule at a fixed `ii`; `None` if some node cannot be placed or the
@@ -92,7 +96,12 @@ impl SmsScheduler {
             for cycle in scan {
                 if let Some(fu) = mrt.find_free(pool.fus(0, kind), cycle) {
                     mrt.reserve(fu, cycle);
-                    sched.place(PlacedOp { node: node_id, cycle, cluster: 0, fu });
+                    sched.place(PlacedOp {
+                        node: node_id,
+                        cycle,
+                        cluster: 0,
+                        fu,
+                    });
                     placed = true;
                     break;
                 }

@@ -96,7 +96,9 @@ pub struct CycleTimeModel {
 impl CycleTimeModel {
     /// A cycle-time model using the default 0.18 µm calibration.
     pub fn new() -> Self {
-        Self { model: PalacharlaModel::technology_180nm() }
+        Self {
+            model: PalacharlaModel::technology_180nm(),
+        }
     }
 
     /// A cycle-time model with custom constants.

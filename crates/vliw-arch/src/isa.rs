@@ -248,7 +248,11 @@ mod tests {
         let machine = MachineConfig::four_cluster(1, 1);
         let mut instr = VliwInstruction::nops(&machine);
         assert!(instr.is_empty());
-        instr.clusters[2].out_bus = Some(OutBusField { bus: 0, node: 9, stage: 1 });
+        instr.clusters[2].out_bus = Some(OutBusField {
+            bus: 0,
+            node: 9,
+            stage: 1,
+        });
         assert!(!instr.is_empty());
         assert_eq!(instr.useful_ops(), 0);
     }

@@ -73,7 +73,10 @@ impl BusConfig {
     /// The bus configuration of a unified machine: no buses are needed because every
     /// functional unit reads the single register file.
     pub fn none() -> Self {
-        Self { count: 0, latency: 1 }
+        Self {
+            count: 0,
+            latency: 1,
+        }
     }
 }
 
@@ -232,7 +235,11 @@ impl fmt::Display for MachineConfig {
             self.cluster.registers,
         )?;
         if self.buses.count > 0 {
-            write!(f, ", {} bus(es) of {} cycle(s)", self.buses.count, self.buses.latency)?;
+            write!(
+                f,
+                ", {} bus(es) of {} cycle(s)",
+                self.buses.count, self.buses.latency
+            )?;
         }
         Ok(())
     }
@@ -280,7 +287,10 @@ mod tests {
 
     #[test]
     fn unified_counterpart_preserves_totals() {
-        for m in [MachineConfig::two_cluster(1, 1), MachineConfig::four_cluster(2, 4)] {
+        for m in [
+            MachineConfig::two_cluster(1, 1),
+            MachineConfig::four_cluster(2, 4),
+        ] {
             let u = m.unified_counterpart();
             assert_eq!(u.n_clusters, 1);
             assert_eq!(u.total_issue_width(), m.total_issue_width());
@@ -294,7 +304,10 @@ mod tests {
         // Unified: 12 FUs, no buses -> 24 read, 12 write.
         assert_eq!(MachineConfig::unified().register_file_ports(), (24, 12));
         // 4-cluster with 2 buses: 3 FUs per cluster -> 6+2 read, 3+2 write.
-        assert_eq!(MachineConfig::four_cluster(2, 1).register_file_ports(), (8, 5));
+        assert_eq!(
+            MachineConfig::four_cluster(2, 1).register_file_ports(),
+            (8, 5)
+        );
     }
 
     #[test]

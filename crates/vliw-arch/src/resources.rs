@@ -47,7 +47,11 @@ pub enum ResourceKind {
 impl fmt::Display for ResourceKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ResourceKind::Fu { cluster, kind, unit } => {
+            ResourceKind::Fu {
+                cluster,
+                kind,
+                unit,
+            } => {
                 write!(f, "c{cluster}.{kind}{unit}")
             }
             ResourceKind::Bus { bus } => write!(f, "bus{bus}"),
@@ -85,7 +89,11 @@ impl ResourcePool {
             for kind in FuKind::ALL {
                 bases[kind.index()] = rows.len();
                 for unit in 0..machine.cluster.fu_count(kind) {
-                    rows.push(ResourceKind::Fu { cluster, kind, unit });
+                    rows.push(ResourceKind::Fu {
+                        cluster,
+                        kind,
+                        unit,
+                    });
                 }
             }
             fu_base.push(bases);
@@ -191,7 +199,11 @@ mod tests {
                 for idx in pool.fus(cluster, kind) {
                     assert_eq!(pool.cluster_of(idx), Some(cluster));
                     match pool.kind(idx) {
-                        ResourceKind::Fu { cluster: c, kind: k, .. } => {
+                        ResourceKind::Fu {
+                            cluster: c,
+                            kind: k,
+                            ..
+                        } => {
                             assert_eq!(c, cluster);
                             assert_eq!(k, kind);
                         }

@@ -103,7 +103,9 @@ impl LoopGenerator {
         let mut statement_roots: Vec<NodeId> = Vec::with_capacity(n_statements);
 
         for s in 0..n_statements {
-            let n_loads = self.rng.gen_range(p.min_loads_per_stmt..=p.max_loads_per_stmt);
+            let n_loads = self
+                .rng
+                .gen_range(p.min_loads_per_stmt..=p.max_loads_per_stmt);
             let mut frontier: Vec<NodeId> = Vec::with_capacity(n_loads);
             for l in 0..n_loads {
                 let load = g.add_named_node(OpClass::Load, Some(format!("s{s}_ld{l}")));
@@ -134,9 +136,7 @@ impl LoopGenerator {
                 self.add_flow(&mut g, b, op, 0);
                 frontier.push(op);
             }
-            let root = frontier
-                .pop()
-                .expect("statement has at least one leaf");
+            let root = frontier.pop().expect("statement has at least one leaf");
 
             if self.rng.gen_bool(p.reduction_prob) {
                 // Reduction: acc = acc + root.
@@ -207,7 +207,11 @@ mod tests {
         for g in gen.generate_many("loop", 50) {
             assert!(g.validate().is_ok());
             assert!(g.n_nodes() >= 3);
-            assert!(g.n_nodes() <= 120, "unexpectedly large loop: {}", g.n_nodes());
+            assert!(
+                g.n_nodes() <= 120,
+                "unexpectedly large loop: {}",
+                g.n_nodes()
+            );
             assert!(g.iterations >= 16);
             assert!(g.invocations >= 1);
             // Every loop has the induction recurrence.
@@ -248,8 +252,14 @@ mod tests {
 
     #[test]
     fn carried_dep_probability_increases_loop_carried_edges() {
-        let low = GeneratorProfile { carried_dep_prob: 0.0, ..Default::default() };
-        let high = GeneratorProfile { carried_dep_prob: 0.9, ..Default::default() };
+        let low = GeneratorProfile {
+            carried_dep_prob: 0.0,
+            ..Default::default()
+        };
+        let high = GeneratorProfile {
+            carried_dep_prob: 0.9,
+            ..Default::default()
+        };
         let count = |profile: GeneratorProfile| -> usize {
             let mut gen = LoopGenerator::new(profile, 3);
             gen.generate_many("c", 40)

@@ -223,7 +223,10 @@ mod tests {
         for (name, g) in named_kernels() {
             assert!(g.validate().is_ok(), "kernel {name} invalid");
             assert!(g.n_nodes() >= 5, "kernel {name} suspiciously small");
-            assert!(g.iterations > 4, "kernel {name} below the paper's iteration cutoff");
+            assert!(
+                g.iterations > 4,
+                "kernel {name} below the paper's iteration cutoff"
+            );
         }
     }
 

@@ -291,8 +291,17 @@ mod tests {
         for corpus in LoopCorpus::all() {
             assert!(!corpus.is_empty());
             for g in &corpus.loops {
-                assert!(g.validate().is_ok(), "{}: invalid loop {}", corpus.benchmark, g.name);
-                assert!(g.iterations > 4, "{}: loop below the cutoff", corpus.benchmark);
+                assert!(
+                    g.validate().is_ok(),
+                    "{}: invalid loop {}",
+                    corpus.benchmark,
+                    g.name
+                );
+                assert!(
+                    g.iterations > 4,
+                    "{}: loop below the cutoff",
+                    corpus.benchmark
+                );
             }
         }
     }
@@ -332,6 +341,9 @@ mod tests {
     fn total_dynamic_ops_is_positive_and_stable() {
         let c = LoopCorpus::generate(SpecFp95::Applu);
         assert!(c.total_dynamic_ops() > 0);
-        assert_eq!(c.total_dynamic_ops(), LoopCorpus::generate(SpecFp95::Applu).total_dynamic_ops());
+        assert_eq!(
+            c.total_dynamic_ops(),
+            LoopCorpus::generate(SpecFp95::Applu).total_dynamic_ops()
+        );
     }
 }

@@ -86,8 +86,8 @@ impl CorpusStats {
         let total_carried: usize = per_loop.iter().map(|l| l.loop_carried).sum();
         let mut kind_totals = [0usize; 3];
         for l in &per_loop {
-            for k in 0..3 {
-                kind_totals[k] += l.ops_per_kind[k];
+            for (total, n) in kind_totals.iter_mut().zip(l.ops_per_kind) {
+                *total += n;
             }
         }
         // "Recurrences beyond the induction variable": more than one non-trivial SCC,

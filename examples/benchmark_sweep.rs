@@ -6,17 +6,11 @@
 //! where `benchmark` is one of tomcatv, swim, su2cor, hydro2d, mgrid, applu, turb3d,
 //! apsi, fpppp, wave5 (default: hydro2d).
 
-use clustered_vliw::core::{
-    BsaScheduler, LoopScheduler, SelectiveUnroller, UnrollPolicy,
-};
-use clustered_vliw::prelude::*;
+use clustered_vliw::core::{BsaScheduler, LoopScheduler, SelectiveUnroller, UnrollPolicy};
 use clustered_vliw::metrics::{IpcAccountant, LoopContribution, TextTable};
+use clustered_vliw::prelude::*;
 
-fn corpus_ipc<S: LoopScheduler>(
-    corpus: &LoopCorpus,
-    scheduler: S,
-    policy: UnrollPolicy,
-) -> f64 {
+fn corpus_ipc<S: LoopScheduler>(corpus: &LoopCorpus, scheduler: S, policy: UnrollPolicy) -> f64 {
     let driver = SelectiveUnroller::new(scheduler);
     let mut acc = IpcAccountant::new();
     for graph in &corpus.loops {
@@ -36,7 +30,9 @@ fn corpus_ipc<S: LoopScheduler>(
 }
 
 fn main() {
-    let which = std::env::args().nth(1).unwrap_or_else(|| "hydro2d".to_string());
+    let which = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "hydro2d".to_string());
     let benchmark = SpecFp95::ALL
         .into_iter()
         .find(|b| b.name() == which)

@@ -5,7 +5,9 @@
 //! Run with: `cargo run --release --example codesize_tradeoff`
 
 use clustered_vliw::core::{BsaScheduler, SelectiveUnroller, UnrollPolicy};
-use clustered_vliw::metrics::{CodeSizeModel, CodeSizeReport, IpcAccountant, LoopContribution, TextTable};
+use clustered_vliw::metrics::{
+    CodeSizeModel, CodeSizeReport, IpcAccountant, LoopContribution, TextTable,
+};
 use clustered_vliw::prelude::*;
 
 fn main() {
@@ -13,8 +15,7 @@ fn main() {
     let machine = MachineConfig::four_cluster(1, 2);
     println!("Machine: {machine}\n");
 
-    let corpora = [SpecFp95::Swim, SpecFp95::Hydro2d, SpecFp95::Tomcatv]
-        .map(LoopCorpus::generate);
+    let corpora = [SpecFp95::Swim, SpecFp95::Hydro2d, SpecFp95::Tomcatv].map(LoopCorpus::generate);
 
     let mut table = TextTable::new([
         "benchmark",

@@ -33,10 +33,12 @@ fn main() {
         .flow("add", "st")
         .build();
     println!("{graph}");
-    println!("MII = {} (ResMII {} / RecMII {})\n",
+    println!(
+        "MII = {} (ResMII {} / RecMII {})\n",
         ddg::mii(&graph, &machine),
         ddg::res_mii(&graph, &machine),
-        ddg::rec_mii(&graph));
+        ddg::rec_mii(&graph)
+    );
 
     // 3. Schedule it: cluster assignment and cycle assignment in a single pass, with
     //    the selective unrolling policy of the paper.

@@ -26,15 +26,21 @@ fn arb_loop() -> impl Strategy<Value = DepGraph> {
         Just(OpClass::FpMul),
         Just(OpClass::FpDiv),
     ];
-    (2usize..18, proptest::collection::vec(classes, 18), any::<u64>()).prop_map(
-        |(n_nodes, classes, seed)| {
+    (
+        2usize..18,
+        proptest::collection::vec(classes, 18),
+        any::<u64>(),
+    )
+        .prop_map(|(n_nodes, classes, seed)| {
             let mut g = DepGraph::new(format!("prop_{seed:x}"));
             g.iterations = 8 + (seed % 200);
             let ids: Vec<_> = (0..n_nodes).map(|i| g.add_node(classes[i])).collect();
             // Deterministic pseudo-random edge pattern derived from the seed.
             let mut state = seed | 1;
             let mut next = || {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 state >> 33
             };
             for i in 1..n_nodes {
@@ -54,14 +60,23 @@ fn arb_loop() -> impl Strategy<Value = DepGraph> {
                 let a = (next() as usize) % n_nodes;
                 let b = (next() as usize) % n_nodes;
                 let distance = 1 + (next() % 3) as u32;
-                g.add_edge(ids[a], ids[b], 1 + (next() % 4) as u32, distance, DepKind::Flow);
+                g.add_edge(
+                    ids[a],
+                    ids[b],
+                    1 + (next() % 4) as u32,
+                    distance,
+                    DepKind::Flow,
+                );
             }
             g
-        },
-    )
+        })
 }
 
-fn assert_legal(graph: &DepGraph, sched: &clustered_vliw::sms::ModuloSchedule, machine: &MachineConfig) {
+fn assert_legal(
+    graph: &DepGraph,
+    sched: &clustered_vliw::sms::ModuloSchedule,
+    machine: &MachineConfig,
+) {
     let violations = ScheduleValidator::new(machine).validate(graph, sched);
     assert!(violations.is_empty(), "violations: {violations:?}");
 }

@@ -2,7 +2,9 @@
 //! machine configuration of the paper with every scheduler, then audit each schedule
 //! with the static validator and replay it in the cycle-level simulator.
 
-use clustered_vliw::core::{BsaScheduler, LoopScheduler, NeScheduler, SelectiveUnroller, UnrollPolicy};
+use clustered_vliw::core::{
+    BsaScheduler, LoopScheduler, NeScheduler, SelectiveUnroller, UnrollPolicy,
+};
 use clustered_vliw::prelude::*;
 use clustered_vliw::sim::ScheduleValidator;
 use clustered_vliw::workloads::kernels;
@@ -22,9 +24,8 @@ fn paper_machines() -> Vec<MachineConfig> {
 }
 
 fn schedulers_for(machine: &MachineConfig) -> Vec<Box<dyn LoopScheduler>> {
-    let mut out: Vec<Box<dyn LoopScheduler>> = vec![Box::new(SmsScheduler::new(
-        &machine.unified_counterpart(),
-    ))];
+    let mut out: Vec<Box<dyn LoopScheduler>> =
+        vec![Box::new(SmsScheduler::new(&machine.unified_counterpart()))];
     if machine.is_clustered() {
         out.push(Box::new(BsaScheduler::new(machine)));
         out.push(Box::new(NeScheduler::new(machine)));
@@ -49,7 +50,11 @@ fn every_kernel_schedules_validates_and_simulates_everywhere() {
             }
             .unwrap_or_else(|e| panic!("{name} on {}: {e}", machine.name));
 
-            assert!(sched.ii() >= mii(&graph, &machine), "{name} on {}", machine.name);
+            assert!(
+                sched.ii() >= mii(&graph, &machine),
+                "{name} on {}",
+                machine.name
+            );
             let violations = validator.validate(&graph, &sched);
             assert!(
                 violations.is_empty(),
@@ -127,9 +132,15 @@ fn selective_unrolling_tracks_full_unrolling_ipc_on_bus_starved_machines() {
     let mut cycles_selective = 0u64;
     let mut cycles_none = 0u64;
     for graph in corpus.loops.iter().take(12) {
-        let all = driver.schedule_with_policy(graph, UnrollPolicy::All).unwrap();
-        let sel = driver.schedule_with_policy(graph, UnrollPolicy::Selective).unwrap();
-        let none = driver.schedule_with_policy(graph, UnrollPolicy::None).unwrap();
+        let all = driver
+            .schedule_with_policy(graph, UnrollPolicy::All)
+            .unwrap();
+        let sel = driver
+            .schedule_with_policy(graph, UnrollPolicy::Selective)
+            .unwrap();
+        let none = driver
+            .schedule_with_policy(graph, UnrollPolicy::None)
+            .unwrap();
         unrolled_all += (all.unroll_factor > 1) as usize;
         unrolled_selective += (sel.unroll_factor > 1) as usize;
         cycles_all += all.total_cycles();

@@ -1,0 +1,187 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API shape the workspace's benches use — `Criterion`,
+//! `benchmark_group` / `bench_function` / `bench_with_input`, `BenchmarkId`,
+//! `black_box`, and the `criterion_group!` / `criterion_main!` macros — with a
+//! simple timing loop: each benchmark runs `sample_size` samples and prints the mean
+//! wall-clock time per iteration.  No statistics, plots, or baselines.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimiser from deleting a computation whose result is unused.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` style id.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        Self {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    /// Mean time per iteration of the last `iter` call.
+    last_mean: Duration,
+}
+
+impl Bencher {
+    /// Time `f`, running it `samples` times (after one warm-up call).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(f());
+        }
+        self.last_mean = start.elapsed() / self.samples as u32;
+    }
+}
+
+fn run_one(full_name: &str, samples: usize, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        samples,
+        last_mean: Duration::ZERO,
+    };
+    f(&mut b);
+    println!("bench {full_name:<60} {:>12.3?}/iter", b.last_mean);
+}
+
+/// Top-level benchmark driver (shim).
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function(
+        &mut self,
+        name: impl Display,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&name.to_string(), self.sample_size, f);
+        self
+    }
+
+    /// Run one stand-alone benchmark over an input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_one(&id.label, self.sample_size, |b| f(b, input));
+        self
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one benchmark in this group.
+    pub fn bench_function(
+        &mut self,
+        name: impl Display,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        run_one(
+            &format!("{}/{}", self.name, name),
+            self.criterion.sample_size,
+            f,
+        );
+        self
+    }
+
+    /// Run one benchmark in this group over an input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_one(
+            &format!("{}/{}", self.name, id.label),
+            self.criterion.sample_size,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Override the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n;
+        self
+    }
+
+    /// Finish the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// Define a benchmark-group entry point, mirroring criterion's macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Define the benchmark `main` that runs each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

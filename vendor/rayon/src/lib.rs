@@ -1,0 +1,57 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The build environment has no network access, so this shim provides the
+//! parallel-iterator entry points the workspace calls (`par_iter`,
+//! `into_par_iter`) as *sequential* iterators.  The experiment runner's per-loop
+//! scheduling jobs are independent either way; swapping the real rayon back in is a
+//! one-line Cargo.toml change once a registry is reachable.
+
+/// Drop-in for `rayon::prelude`.
+pub mod prelude {
+    /// `.par_iter()` on collections — sequential fallback.
+    pub trait IntoParallelRefIterator<'data> {
+        /// The iterator type (a plain sequential iterator in this shim).
+        type Iter: Iterator;
+        /// Iterate by reference; in real rayon this is a parallel iterator.
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, T: 'data> IntoParallelRefIterator<'data> for [T] {
+        type Iter = std::slice::Iter<'data, T>;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'data, T: 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type Iter = std::slice::Iter<'data, T>;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    /// `.into_par_iter()` on owned collections — sequential fallback.
+    pub trait IntoParallelIterator {
+        /// The iterator type.
+        type Iter: Iterator;
+        /// Consume `self` into an iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<T> IntoParallelIterator for Vec<T> {
+        type Iter = std::vec::IntoIter<T>;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    impl<T> IntoParallelIterator for std::ops::Range<T>
+    where
+        std::ops::Range<T>: Iterator,
+    {
+        type Iter = std::ops::Range<T>;
+        fn into_par_iter(self) -> Self::Iter {
+            self
+        }
+    }
+}

@@ -1,0 +1,412 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Because the build environment has no network access, `syn`/`quote` are not
+//! available; this crate parses the derive input by walking the raw
+//! [`proc_macro::TokenStream`].  It supports exactly the shapes used in this
+//! workspace: non-generic structs (named, tuple, unit) and enums whose variants are
+//! unit, tuple or struct-like.  Generics and `#[serde(...)]` attributes are
+//! deliberately rejected.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Body {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+enum Input {
+    Struct {
+        name: String,
+        body: Body,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Body)>,
+    },
+}
+
+/// Skip any number of outer attributes (`#[...]`, including doc comments) and a
+/// visibility qualifier (`pub`, `pub(crate)`, ...) at the current position.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` followed by a bracketed group.
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Parse the fields of a braced (named-field) body: `{ [attrs] [vis] name: Ty, ... }`.
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde shim derive: expected field name, got {other:?}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde shim derive: expected `:` after field `{name}`, got {other:?}"),
+        }
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while let Some(tok) = tokens.get(i) {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+            i += 1;
+        }
+        i += 1; // past the comma (or end)
+        fields.push(name);
+    }
+    fields
+}
+
+/// Count the fields of a parenthesised (tuple) body.
+fn count_tuple_fields(group: &proc_macro::Group) -> usize {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut depth = 0i32;
+    for tok in &tokens {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => count += 1,
+            _ => {}
+        }
+    }
+    // A trailing comma does not add a field.
+    if let Some(TokenTree::Punct(p)) = tokens.last() {
+        if p.as_char() == ',' && depth == 0 {
+            count -= 1;
+        }
+    }
+    count
+}
+
+fn parse_variants(group: &proc_macro::Group) -> Vec<(String, Body)> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde shim derive: expected variant name, got {other:?}"),
+        };
+        i += 1;
+        let body = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Body::Named(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Body::Tuple(count_tuple_fields(g))
+            }
+            _ => Body::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the separating comma.
+        while let Some(tok) = tokens.get(i) {
+            if let TokenTree::Punct(p) = tok {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        variants.push((name, body));
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected type name, got {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde shim derive: generic type `{name}` is not supported");
+        }
+    }
+    match kind.as_str() {
+        "struct" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Body::Named(parse_named_fields(g))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Body::Tuple(count_tuple_fields(g))
+                }
+                _ => Body::Unit,
+            };
+            Input::Struct { name, body }
+        }
+        "enum" => {
+            let variants = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => parse_variants(g),
+                other => panic!("serde shim derive: expected enum body, got {other:?}"),
+            };
+            Input::Enum { name, variants }
+        }
+        other => panic!("serde shim derive: unsupported item kind `{other}`"),
+    }
+}
+
+/// Serialization expression for one payload, plus the matching pattern.
+fn variant_arms(name: &str, variants: &[(String, Body)], ser: bool) -> String {
+    let mut out = String::new();
+    for (vname, body) in variants {
+        match body {
+            Body::Unit => {
+                if ser {
+                    out.push_str(&format!(
+                        "{name}::{vname} => serde::Value::Str(\"{vname}\".to_string()),\n"
+                    ));
+                }
+            }
+            Body::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                let pat = binds.join(", ");
+                if ser {
+                    let payload = if *n == 1 {
+                        "serde::Serialize::to_value(__f0)".to_string()
+                    } else {
+                        format!(
+                            "serde::Value::Seq(vec![{}])",
+                            binds
+                                .iter()
+                                .map(|b| format!("serde::Serialize::to_value({b})"))
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        )
+                    };
+                    out.push_str(&format!(
+                        "{name}::{vname}({pat}) => serde::Value::Map(vec![(\"{vname}\".to_string(), {payload})]),\n"
+                    ));
+                }
+            }
+            Body::Named(fields) => {
+                if ser {
+                    let pat = fields.join(", ");
+                    let entries = fields
+                        .iter()
+                        .map(|f| format!("(\"{f}\".to_string(), serde::Serialize::to_value({f}))"))
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    out.push_str(&format!(
+                        "{name}::{vname} {{ {pat} }} => serde::Value::Map(vec![(\"{vname}\".to_string(), serde::Value::Map(vec![{entries}]))]),\n"
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+fn derive_serialize_impl(input: Input) -> String {
+    match input {
+        Input::Struct { name, body } => {
+            let expr = match body {
+                Body::Named(fields) => {
+                    let entries = fields
+                        .iter()
+                        .map(|f| {
+                            format!("(\"{f}\".to_string(), serde::Serialize::to_value(&self.{f}))")
+                        })
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    format!("serde::Value::Map(vec![{entries}])")
+                }
+                Body::Tuple(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+                Body::Tuple(n) => {
+                    let items = (0..n)
+                        .map(|k| format!("serde::Serialize::to_value(&self.{k})"))
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    format!("serde::Value::Seq(vec![{items}])")
+                }
+                Body::Unit => "serde::Value::Null".to_string(),
+            };
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{ {expr} }}\n\
+                 }}"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let arms = variant_arms(&name, &variants, true);
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{ match self {{ {arms} }} }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn derive_deserialize_impl(input: Input) -> String {
+    match input {
+        Input::Struct { name, body } => {
+            let body_code = match body {
+                Body::Named(fields) => {
+                    let inits = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: serde::Deserialize::from_value(serde::__get(__m, \"{f}\")?)?"
+                            )
+                        })
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    format!(
+                        "match __v {{\n\
+                             serde::Value::Map(__m) => Ok({name} {{ {inits} }}),\n\
+                             __other => Err(format!(\"expected map for {name}, got {{__other:?}}\")),\n\
+                         }}"
+                    )
+                }
+                Body::Tuple(1) => {
+                    format!("Ok({name}(serde::Deserialize::from_value(__v)?))")
+                }
+                Body::Tuple(n) => {
+                    let inits = (0..n)
+                        .map(|k| {
+                            format!(
+                                "serde::Deserialize::from_value(__items.get({k}).ok_or(\"tuple struct too short\")?)?"
+                            )
+                        })
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    format!(
+                        "match __v {{\n\
+                             serde::Value::Seq(__items) => Ok({name}({inits})),\n\
+                             __other => Err(format!(\"expected sequence for {name}, got {{__other:?}}\")),\n\
+                         }}"
+                    )
+                }
+                Body::Unit => format!("{{ let _ = __v; Ok({name}) }}"),
+            };
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &serde::Value) -> Result<Self, String> {{ {body_code} }}\n\
+                 }}"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for (vname, body) in &variants {
+                match body {
+                    Body::Unit => {
+                        unit_arms.push_str(&format!("\"{vname}\" => Ok({name}::{vname}),\n"));
+                    }
+                    Body::Tuple(1) => {
+                        payload_arms.push_str(&format!(
+                            "\"{vname}\" => Ok({name}::{vname}(serde::Deserialize::from_value(__payload)?)),\n"
+                        ));
+                    }
+                    Body::Tuple(n) => {
+                        let inits = (0..*n)
+                            .map(|k| {
+                                format!(
+                                    "serde::Deserialize::from_value(__items.get({k}).ok_or(\"variant payload too short\")?)?"
+                                )
+                            })
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        payload_arms.push_str(&format!(
+                            "\"{vname}\" => match __payload {{\n\
+                                 serde::Value::Seq(__items) => Ok({name}::{vname}({inits})),\n\
+                                 __other => Err(format!(\"expected sequence payload for {name}::{vname}, got {{__other:?}}\")),\n\
+                             }},\n"
+                        ));
+                    }
+                    Body::Named(fields) => {
+                        let inits = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: serde::Deserialize::from_value(serde::__get(__m, \"{f}\")?)?"
+                                )
+                            })
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        payload_arms.push_str(&format!(
+                            "\"{vname}\" => match __payload {{\n\
+                                 serde::Value::Map(__m) => Ok({name}::{vname} {{ {inits} }}),\n\
+                                 __other => Err(format!(\"expected map payload for {name}::{vname}, got {{__other:?}}\")),\n\
+                             }},\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &serde::Value) -> Result<Self, String> {{\n\
+                         match __v {{\n\
+                             serde::Value::Str(__s) => match __s.as_str() {{\n\
+                                 {unit_arms}\n\
+                                 __other => Err(format!(\"unknown variant `{{__other}}` for {name}\")),\n\
+                             }},\n\
+                             serde::Value::Map(__m) if __m.len() == 1 => {{\n\
+                                 let (__tag, __payload) = &__m[0];\n\
+                                 match __tag.as_str() {{\n\
+                                     {payload_arms}\n\
+                                     __other => Err(format!(\"unknown variant `{{__other}}` for {name}\")),\n\
+                                 }}\n\
+                             }}\n\
+                             __other => Err(format!(\"expected variant for {name}, got {{__other:?}}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+/// Derive the shim `serde::Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    derive_serialize_impl(parse_input(input)).parse().unwrap()
+}
+
+/// Derive the shim `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    derive_deserialize_impl(parse_input(input)).parse().unwrap()
+}
