@@ -1,0 +1,209 @@
+//! `perf` — the timing harness behind `BENCH_perf.json`.
+//!
+//! Times the experiment pipeline at two granularities so later performance work has a
+//! trajectory to compare against:
+//!
+//! * **Figure-8 sweep** — the full `{benchmark × policy × clusters × buses ×
+//!   bus-latency}` scheduling sweep (the most expensive reproduction in the repo),
+//!   wall-clock, with the configured thread count and again pinned to one thread so
+//!   thread scaling is visible on multi-core runners;
+//! * **component microbenches** — the MRT multi-cycle probe/reserve/release cycle,
+//!   a BSA clustered schedule, and a unified SMS schedule, each over a fixed synthetic
+//!   workload.
+//!
+//! `FAST_EXPERIMENTS=1` shrinks the corpora exactly as it does for the figure
+//! binaries (CI runs the harness that way); the recorded seed baseline only applies
+//! to the full sweep.  Results are written to `BENCH_perf.json` in the working
+//! directory (the repo root under `cargo run`).
+
+use cvliw_core::{BsaScheduler, UnrollPolicy};
+use serde::Serialize;
+use std::time::Instant;
+use vliw_arch::{MachineConfig, ResourcePool};
+use vliw_bench::{run_corpus, standard_corpora, Algorithm};
+use vliw_sms::{ModuloReservationTable, SmsScheduler};
+use vliw_workloads::{LoopCorpus, SpecFp95};
+
+/// Wall-clock of the full Figure-8 sweep at the seed commit (sequential rayon shim,
+/// counter-based MRT, clone-per-trial BSA), measured on the same 1-core container
+/// this PR was developed in.  Kept as the fixed "before" of the optimization work.
+const SEED_FIG8_SWEEP_MS: f64 = 200_333.0;
+
+#[derive(Debug, Serialize)]
+struct Micro {
+    name: String,
+    iterations: u64,
+    total_ms: f64,
+    per_iter_us: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct Report {
+    /// "full" or "fast" (`FAST_EXPERIMENTS` shrinks the corpora).
+    mode: String,
+    threads: usize,
+    /// Seed wall-clock of the full sweep (ms); the "before" of this trajectory.
+    baseline_fig8_sweep_ms: f64,
+    baseline_note: String,
+    /// Optimized wall-clock of the sweep in `mode`, with `threads` workers.
+    fig8_sweep_ms: f64,
+    /// The same sweep pinned to one worker (None when only one core is available —
+    /// the parallel number already is the serial number).
+    fig8_sweep_serial_ms: Option<f64>,
+    /// baseline / optimized; only meaningful (and only emitted) in full mode.
+    speedup_vs_seed: Option<f64>,
+    micro: Vec<Micro>,
+}
+
+/// Every `run_corpus` call of the Figure-8 reproduction, without the reporting.
+fn fig8_sweep(corpora: &[LoopCorpus]) -> usize {
+    let mut jobs = 0;
+    for &clusters in &[2usize, 4] {
+        for corpus in corpora {
+            for policy in UnrollPolicy::ALL {
+                let unified = MachineConfig::unified();
+                let r = run_corpus(corpus, &unified, Algorithm::UnifiedSms, policy);
+                assert!(r.failed_loops <= corpus.len());
+                jobs += 1;
+                for &buses in &[1usize, 2] {
+                    for &lat in &[1u32, 2, 4] {
+                        let machine = MachineConfig::clustered(clusters, buses, lat);
+                        let r = run_corpus(corpus, &machine, Algorithm::Bsa, policy);
+                        assert!(r.failed_loops <= corpus.len());
+                        jobs += 1;
+                    }
+                }
+            }
+        }
+    }
+    jobs
+}
+
+fn time_sweep(corpora: &[LoopCorpus]) -> f64 {
+    let start = Instant::now();
+    let jobs = fig8_sweep(corpora);
+    let ms = start.elapsed().as_secs_f64() * 1e3;
+    println!("  {jobs} corpus jobs in {ms:.0} ms");
+    ms
+}
+
+fn micro_mrt_probe() -> Micro {
+    let machine = MachineConfig::two_cluster(2, 2);
+    let pool = ResourcePool::new(&machine);
+    let mut mrt = ModuloReservationTable::new(&pool, 8);
+    let bus = pool.buses().next().unwrap();
+    let iterations = 2_000_000u64;
+    let start = Instant::now();
+    let mut hits = 0u64;
+    for i in 0..iterations {
+        let cycle = (i % 23) as i64 - 11;
+        if mrt.is_free_for(bus, cycle, 2) {
+            let r = mrt.reserve_for(bus, cycle, 2);
+            hits += 1;
+            mrt.release(r);
+        }
+    }
+    assert!(hits > 0);
+    let total_ms = start.elapsed().as_secs_f64() * 1e3;
+    Micro {
+        name: "mrt probe+reserve+release (II=8, 2-cycle bus)".into(),
+        iterations,
+        total_ms,
+        per_iter_us: total_ms * 1e3 / iterations as f64,
+    }
+}
+
+fn micro_bsa_schedule() -> Micro {
+    let mut corpus = LoopCorpus::generate(SpecFp95::Swim);
+    corpus.loops.truncate(8);
+    let machine = MachineConfig::four_cluster(1, 1);
+    let bsa = BsaScheduler::new(&machine);
+    let iterations = 40u64;
+    let start = Instant::now();
+    for _ in 0..iterations {
+        for graph in &corpus.loops {
+            let sched = bsa.schedule(graph).expect("corpus loop must schedule");
+            assert!(sched.ii() >= 1);
+        }
+    }
+    let total_ms = start.elapsed().as_secs_f64() * 1e3;
+    let jobs = iterations * corpus.loops.len() as u64;
+    Micro {
+        name: "BSA schedule (8 swim loops, 4-cluster/1-bus)".into(),
+        iterations: jobs,
+        total_ms,
+        per_iter_us: total_ms * 1e3 / jobs as f64,
+    }
+}
+
+fn micro_unified_sms() -> Micro {
+    let mut corpus = LoopCorpus::generate(SpecFp95::Swim);
+    corpus.loops.truncate(8);
+    let machine = MachineConfig::unified();
+    let sms = SmsScheduler::new(&machine);
+    let iterations = 40u64;
+    let start = Instant::now();
+    for _ in 0..iterations {
+        for graph in &corpus.loops {
+            let sched = sms.schedule(graph).expect("corpus loop must schedule");
+            assert!(sched.ii() >= 1);
+        }
+    }
+    let total_ms = start.elapsed().as_secs_f64() * 1e3;
+    let jobs = iterations * corpus.loops.len() as u64;
+    Micro {
+        name: "unified SMS schedule (8 swim loops)".into(),
+        iterations: jobs,
+        total_ms,
+        per_iter_us: total_ms * 1e3 / jobs as f64,
+    }
+}
+
+fn main() {
+    let fast = std::env::var("FAST_EXPERIMENTS").is_ok();
+    let mode = if fast { "fast" } else { "full" };
+    let corpora = standard_corpora();
+    let threads = rayon::current_num_threads();
+
+    println!("perf harness — mode={mode}, threads={threads}");
+    println!("Figure-8 sweep ({threads} threads):");
+    let sweep_ms = time_sweep(&corpora);
+
+    let serial_ms = if threads > 1 {
+        println!("Figure-8 sweep (1 thread):");
+        std::env::set_var("RAYON_NUM_THREADS", "1");
+        let ms = time_sweep(&corpora);
+        std::env::remove_var("RAYON_NUM_THREADS");
+        Some(ms)
+    } else {
+        None
+    };
+
+    println!("Component microbenches:");
+    let micro = vec![micro_mrt_probe(), micro_bsa_schedule(), micro_unified_sms()];
+    for m in &micro {
+        println!(
+            "  {}: {:.3} us/iter ({} iters)",
+            m.name, m.per_iter_us, m.iterations
+        );
+    }
+
+    let report = Report {
+        mode: mode.to_string(),
+        threads,
+        baseline_fig8_sweep_ms: SEED_FIG8_SWEEP_MS,
+        baseline_note: "seed commit 29284b4 (sequential rayon shim, counter MRT, \
+                        clone-per-trial BSA), full sweep, 1-core container"
+            .to_string(),
+        fig8_sweep_ms: sweep_ms,
+        fig8_sweep_serial_ms: serial_ms,
+        speedup_vs_seed: (!fast).then(|| SEED_FIG8_SWEEP_MS / sweep_ms),
+        micro,
+    };
+    if let Some(s) = report.speedup_vs_seed {
+        println!("Full sweep: {sweep_ms:.0} ms vs seed {SEED_FIG8_SWEEP_MS:.0} ms — {s:.2}x");
+    }
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write("BENCH_perf.json", json).expect("BENCH_perf.json is writable");
+    println!("Report written to BENCH_perf.json");
+}

@@ -1,7 +1,33 @@
 //! Table 1 — the evaluated machine configurations and the operation latencies.
 
+use serde::Serialize;
 use vliw_arch::{FuKind, MachineConfig, OpClass};
+use vliw_bench::write_json;
 use vliw_metrics::TextTable;
+
+#[derive(Debug, Serialize)]
+struct ConfigRow {
+    configuration: String,
+    clusters: usize,
+    int_per_cluster: usize,
+    fp_per_cluster: usize,
+    mem_per_cluster: usize,
+    regs_per_cluster: usize,
+    total_issue: usize,
+    total_regs: usize,
+}
+
+#[derive(Debug, Serialize)]
+struct LatencyRow {
+    class: String,
+    latency: u32,
+}
+
+#[derive(Debug, Serialize)]
+struct Table1 {
+    configurations: Vec<ConfigRow>,
+    latencies: Vec<LatencyRow>,
+}
 
 fn main() {
     let configs = [
@@ -19,6 +45,7 @@ fn main() {
         "total issue",
         "total regs",
     ]);
+    let mut config_rows: Vec<ConfigRow> = Vec::new();
     for m in &configs {
         table.row([
             m.name.clone(),
@@ -30,6 +57,16 @@ fn main() {
             m.total_issue_width().to_string(),
             m.total_registers().to_string(),
         ]);
+        config_rows.push(ConfigRow {
+            configuration: m.name.clone(),
+            clusters: m.n_clusters,
+            int_per_cluster: m.cluster.fu_count(FuKind::Int),
+            fp_per_cluster: m.cluster.fu_count(FuKind::Fp),
+            mem_per_cluster: m.cluster.fu_count(FuKind::Mem),
+            regs_per_cluster: m.cluster.registers,
+            total_issue: m.total_issue_width(),
+            total_regs: m.total_registers(),
+        });
     }
     println!("Table 1a — machine configurations");
     println!("{table}");
@@ -39,12 +76,25 @@ fn main() {
 
     let machine = MachineConfig::unified();
     let mut latencies = TextTable::new(["operation class", "latency (cycles)"]);
+    let mut latency_rows: Vec<LatencyRow> = Vec::new();
     for class in OpClass::ALL {
         latencies.row([
             class.mnemonic().to_string(),
             machine.latency(class).to_string(),
         ]);
+        latency_rows.push(LatencyRow {
+            class: class.mnemonic().to_string(),
+            latency: machine.latency(class),
+        });
     }
     println!("Table 1b — operation latencies");
     println!("{latencies}");
+
+    let json = Table1 {
+        configurations: config_rows,
+        latencies: latency_rows,
+    };
+    if let Ok(path) = write_json("table1", &json) {
+        println!("JSON written to {}", path.display());
+    }
 }

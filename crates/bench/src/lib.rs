@@ -109,39 +109,49 @@ impl CorpusResult {
 
 /// Schedule every loop of `corpus` on `machine` with `algorithm` and `policy`,
 /// in parallel, and aggregate IPC and code size.
+///
+/// The expensive per-loop post-processing (the IPC contribution and the code-size
+/// model, which expands the pipelined program) happens *inside* the parallel map —
+/// each job returns its `(contribution, code size, unrolled?)` tuple and the serial
+/// tail merely folds those small values together.
 pub fn run_corpus(
     corpus: &LoopCorpus,
     machine: &MachineConfig,
     algorithm: Algorithm,
     policy: UnrollPolicy,
 ) -> CorpusResult {
-    let results: Vec<Option<ClusterSchedule>> = corpus
+    let code_model = CodeSizeModel::new(machine);
+    let per_loop: Vec<Option<(LoopContribution, CodeSizeReport, bool)>> = corpus
         .loops
         .par_iter()
-        .map(|graph| schedule_loop(graph, machine, algorithm, policy).ok())
+        .map(|graph| {
+            let cs: ClusterSchedule = schedule_loop(graph, machine, algorithm, policy).ok()?;
+            let contribution = LoopContribution::new(
+                &cs.schedule,
+                cs.scheduled_graph.iterations,
+                cs.original_ops,
+                cs.original_iterations,
+                cs.invocations,
+                cs.unroll_factor,
+            );
+            let size = code_model.loop_size(&cs.schedule, cs.scheduled_graph.n_nodes());
+            Some((contribution, size, cs.unroll_factor > 1))
+        })
         .collect();
 
     let mut acc = IpcAccountant::new();
-    let code_model = CodeSizeModel::new(machine);
     let mut code = CodeSizeReport::zero();
     let mut unrolled_loops = 0usize;
     let mut failed_loops = 0usize;
-    for result in results.iter() {
-        match result {
+    for entry in per_loop {
+        match entry {
             None => failed_loops += 1,
-            Some(cs) => {
-                if cs.unroll_factor > 1 {
+            Some((contribution, size, unrolled)) => {
+                if unrolled {
                     unrolled_loops += 1;
                 }
-                acc.add(LoopContribution::new(
-                    &cs.schedule,
-                    cs.scheduled_graph.iterations,
-                    cs.original_ops,
-                    cs.original_iterations,
-                    cs.invocations,
-                    cs.unroll_factor,
-                ));
-                code.accumulate(code_model.loop_size(&cs.schedule, cs.scheduled_graph.n_nodes()));
+                acc.add(contribution);
+                code.accumulate(size);
             }
         }
     }

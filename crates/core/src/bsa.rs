@@ -72,6 +72,14 @@ impl BsaScheduler {
         let mii = mii(graph, &self.machine);
         let limit = max_ii(mii);
         let mut bus_failure_seen = false;
+        // Scratch state shared by every II attempt: the reservation table is `reset`
+        // instead of reallocated, and the assignment / trial buffers are reused.
+        let pool = ResourcePool::new(&self.machine);
+        let mut scratch = ScheduleScratch {
+            mrt: ModuloReservationTable::new(&pool, mii.max(1)),
+            assignment: vec![None; graph.n_nodes()],
+            trials: Vec::with_capacity(self.machine.n_clusters),
+        };
         for ii in mii..=limit {
             // SMS order first; topological fallback guarantees progress on graphs
             // where the SMS order leaves a node with an empty scheduling window.
@@ -80,7 +88,7 @@ impl BsaScheduler {
                 OrderingContext::topological(graph, ii),
             ];
             for ctx in &orders {
-                match self.try_schedule(graph, ctx, ii, mii) {
+                match self.try_schedule(graph, ctx, &pool, &mut scratch, ii, mii) {
                     Ok(mut sched) => {
                         sched.normalize();
                         sched.limited_by_bus = bus_failure_seen && sched.ii() > mii;
@@ -106,15 +114,20 @@ impl BsaScheduler {
         &self,
         graph: &DepGraph,
         ctx: &OrderingContext,
+        pool: &ResourcePool,
+        scratch: &mut ScheduleScratch,
         ii: u32,
         mii: u32,
     ) -> Result<ModuloSchedule, bool> {
         let machine = &self.machine;
-        let pool = ResourcePool::new(machine);
         let mut sched = ModuloSchedule::new(&graph.name, graph.n_nodes(), ii, mii);
-        let mut mrt = ModuloReservationTable::new(&pool, ii);
-        // Cluster each node ended up in (for the profit computation).
-        let mut assignment: Vec<Option<usize>> = vec![None; graph.n_nodes()];
+        scratch.mrt.reset(ii);
+        scratch.assignment.fill(None);
+        let ScheduleScratch {
+            mrt,
+            assignment,
+            trials,
+        } = scratch;
         // Figure 5 initialises the default cluster before the loop; starting at the
         // last cluster makes the first new subgraph use cluster 0.
         let mut defcluster = machine.n_clusters - 1;
@@ -127,19 +140,11 @@ impl BsaScheduler {
             }
 
             // (3) Try the node on every cluster.
-            let mut trials: Vec<Trial> = Vec::new();
+            trials.clear();
             let mut node_bus_blocked = false;
             for cluster in machine.clusters() {
                 match self.try_node_on_cluster(
-                    graph,
-                    ctx,
-                    &sched,
-                    &mut mrt,
-                    &pool,
-                    &assignment,
-                    node_id,
-                    cluster,
-                    ii,
+                    graph, ctx, &mut sched, mrt, pool, assignment, node_id, cluster, ii,
                 ) {
                     TrialOutcome::Feasible(trial) => trials.push(trial),
                     TrialOutcome::BusBlocked => node_bus_blocked = true,
@@ -153,27 +158,35 @@ impl BsaScheduler {
                 // (5) No feasible cluster: fail this II.
                 return Err(node_bus_blocked || bus_blocked_anywhere);
             };
-            let candlist: Vec<&Trial> = trials.iter().filter(|t| t.profit == best_profit).collect();
+            let is_best = |t: &Trial| t.profit == best_profit;
+            let n_best = trials.iter().filter(|t| is_best(t)).count();
 
-            // (6)-(9) Choose among the candidates.
-            let chosen: &Trial = if candlist.len() == 1 {
-                candlist[0]
-            } else if let Some(t) = candlist
+            // (6)-(9) Choose among the candidates (all with the best profit): a single
+            // candidate wins outright; then one already holding a neighbour of the
+            // node; then the default cluster; finally the lowest register pressure.
+            let chosen_idx = if n_best == 1 {
+                trials.iter().position(is_best).expect("n_best == 1")
+            } else if let Some(i) = trials.iter().position(|t| {
+                is_best(t) && cluster_holds_neighbour(graph, assignment, node_id, t.cluster)
+            }) {
+                i
+            } else if let Some(i) = trials
                 .iter()
-                .find(|t| cluster_holds_neighbour(graph, &assignment, node_id, t.cluster))
+                .position(|t| is_best(t) && t.cluster == defcluster)
             {
-                t
-            } else if let Some(t) = candlist.iter().find(|t| t.cluster == defcluster) {
-                t
+                i
             } else {
-                candlist
+                trials
                     .iter()
-                    .min_by_key(|t| (t.max_live, t.cluster))
-                    .expect("candlist non-empty")
+                    .enumerate()
+                    .filter(|(_, t)| is_best(t))
+                    .min_by_key(|(_, t)| (t.max_live, t.cluster))
+                    .expect("candidates non-empty")
+                    .0
             };
 
             // (10) Commit: reserve the functional unit and the buses, record the node.
-            let trial = (*chosen).clone();
+            let trial = trials.swap_remove(chosen_idx);
             mrt.reserve(trial.fu, trial.cycle);
             for comm in &trial.comms {
                 mrt.reserve_for(comm.bus, comm.start_cycle, comm.duration);
@@ -192,13 +205,15 @@ impl BsaScheduler {
 
     /// Try to place `node` on `cluster`: find a cycle with a free functional unit whose
     /// communications fit on the buses and whose register pressure fits the cluster's
-    /// register file.  The reservation table is left unchanged regardless of outcome.
+    /// register file.  The reservation table *and the schedule* are left unchanged
+    /// regardless of outcome — tentative state is applied in place and undone through
+    /// the checkpoint/rollback transaction, never by cloning the schedule.
     #[allow(clippy::too_many_arguments)]
     fn try_node_on_cluster(
         &self,
         graph: &DepGraph,
         ctx: &OrderingContext,
-        sched: &ModuloSchedule,
+        sched: &mut ModuloSchedule,
         mrt: &mut ModuloReservationTable,
         pool: &ResourcePool,
         assignment: &[Option<usize>],
@@ -227,24 +242,24 @@ impl BsaScheduler {
             let allocation = allocate_comms(&requests, sched, pool, mrt, machine);
             match allocation {
                 CommAllocation::Satisfied(comms) => {
-                    // Register-pressure check on a scratch copy of the schedule.
+                    // Register-pressure check on the schedule itself: apply the trial,
+                    // measure lifetimes, roll back to the checkpoint.
                     let (fits, max_live) = if self.check_registers {
-                        let mut scratch = sched.clone();
+                        let cp = sched.checkpoint();
                         for c in &comms {
-                            scratch.add_comm(*c);
+                            sched.add_comm(*c);
                         }
-                        scratch.place(PlacedOp {
+                        sched.place(PlacedOp {
                             node,
                             cycle,
                             cluster,
                             fu,
                         });
-                        let lt = LifetimeMap::new(graph, &scratch, machine);
-                        let fits = lt
-                            .max_live()
-                            .iter()
-                            .all(|&l| l as usize <= machine.cluster.registers);
-                        (fits, lt.max_live_in(cluster))
+                        let lt = LifetimeMap::new(graph, sched, machine);
+                        let fits = lt.fits(machine);
+                        let max_live = lt.max_live_in(cluster);
+                        sched.rollback(cp);
+                        (fits, max_live)
                     } else {
                         (true, 0)
                     };
@@ -289,6 +304,14 @@ impl BsaScheduler {
     /// cross-cluster edge count of the cluster *before* minus *after* the hypothetical
     /// placement.  Higher is better; the value is usually ≤ 0 for nodes with no
     /// neighbours in the cluster and > −(out-degree) when neighbours are present.
+    ///
+    /// Only edges incident to `node` change between the two counts (the node is the
+    /// only assignment that differs), so the difference is computed directly from the
+    /// node's adjacency in O(degree) instead of scanning the whole edge list twice:
+    /// every value edge arriving from a node already in `cluster` stops leaving the
+    /// cluster (+1), and every value edge towards a node *not* in `cluster` — placed
+    /// elsewhere or still unscheduled, exactly as the paper counts "the rest of the
+    /// nodes" — starts leaving it (−1).
     fn profit_of(
         &self,
         graph: &DepGraph,
@@ -296,10 +319,30 @@ impl BsaScheduler {
         node: NodeId,
         cluster: usize,
     ) -> i64 {
-        let before = out_edges_of_cluster(graph, assignment, cluster, None);
-        let after = out_edges_of_cluster(graph, assignment, cluster, Some((node, cluster)));
-        before as i64 - after as i64
+        let saved = graph
+            .in_edges(node)
+            .filter(|e| e.kind.carries_value() && e.src != node)
+            .filter(|e| assignment[e.src.index()] == Some(cluster))
+            .count() as i64;
+        let added = graph
+            .out_edges(node)
+            .filter(|e| e.kind.carries_value() && e.dst != node)
+            .filter(|e| assignment[e.dst.index()] != Some(cluster))
+            .count() as i64;
+        saved - added
     }
+}
+
+/// Reusable buffers for the II search: the reservation table survives `reset`, and the
+/// per-node bookkeeping vectors keep their capacity across retries, so one
+/// [`BsaScheduler::schedule`] call performs a fixed number of allocations regardless
+/// of how many IIs it has to explore.
+struct ScheduleScratch {
+    mrt: ModuloReservationTable,
+    /// Cluster each node ended up in (for the profit computation).
+    assignment: Vec<Option<usize>>,
+    /// Feasible per-cluster trials of the node currently being placed.
+    trials: Vec<Trial>,
 }
 
 /// Outcome of trying one node on one cluster.
@@ -309,31 +352,6 @@ enum TrialOutcome {
     /// buses — the signature of a bus-limited loop.
     BusBlocked,
     Infeasible,
-}
-
-/// Number of value-carrying edges leaving `cluster`: edges whose source is assigned to
-/// `cluster` and whose destination is not (unscheduled destinations count as "the rest
-/// of the nodes", exactly as in the paper).  `hypothetical` optionally adds one node to
-/// the cluster before counting.
-fn out_edges_of_cluster(
-    graph: &DepGraph,
-    assignment: &[Option<usize>],
-    cluster: usize,
-    hypothetical: Option<(NodeId, usize)>,
-) -> usize {
-    let assigned_to = |n: NodeId| -> Option<usize> {
-        if let Some((h, c)) = hypothetical {
-            if h == n {
-                return Some(c);
-            }
-        }
-        assignment[n.index()]
-    };
-    graph
-        .edges()
-        .filter(|e| e.kind.carries_value() && e.src != e.dst)
-        .filter(|e| assigned_to(e.src) == Some(cluster) && assigned_to(e.dst) != Some(cluster))
-        .count()
 }
 
 /// Whether `cluster` already holds a direct predecessor or successor of `node`.
@@ -639,6 +657,60 @@ mod tests {
             .schedule(&g)
             .unwrap();
         assert!(two_bus.ii() <= one_bus.ii());
+    }
+
+    #[test]
+    fn back_off_path_leaves_no_tentative_state_behind() {
+        // The Figure-7 machine (two 2-wide clusters, a single 1-cycle bus) saturates
+        // its bus on the Figure-7 loop: the II search fails at MII because placements
+        // that find a free functional unit cannot get their communications onto the
+        // bus, driving the trial loop through its back-off path.  Since the clone-free
+        // rewrite the trial works on the *live* schedule via checkpoint/rollback, so
+        // any leak would corrupt later placements (or the next II attempt, which
+        // reuses the same reservation table).
+        let machine = MachineConfig::new(
+            "fig7",
+            2,
+            ClusterConfig::new(2, 0, 0, 32),
+            BusConfig::new(1, 1),
+            LatencyModel::unit(),
+        );
+        let g = GraphBuilder::new("fig7")
+            .with_latencies(LatencyModel::unit())
+            .iterations(100)
+            .node("A", OpClass::IntAlu)
+            .node("B", OpClass::IntAlu)
+            .node("C", OpClass::IntAlu)
+            .node("D", OpClass::IntAlu)
+            .node("E", OpClass::IntAlu)
+            .node("F", OpClass::IntAlu)
+            .flow("A", "C")
+            .flow("B", "C")
+            .flow("C", "E")
+            .flow("A", "E")
+            .flow("D", "F")
+            .flow("A", "F")
+            .flow_at("E", "D", 1)
+            .flow_at("D", "A", 1)
+            .build();
+        let bsa = BsaScheduler::new(&machine);
+        let first = bsa.schedule(&g).unwrap();
+        assert_valid(&g, &first, &machine);
+        // The back-off path was genuinely taken: the II had to be raised above MII
+        // *because of the bus*, which is exactly the `LimitedByBus` predicate.
+        assert!(first.ii() > first.mii);
+        assert!(first.limited_by_bus);
+        // Re-scheduling with the same scheduler and with a fresh one must agree —
+        // this catches state leaking across the reused scratch buffers.
+        let second = bsa.schedule(&g).unwrap();
+        assert_eq!(first, second);
+        let fresh = BsaScheduler::new(&machine).schedule(&g).unwrap();
+        assert_eq!(first, fresh);
+        // And a trial that *does* commit communications still rolls back cleanly on
+        // the clusters it rejects: the unrolled body schedules with real transfers.
+        let unrolled = vliw_ddg::unroll(&g, 2);
+        let usched = bsa.schedule(&unrolled).unwrap();
+        assert_valid(&unrolled, &usched, &machine);
     }
 
     #[test]

@@ -67,6 +67,8 @@ impl NeScheduler {
         let mii = mii(graph, &self.machine);
         let limit = max_ii(mii);
         let mut bus_failure_seen = false;
+        let pool = ResourcePool::new(&self.machine);
+        let mut mrt = ModuloReservationTable::new(&pool, mii.max(1));
         for ii in mii..=limit {
             let assignment = self.assign_clusters(graph, ii);
             let orders = [
@@ -74,7 +76,8 @@ impl NeScheduler {
                 OrderingContext::topological(graph, ii),
             ];
             for ctx in &orders {
-                match self.try_schedule(graph, ctx, &assignment, ii, mii) {
+                mrt.reset(ii);
+                match self.try_schedule(graph, ctx, &assignment, &pool, &mut mrt, ii, mii) {
                     Ok(mut sched) => {
                         sched.normalize();
                         sched.limited_by_bus = bus_failure_seen && sched.ii() > mii;
@@ -112,13 +115,16 @@ impl NeScheduler {
         let mii = mii(graph, &self.machine);
         let limit = max_ii(mii);
         let mut bus_failure_seen = false;
+        let pool = ResourcePool::new(&self.machine);
+        let mut mrt = ModuloReservationTable::new(&pool, mii.max(1));
         for ii in mii..=limit {
             let orders = [
                 OrderingContext::new(graph, ii),
                 OrderingContext::topological(graph, ii),
             ];
             for ctx in &orders {
-                match self.try_schedule(graph, ctx, assignment, ii, mii) {
+                mrt.reset(ii);
+                match self.try_schedule(graph, ctx, assignment, &pool, &mut mrt, ii, mii) {
                     Ok(mut sched) => {
                         sched.normalize();
                         sched.limited_by_bus = bus_failure_seen && sched.ii() > mii;
@@ -220,18 +226,19 @@ impl NeScheduler {
 
     /// Phase 2: modulo-schedule every node on its pre-assigned cluster.  `Err(bus)`
     /// reports whether a failure was caused by bus saturation.
+    #[allow(clippy::too_many_arguments)]
     fn try_schedule(
         &self,
         graph: &DepGraph,
         ctx: &OrderingContext,
         assignment: &[usize],
+        pool: &ResourcePool,
+        mrt: &mut ModuloReservationTable,
         ii: u32,
         mii: u32,
     ) -> Result<ModuloSchedule, bool> {
         let machine = &self.machine;
-        let pool = ResourcePool::new(machine);
         let mut sched = ModuloSchedule::new(&graph.name, graph.n_nodes(), ii, mii);
-        let mut mrt = ModuloReservationTable::new(&pool, ii);
         let bus_latency = machine.buses.latency;
         let mut bus_blocked = false;
 
@@ -250,34 +257,14 @@ impl NeScheduler {
                 };
                 let fu_reservation = mrt.reserve(fu, cycle);
                 let requests = required_comms(graph, &sched, machine, node_id, cluster, cycle);
-                match allocate_comms(&requests, &sched, &pool, &mut mrt, machine) {
+                match allocate_comms(&requests, &sched, pool, mrt, machine) {
                     CommAllocation::Satisfied(comms) => {
-                        if self.check_registers {
-                            let mut scratch = sched.clone();
-                            for c in &comms {
-                                scratch.add_comm(*c);
-                            }
-                            scratch.place(PlacedOp {
-                                node: node_id,
-                                cycle,
-                                cluster,
-                                fu,
-                            });
-                            let lt = LifetimeMap::new(graph, &scratch, machine);
-                            let fits = lt
-                                .max_live()
-                                .iter()
-                                .all(|&l| l as usize <= machine.cluster.registers);
-                            if !fits {
-                                for c in &comms {
-                                    mrt.unreserve_for(c.bus, c.start_cycle, c.duration);
-                                }
-                                mrt.release(fu_reservation);
-                                break; // larger cycles only lengthen lifetimes
-                            }
-                        }
-                        for c in comms {
-                            sched.add_comm(c);
+                        // Apply the placement, then check register pressure in place;
+                        // an overflow rolls the transaction back instead of having
+                        // probed a deep copy of the schedule.
+                        let cp = sched.checkpoint();
+                        for c in &comms {
+                            sched.add_comm(*c);
                         }
                         sched.place(PlacedOp {
                             node: node_id,
@@ -285,6 +272,17 @@ impl NeScheduler {
                             cluster,
                             fu,
                         });
+                        if self.check_registers {
+                            let lt = LifetimeMap::new(graph, &sched, machine);
+                            if !lt.fits(machine) {
+                                sched.rollback(cp);
+                                for c in &comms {
+                                    mrt.unreserve_for(c.bus, c.start_cycle, c.duration);
+                                }
+                                mrt.release(fu_reservation);
+                                break; // larger cycles only lengthen lifetimes
+                            }
+                        }
                         placed = true;
                         break;
                     }

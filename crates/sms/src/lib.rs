@@ -31,9 +31,11 @@ pub mod slots;
 pub mod unified;
 
 pub use lifetime::{cluster_max_live, LifetimeMap};
-pub use mrt::ModuloReservationTable;
+pub use mrt::{ModuloReservationTable, Reservation};
 pub use ordering::{sms_order, OrderingContext};
-pub use schedule::{CommPlacement, ModuloSchedule, PlacedOp, ScheduleError};
+pub use schedule::{
+    CommPlacement, ModuloSchedule, PlacedOp, ScheduleCheckpoint, ScheduleError, SlotMap,
+};
 pub use slots::{early_start, late_start, SlotScan};
 pub use unified::SmsScheduler;
 

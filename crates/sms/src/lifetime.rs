@@ -57,8 +57,9 @@ impl LiveRange {
 pub struct LifetimeMap {
     /// Every live range (producer-side and receiver-side).
     pub ranges: Vec<LiveRange>,
-    /// `pressure[cluster][row]` = number of live values in that kernel row.
-    pub pressure: Vec<Vec<u32>>,
+    /// Row-major `[cluster × II]` live-value counts — one flat allocation, since a
+    /// map is built per placement trial in the cluster schedulers.
+    pressure: Vec<u32>,
     ii: u32,
 }
 
@@ -69,7 +70,11 @@ impl LifetimeMap {
     /// which is exactly what the incremental cluster-feasibility check needs.
     pub fn new(graph: &DepGraph, sched: &ModuloSchedule, machine: &MachineConfig) -> Self {
         let ii = sched.ii();
-        let mut ranges = Vec::new();
+        let mut ranges = Vec::with_capacity(graph.n_nodes());
+        // Receiver-side ranges are grouped per destination cluster; the buffer is
+        // reused across nodes (this runs once per placement trial in the cluster
+        // schedulers, so per-call allocations are hot).
+        let mut remote_last_read: Vec<Option<(i64, i64)>> = vec![None; machine.n_clusters];
         for node in graph.nodes() {
             if !node.class.defines_value() {
                 continue;
@@ -83,8 +88,7 @@ impl LifetimeMap {
             // remote consumers).
             let mut last_local_read = prod.cycle + 1; // minimum 1-cycle occupancy
 
-            // Receiver-side ranges are grouped per destination cluster.
-            let mut remote_last_read: Vec<Option<(i64, i64)>> = vec![None; machine.n_clusters];
+            remote_last_read.fill(None);
 
             for e in graph.out_edges(node.id).filter(|e| e.kind.carries_value()) {
                 let Some(cons) = sched.placement(e.dst) else {
@@ -134,31 +138,30 @@ impl LifetimeMap {
             }
         }
 
-        let mut pressure = vec![vec![0u32; ii as usize]; machine.n_clusters];
+        let mut pressure = vec![0u32; machine.n_clusters * ii as usize];
         for r in &ranges {
             let len = (r.end - r.start).max(1);
             // A range of `len` cycles contributes ceil-style coverage of kernel rows:
-            // row (start + k) mod II for k in 0..len.
-            if len >= ii as i64 {
-                // The value is live across every row, possibly several times.
-                let full = (len / ii as i64) as u32;
-                let rem = (len % ii as i64) as usize;
-                for (row, slot) in pressure[r.cluster].iter_mut().enumerate() {
+            // row (start + k) mod II for k in 0..len — i.e. `len div II` instances in
+            // every row plus one more in the `len mod II` rows starting at the range's
+            // start row (a contiguous wrapped interval, since (start + (len div
+            // II)·II) mod II == start mod II).
+            let base = r.cluster * ii as usize;
+            let rows = &mut pressure[base..base + ii as usize];
+            let full = (len / ii as i64) as u32;
+            let rem = (len % ii as i64) as usize;
+            if full > 0 {
+                for slot in rows.iter_mut() {
                     *slot += full;
-                    let covered = (0..rem).any(|k| {
-                        (r.start + (len / ii as i64) * ii as i64 + k as i64).rem_euclid(ii as i64)
-                            as usize
-                            == row
-                    });
-                    if covered {
-                        *slot += 1;
-                    }
                 }
-            } else {
-                for k in 0..len {
-                    let row = (r.start + k).rem_euclid(ii as i64) as usize;
-                    pressure[r.cluster][row] += 1;
-                }
+            }
+            let row0 = r.start.rem_euclid(ii as i64) as usize;
+            let wrap = (row0 + rem).saturating_sub(ii as usize);
+            for slot in &mut rows[row0..(row0 + rem - wrap)] {
+                *slot += 1;
+            }
+            for slot in &mut rows[..wrap] {
+                *slot += 1;
             }
         }
 
@@ -169,22 +172,32 @@ impl LifetimeMap {
         }
     }
 
+    /// The per-row live-value counts of one cluster.
+    pub fn pressure_of(&self, cluster: usize) -> &[u32] {
+        let base = cluster * self.ii as usize;
+        &self.pressure[base..base + self.ii as usize]
+    }
+
     /// Maximum number of simultaneously live values per cluster.
     pub fn max_live(&self) -> Vec<u32> {
         self.pressure
-            .iter()
+            .chunks_exact(self.ii as usize)
             .map(|rows| rows.iter().copied().max().unwrap_or(0))
             .collect()
     }
 
     /// Maximum live values in a single cluster.
     pub fn max_live_in(&self, cluster: usize) -> u32 {
-        self.pressure[cluster].iter().copied().max().unwrap_or(0)
+        self.pressure_of(cluster).iter().copied().max().unwrap_or(0)
     }
 
-    /// Whether every cluster fits in its register file.
+    /// Whether every cluster fits in its register file.  Allocation-free (unlike
+    /// going through [`LifetimeMap::max_live`]) — this is the query the schedulers
+    /// issue once per placement trial.
     pub fn fits(&self, machine: &MachineConfig) -> bool {
-        self.max_live()
+        // A single max over the flat array is enough: every cluster has the same
+        // register-file size.
+        self.pressure
             .iter()
             .all(|&live| live as usize <= machine.cluster.registers)
     }

@@ -9,6 +9,13 @@
 //! Buses are reserved for `bus_latency` *consecutive* cycles ("when one particular
 //! cluster places a data on the bus, this bus will be busy during the entirety of the
 //! communication latency", Section 3), so the table supports multi-cycle reservations.
+//!
+//! Rows are stored as bitsets — for the IIs the paper's corpora produce a row is a
+//! single `u64` word, so the multi-cycle probe `is_free_for` (the hottest operation of
+//! the whole scheduler: it runs once per candidate cycle per bus per trial) is one
+//! wrapped-mask test instead of a counter loop.  [`ModuloReservationTable::reset`]
+//! re-arms the table for a new II without reallocating, so an II search touches the
+//! allocator once, not once per retry.
 
 use serde::{Deserialize, Serialize};
 use vliw_arch::{ResourceIndex, ResourcePool};
@@ -26,18 +33,38 @@ pub struct Reservation {
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ModuloReservationTable {
     ii: u32,
-    /// `occupied[row][col]` = number of reservations covering that slot (always 0/1 in
-    /// a consistent schedule; a counter keeps release simple).
-    occupied: Vec<Vec<u32>>,
+    /// `u64` words per row: `ceil(II / 64)` (1 for every II the paper evaluates).
+    words_per_row: usize,
+    /// Row-major bitset: bit `c` of row `r` set ⇔ resource `r` busy at column `c`.
+    bits: Vec<u64>,
 }
 
 impl ModuloReservationTable {
     /// An empty table for `pool` with the given initiation interval.
     pub fn new(pool: &ResourcePool, ii: u32) -> Self {
         assert!(ii >= 1, "the initiation interval must be at least 1");
+        let words_per_row = ii.div_ceil(64) as usize;
         Self {
             ii,
-            occupied: vec![vec![0; ii as usize]; pool.len()],
+            words_per_row,
+            bits: vec![0; pool.len() * words_per_row],
+        }
+    }
+
+    /// Clear the table and change its initiation interval, reusing the existing
+    /// allocation whenever the new row width fits (it always does while the II search
+    /// walks upward within one 64-column word, i.e. for every II ≤ 64).
+    pub fn reset(&mut self, ii: u32) {
+        assert!(ii >= 1, "the initiation interval must be at least 1");
+        let n_rows = self.bits.len() / self.words_per_row;
+        let words_per_row = ii.div_ceil(64) as usize;
+        self.ii = ii;
+        if words_per_row == self.words_per_row {
+            self.bits.fill(0);
+        } else {
+            self.words_per_row = words_per_row;
+            self.bits.clear();
+            self.bits.resize(n_rows * words_per_row, 0);
         }
     }
 
@@ -53,9 +80,31 @@ impl ModuloReservationTable {
         (cycle.rem_euclid(self.ii as i64)) as usize
     }
 
+    #[inline]
+    fn row(&self, resource: ResourceIndex) -> &[u64] {
+        let start = resource.0 * self.words_per_row;
+        &self.bits[start..start + self.words_per_row]
+    }
+
+    /// The busy-mask of `duration` consecutive columns starting at `cycle`, wrapped
+    /// modulo II — valid only for single-word rows (II ≤ 64) and `duration <= II`.
+    #[inline]
+    fn wrapped_mask(&self, cycle: i64, duration: u32) -> u64 {
+        debug_assert!(self.words_per_row == 1 && duration <= self.ii);
+        let start = self.column(cycle) as u32;
+        let ii = self.ii;
+        // Work in u128: start + duration <= 2*II <= 128, so nothing shifts out.
+        let span = ((1u128 << duration) - 1) << start;
+        let low = (span & ((1u128 << ii) - 1)) as u64;
+        let wrapped = (span >> ii) as u64;
+        low | wrapped
+    }
+
     /// Whether `resource` is free at the single cycle `cycle`.
+    #[inline]
     pub fn is_free(&self, resource: ResourceIndex, cycle: i64) -> bool {
-        self.occupied[resource.0][self.column(cycle)] == 0
+        let col = self.column(cycle);
+        self.bits[resource.0 * self.words_per_row + col / 64] & (1u64 << (col % 64)) == 0
     }
 
     /// Whether `resource` is free for `duration` consecutive cycles starting at
@@ -65,7 +114,12 @@ impl ModuloReservationTable {
         if duration > self.ii {
             return false;
         }
-        (0..duration).all(|d| self.is_free(resource, cycle + d as i64))
+        if self.words_per_row == 1 {
+            let mask = self.wrapped_mask(cycle, duration);
+            self.bits[resource.0] & mask == 0
+        } else {
+            (0..duration).all(|d| self.is_free(resource, cycle + d as i64))
+        }
     }
 
     /// Reserve `resource` at `cycle` for one cycle.
@@ -75,9 +129,9 @@ impl ModuloReservationTable {
 
     /// Reserve `resource` for `duration` consecutive cycles starting at `cycle`.
     ///
-    /// The caller is expected to have checked availability; reserving an occupied slot
-    /// is allowed (the counter is incremented) but debug-asserted against, because a
-    /// correct scheduler never does it.
+    /// The caller is expected to have checked availability first (the schedulers always
+    /// probe with [`ModuloReservationTable::is_free_for`] before reserving); reserving
+    /// an occupied slot is debug-asserted against.
     pub fn reserve_for(
         &mut self,
         resource: ResourceIndex,
@@ -88,9 +142,14 @@ impl ModuloReservationTable {
             self.is_free_for(resource, cycle, duration),
             "reserving an occupied slot: {resource} cycle {cycle} x{duration}"
         );
-        for d in 0..duration {
-            let col = self.column(cycle + d as i64);
-            self.occupied[resource.0][col] += 1;
+        if self.words_per_row == 1 && duration <= self.ii {
+            let mask = self.wrapped_mask(cycle, duration);
+            self.bits[resource.0] |= mask;
+        } else {
+            for d in 0..duration {
+                let col = self.column(cycle + d as i64);
+                self.bits[resource.0 * self.words_per_row + col / 64] |= 1u64 << (col % 64);
+            }
         }
         Reservation {
             resource,
@@ -113,11 +172,21 @@ impl ModuloReservationTable {
     /// that roll back tentative placements (the cluster scheduler evaluates several
     /// clusters before committing one).
     pub fn unreserve_for(&mut self, resource: ResourceIndex, cycle: i64, duration: u32) {
-        for d in 0..duration {
-            let col = self.column(cycle + d as i64);
-            let slot = &mut self.occupied[resource.0][col];
-            debug_assert!(*slot > 0, "releasing a slot that was not reserved");
-            *slot = slot.saturating_sub(1);
+        if self.words_per_row == 1 && duration <= self.ii {
+            let mask = self.wrapped_mask(cycle, duration);
+            debug_assert!(
+                self.bits[resource.0] & mask == mask,
+                "releasing a slot that was not reserved"
+            );
+            self.bits[resource.0] &= !mask;
+        } else {
+            for d in 0..duration {
+                let col = self.column(cycle + d as i64);
+                let word = &mut self.bits[resource.0 * self.words_per_row + col / 64];
+                let bit = 1u64 << (col % 64);
+                debug_assert!(*word & bit != 0, "releasing a slot that was not reserved");
+                *word &= !bit;
+            }
         }
     }
 
@@ -142,15 +211,15 @@ impl ModuloReservationTable {
 
     /// Number of occupied slots in the row of `resource` (out of `II`).
     pub fn row_occupancy(&self, resource: ResourceIndex) -> usize {
-        self.occupied[resource.0].iter().filter(|&&c| c > 0).count()
+        self.row(resource)
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum()
     }
 
     /// Total occupied slots across all rows (used by utilization statistics).
     pub fn total_occupancy(&self) -> usize {
-        self.occupied
-            .iter()
-            .map(|row| row.iter().filter(|&&c| c > 0).count())
-            .sum()
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
     }
 }
 
@@ -216,6 +285,22 @@ mod tests {
     }
 
     #[test]
+    fn multi_cycle_reservation_wraps_around_the_last_column() {
+        let p = pool();
+        let mut mrt = ModuloReservationTable::new(&p, 4);
+        let bus = p.buses().next().unwrap();
+        // Start at column 3 with duration 2: occupies columns 3 and 0.
+        assert!(mrt.is_free_for(bus, 3, 2));
+        mrt.reserve_for(bus, 3, 2);
+        assert!(!mrt.is_free(bus, 3));
+        assert!(!mrt.is_free(bus, 0));
+        assert!(mrt.is_free(bus, 1));
+        assert!(mrt.is_free(bus, 2));
+        mrt.unreserve_for(bus, 3, 2);
+        assert_eq!(mrt.row_occupancy(bus), 0);
+    }
+
+    #[test]
     fn duration_longer_than_ii_is_never_free() {
         let p = pool();
         let mrt = ModuloReservationTable::new(&p, 2);
@@ -260,6 +345,144 @@ mod tests {
         mrt.reserve(fu, 10);
         for cycle in -3..3 {
             assert!(!mrt.is_free(fu, cycle));
+        }
+    }
+
+    #[test]
+    fn reset_clears_and_changes_ii_without_losing_rows() {
+        let p = pool();
+        let mut mrt = ModuloReservationTable::new(&p, 3);
+        let fu = p.fus(0, FuKind::Int).next().unwrap();
+        mrt.reserve(fu, 1);
+        mrt.reset(5);
+        assert_eq!(mrt.ii(), 5);
+        assert_eq!(mrt.total_occupancy(), 0);
+        for (idx, _) in p.rows() {
+            for c in 0..5 {
+                assert!(mrt.is_free(idx, c));
+            }
+        }
+        // Reset behaves identically to a fresh table.
+        assert_eq!(mrt, ModuloReservationTable::new(&p, 5));
+    }
+
+    #[test]
+    fn reset_to_a_wide_ii_grows_the_rows() {
+        let p = pool();
+        let mut mrt = ModuloReservationTable::new(&p, 4);
+        mrt.reset(130); // 3 words per row
+        let fu = p.fus(0, FuKind::Int).next().unwrap();
+        mrt.reserve(fu, 129);
+        assert!(!mrt.is_free(fu, 129));
+        assert!(mrt.is_free(fu, 128));
+        assert_eq!(mrt.row_occupancy(fu), 1);
+        mrt.reset(4);
+        assert_eq!(mrt, ModuloReservationTable::new(&p, 4));
+    }
+
+    #[test]
+    fn wide_ii_multi_word_rows_behave_like_narrow_ones() {
+        let p = pool();
+        let mut mrt = ModuloReservationTable::new(&p, 100);
+        let bus = p.buses().next().unwrap();
+        // Wraps from column 98 across the word boundary back to column 1.
+        assert!(mrt.is_free_for(bus, 98, 4));
+        mrt.reserve_for(bus, 98, 4);
+        for col in [98, 99, 0, 1] {
+            assert!(!mrt.is_free(bus, col), "column {col} should be busy");
+        }
+        assert!(mrt.is_free(bus, 2));
+        assert!(mrt.is_free(bus, 97));
+        assert!(!mrt.is_free_for(bus, 96, 3));
+        mrt.unreserve_for(bus, 98, 4);
+        assert_eq!(mrt.total_occupancy(), 0);
+    }
+
+    /// The old table kept a `u32` *counter* per (row, column); the bitset must agree
+    /// with those semantics for every legal (checked-before-reserve) call sequence.
+    /// This drives both implementations through the same randomized sequence of
+    /// multi-cycle reserve/probe/release calls — including transfers that wrap around
+    /// column II−1 → 0 — and compares every observable.
+    #[test]
+    fn bitset_matches_counter_reference_on_random_sequences() {
+        struct Reference {
+            ii: u32,
+            occupied: Vec<Vec<u32>>,
+        }
+        impl Reference {
+            fn column(&self, cycle: i64) -> usize {
+                cycle.rem_euclid(self.ii as i64) as usize
+            }
+            fn is_free_for(&self, r: ResourceIndex, cycle: i64, duration: u32) -> bool {
+                if duration > self.ii {
+                    return false;
+                }
+                (0..duration).all(|d| self.occupied[r.0][self.column(cycle + d as i64)] == 0)
+            }
+            fn reserve_for(&mut self, r: ResourceIndex, cycle: i64, duration: u32) {
+                for d in 0..duration {
+                    let col = self.column(cycle + d as i64);
+                    self.occupied[r.0][col] += 1;
+                }
+            }
+            fn unreserve_for(&mut self, r: ResourceIndex, cycle: i64, duration: u32) {
+                for d in 0..duration {
+                    let col = self.column(cycle + d as i64);
+                    self.occupied[r.0][col] -= 1;
+                }
+            }
+            fn row_occupancy(&self, r: ResourceIndex) -> usize {
+                self.occupied[r.0].iter().filter(|&&c| c > 0).count()
+            }
+        }
+
+        let p = pool();
+        let rows: Vec<ResourceIndex> = p.rows().map(|(idx, _)| idx).collect();
+        // Deterministic xorshift so the test is reproducible.
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut rand = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+
+        for ii in [1u32, 2, 3, 5, 8, 64, 70] {
+            let mut mrt = ModuloReservationTable::new(&p, ii);
+            let mut reference = Reference {
+                ii,
+                occupied: vec![vec![0; ii as usize]; p.len()],
+            };
+            let mut live: Vec<Reservation> = Vec::new();
+            for _ in 0..400 {
+                let r = rows[(rand() % rows.len() as u64) as usize];
+                let cycle = (rand() % 200) as i64 - 100;
+                let duration = 1 + (rand() % ii.max(1) as u64) as u32;
+                match rand() % 3 {
+                    0 | 1 => {
+                        // Probe both, then reserve only if legal (as the schedulers do).
+                        let free = mrt.is_free_for(r, cycle, duration);
+                        assert_eq!(free, reference.is_free_for(r, cycle, duration));
+                        if free {
+                            live.push(mrt.reserve_for(r, cycle, duration));
+                            reference.reserve_for(r, cycle, duration);
+                        }
+                    }
+                    _ => {
+                        if !live.is_empty() {
+                            let idx = (rand() % live.len() as u64) as usize;
+                            let res = live.swap_remove(idx);
+                            // Mirror the release through the token on one side and the
+                            // raw (resource, cycle, duration) API on the other.
+                            reference.unreserve_for(res.resource, res.start_cycle, res.duration);
+                            mrt.release(res);
+                        }
+                    }
+                }
+                for &row in &rows {
+                    assert_eq!(mrt.row_occupancy(row), reference.row_occupancy(row));
+                }
+            }
         }
     }
 

@@ -1,7 +1,6 @@
 //! The result of modulo scheduling a loop.
 
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use std::fmt;
 use vliw_arch::{
     ClusterInstruction, FuSlot, InBusField, MachineConfig, Operation, OutBusField, ResourceIndex,
@@ -72,6 +71,19 @@ pub struct CommPlacement {
     pub duration: u32,
 }
 
+/// A lightweight marker of a schedule's state, taken before a tentative placement and
+/// handed back to [`ModuloSchedule::rollback`] to undo everything recorded since.
+///
+/// Checkpoints are plain counters into the schedule's append-only state (the
+/// communication list and the placement journal), so taking one allocates nothing and
+/// rolling back only pops — this is what lets the cluster schedulers trial a node on
+/// every cluster without deep-cloning the schedule per trial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduleCheckpoint {
+    n_comms: usize,
+    n_placed: usize,
+}
+
 /// A complete modulo schedule of one loop.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ModuloSchedule {
@@ -80,6 +92,9 @@ pub struct ModuloSchedule {
     ii: u32,
     ops: Vec<Option<PlacedOp>>,
     comms: Vec<CommPlacement>,
+    /// Journal of placements in the order they were made; [`ModuloSchedule::rollback`]
+    /// pops it to undo tentative placements without cloning the schedule.
+    placed_log: Vec<NodeId>,
     /// Whether the scheduler had to raise the II above MII because the communication
     /// buses were saturated (as opposed to FU or recurrence pressure).  This is the
     /// `LimitedByBus` predicate of the selective-unrolling algorithm (Figure 6).
@@ -97,6 +112,7 @@ impl ModuloSchedule {
             ii,
             ops: vec![None; n_nodes],
             comms: Vec::new(),
+            placed_log: Vec::with_capacity(n_nodes),
             limited_by_bus: false,
             mii,
         }
@@ -113,23 +129,38 @@ impl ModuloSchedule {
         let idx = op.node.index();
         debug_assert!(self.ops[idx].is_none(), "node {} placed twice", op.node);
         self.ops[idx] = Some(op);
+        self.placed_log.push(op.node);
     }
 
-    /// Remove the placement of a node (used when a tentative cluster assignment is
-    /// rolled back).
-    pub fn unplace(&mut self, node: NodeId) -> Option<PlacedOp> {
-        self.ops[node.index()].take()
+    /// Capture the current state so a tentative placement (any number of
+    /// [`ModuloSchedule::place`] and [`ModuloSchedule::add_comm`] calls) can be undone
+    /// with [`ModuloSchedule::rollback`].  Allocation-free.
+    #[inline]
+    pub fn checkpoint(&self) -> ScheduleCheckpoint {
+        ScheduleCheckpoint {
+            n_comms: self.comms.len(),
+            n_placed: self.placed_log.len(),
+        }
+    }
+
+    /// Undo every placement and communication recorded since `cp` was taken, leaving
+    /// the schedule exactly as it was at the checkpoint (including the journal, so a
+    /// rolled-back schedule compares equal to a clone taken at checkpoint time).
+    pub fn rollback(&mut self, cp: ScheduleCheckpoint) {
+        debug_assert!(
+            cp.n_comms <= self.comms.len() && cp.n_placed <= self.placed_log.len(),
+            "rollback to a checkpoint from the future"
+        );
+        self.comms.truncate(cp.n_comms);
+        while self.placed_log.len() > cp.n_placed {
+            let node = self.placed_log.pop().expect("journal length checked");
+            self.ops[node.index()] = None;
+        }
     }
 
     /// Record an inter-cluster communication.
     pub fn add_comm(&mut self, comm: CommPlacement) {
         self.comms.push(comm);
-    }
-
-    /// Remove the most recently added communications down to a previous count
-    /// (rollback support for tentative placements).
-    pub fn truncate_comms(&mut self, len: usize) {
-        self.comms.truncate(len);
     }
 
     /// Number of communications recorded so far.
@@ -248,14 +279,14 @@ impl ModuloSchedule {
     /// cluster at the arrival row.
     pub fn kernel_program(&self, graph: &DepGraph, machine: &MachineConfig) -> VliwProgram {
         let pool = ResourcePool::new(machine);
-        let slot_of = build_slot_map(&pool, machine);
+        let slot_of = SlotMap::new(&pool, machine);
         let ii = self.ii as usize;
         let mut instrs: Vec<VliwInstruction> =
             (0..ii).map(|_| VliwInstruction::nops(machine)).collect();
         for p in self.placements() {
             let row = p.cycle.rem_euclid(self.ii as i64) as usize;
             let stage = self.stage_of(p.node).unwrap_or(0);
-            let slot = slot_of[&p.fu];
+            let slot = slot_of.slot(p.fu);
             let class = graph.node(p.node).class;
             instrs[row].clusters[p.cluster].slots[slot] =
                 FuSlot::Op(Operation::new(p.node.0, class, stage));
@@ -304,7 +335,7 @@ impl ModuloSchedule {
         iterations: u64,
     ) -> VliwProgram {
         let pool = ResourcePool::new(machine);
-        let slot_of = build_slot_map(&pool, machine);
+        let slot_of = SlotMap::new(&pool, machine);
         let (min_cycle, max_cycle) = self.cycle_span();
         if max_cycle < min_cycle {
             return VliwProgram::new();
@@ -316,7 +347,7 @@ impl ModuloSchedule {
             let offset = iter as i64 * self.ii as i64 - min_cycle;
             for p in self.placements() {
                 let cycle = (p.cycle + offset) as usize;
-                let slot = slot_of[&p.fu];
+                let slot = slot_of.slot(p.fu);
                 let class = graph.node(p.node).class;
                 let stage = self.stage_of(p.node).unwrap_or(0);
                 let slot_ref = &mut prog.instructions[cycle].clusters[p.cluster].slots[slot];
@@ -348,20 +379,43 @@ impl ModuloSchedule {
     }
 }
 
-/// Map every functional-unit resource row to its slot index within its cluster's
-/// instruction (`ClusterInstruction::slots` layout).
-fn build_slot_map(pool: &ResourcePool, machine: &MachineConfig) -> HashMap<ResourceIndex, usize> {
-    let mut map = HashMap::new();
-    for cluster in machine.clusters() {
-        let mut slot = 0usize;
-        for kind in vliw_arch::FuKind::ALL {
-            for idx in pool.fus(cluster, kind) {
-                map.insert(idx, slot);
-                slot += 1;
+/// Dense map from a functional-unit resource row to its slot index within its
+/// cluster's instruction (`ClusterInstruction::slots` layout).
+///
+/// Resource rows are contiguous small integers, so a `Vec` indexed by
+/// [`ResourceIndex`] replaces the former per-emission `HashMap`: one bounds-checked
+/// load per placed operation instead of a hash per lookup.  Build it once per machine
+/// configuration and reuse it across emissions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlotMap {
+    /// `slots[resource]` = slot index; `usize::MAX` for rows that are not functional
+    /// units (buses never carry an FU slot).
+    slots: Vec<usize>,
+}
+
+impl SlotMap {
+    /// The slot map of `machine` (whose resource rows are enumerated by `pool`).
+    pub fn new(pool: &ResourcePool, machine: &MachineConfig) -> Self {
+        let mut slots = vec![usize::MAX; pool.len()];
+        for cluster in machine.clusters() {
+            let mut slot = 0usize;
+            for kind in vliw_arch::FuKind::ALL {
+                for idx in pool.fus(cluster, kind) {
+                    slots[idx.0] = slot;
+                    slot += 1;
+                }
             }
         }
+        Self { slots }
     }
-    map
+
+    /// The slot index of functional-unit row `fu`; panics if `fu` is not an FU row.
+    #[inline]
+    pub fn slot(&self, fu: ResourceIndex) -> usize {
+        let s = self.slots[fu.0];
+        debug_assert!(s != usize::MAX, "{fu} is not a functional-unit row");
+        s
+    }
 }
 
 #[cfg(test)]
@@ -501,17 +555,20 @@ mod tests {
     }
 
     #[test]
-    fn unplace_and_rollback_comms() {
+    fn checkpoint_rollback_restores_the_exact_schedule() {
         let machine = MachineConfig::two_cluster(1, 1);
         let pool = ResourcePool::new(&machine);
+        // Node 0 committed, node 1 still open — exactly the state BSA trials from.
         let mut s = ModuloSchedule::new("rb", 2, 2, 2);
         s.place(PlacedOp {
             node: NodeId(0),
             cycle: 0,
             cluster: 0,
-            fu: pool.fus(0, FuKind::Int).next().unwrap(),
+            fu: pool.fus(0, FuKind::Mem).next().unwrap(),
         });
-        let before = s.n_comms();
+        let before = s.clone();
+        let cp = s.checkpoint();
+        // A tentative trial: one comm plus the placement of node 1.
         s.add_comm(CommPlacement {
             src_node: NodeId(0),
             dst_node: NodeId(1),
@@ -521,12 +578,80 @@ mod tests {
             start_cycle: 1,
             duration: 1,
         });
-        assert_eq!(s.n_comms(), before + 1);
-        s.truncate_comms(before);
-        assert_eq!(s.n_comms(), before);
-        assert!(s.unplace(NodeId(0)).is_some());
-        assert!(s.placement(NodeId(0)).is_none());
+        s.place(PlacedOp {
+            node: NodeId(1),
+            cycle: 5,
+            cluster: 1,
+            fu: pool.fus(1, FuKind::Fp).next().unwrap(),
+        });
+        assert_ne!(s, before);
+        assert!(s.is_complete());
+        // Rollback restores the pre-trial state bit-for-bit...
+        s.rollback(cp);
+        assert!(s.placement(NodeId(1)).is_none());
         assert!(!s.is_complete());
+        assert_eq!(s, before);
+        // ...and nested checkpoints unwind independently.
+        let outer = s.checkpoint();
+        s.place(PlacedOp {
+            node: NodeId(1),
+            cycle: 2,
+            cluster: 0,
+            fu: pool.fus(0, FuKind::Fp).next().unwrap(),
+        });
+        let inner = s.checkpoint();
+        s.add_comm(CommPlacement {
+            src_node: NodeId(1),
+            dst_node: NodeId(0),
+            from_cluster: 0,
+            to_cluster: 1,
+            bus: pool.buses().next().unwrap(),
+            start_cycle: 3,
+            duration: 1,
+        });
+        s.rollback(inner);
+        assert!(s.placement(NodeId(1)).is_some());
+        assert_eq!(s.n_comms(), 0);
+        s.rollback(outer);
+        assert_eq!(s, before);
+    }
+
+    #[test]
+    fn rollback_across_multiple_placements_pops_in_order() {
+        let machine = MachineConfig::unified();
+        let pool = ResourcePool::new(&machine);
+        let mut s = ModuloSchedule::new("multi", 3, 2, 1);
+        let cp = s.checkpoint();
+        for (i, kind) in [(0u32, FuKind::Int), (1, FuKind::Fp), (2, FuKind::Mem)] {
+            s.place(PlacedOp {
+                node: NodeId(i),
+                cycle: i as i64,
+                cluster: 0,
+                fu: pool.fus(0, kind).next().unwrap(),
+            });
+        }
+        assert!(s.is_complete());
+        s.rollback(cp);
+        assert!(!s.is_complete());
+        assert_eq!(s.placements().count(), 0);
+        assert_eq!(s, ModuloSchedule::new("multi", 3, 2, 1));
+    }
+
+    #[test]
+    fn slot_map_matches_cluster_slot_layout() {
+        let machine = MachineConfig::two_cluster(1, 1);
+        let pool = ResourcePool::new(&machine);
+        let map = SlotMap::new(&pool, &machine);
+        for cluster in machine.clusters() {
+            let mut expected = 0usize;
+            for kind in vliw_arch::FuKind::ALL {
+                for fu in pool.fus(cluster, kind) {
+                    assert_eq!(map.slot(fu), expected);
+                    expected += 1;
+                }
+            }
+            assert_eq!(expected, machine.cluster.issue_width());
+        }
     }
 
     #[test]

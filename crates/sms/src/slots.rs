@@ -95,9 +95,17 @@ pub fn late_start(
 
 /// The sequence of candidate cycles to try for a node, given its (optional) early and
 /// late bounds.  At most `II` candidates are produced.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// The scan is a plain counting iterator (start, direction, length) — it allocates
+/// nothing, which matters because one is built per (node, cluster, II-attempt) in the
+/// schedulers' innermost loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SlotScan {
-    cycles: Vec<i64>,
+    next: i64,
+    /// Candidates still to be produced.
+    remaining: u64,
+    /// `+1` for forward scans, `-1` for backward (only-successors) scans.
+    step: i64,
 }
 
 impl SlotScan {
@@ -105,38 +113,65 @@ impl SlotScan {
     /// neither bound exists (typically the node's ASAP time, or 0).
     pub fn new(early: Option<i64>, late: Option<i64>, ii: u32, default_start: i64) -> Self {
         let ii = ii as i64;
-        let cycles = match (early, late) {
+        match (early, late) {
             (Some(e), Some(l)) => {
                 // Window [e, min(l, e + II - 1)], forward.  May be empty, in which case
                 // the node is unschedulable at this II in this cluster.
                 let hi = l.min(e + ii - 1);
-                (e..=hi).collect()
+                Self {
+                    next: e,
+                    remaining: (hi - e + 1).max(0) as u64,
+                    step: 1,
+                }
             }
-            (Some(e), None) => (e..e + ii).collect(),
-            (None, Some(l)) => (l - ii + 1..=l).rev().collect(),
-            (None, None) => (default_start..default_start + ii).collect(),
-        };
-        Self { cycles }
+            (Some(e), None) => Self {
+                next: e,
+                remaining: ii as u64,
+                step: 1,
+            },
+            (None, Some(l)) => Self {
+                next: l,
+                remaining: ii as u64,
+                step: -1,
+            },
+            (None, None) => Self {
+                next: default_start,
+                remaining: ii as u64,
+                step: 1,
+            },
+        }
     }
 
-    /// The candidate cycles, in the order they should be tried.
-    pub fn cycles(&self) -> &[i64] {
-        &self.cycles
+    /// The candidate cycles, in the order they will be produced (test/debug helper;
+    /// the schedulers iterate the scan directly).
+    pub fn cycles(&self) -> Vec<i64> {
+        (*self).collect()
     }
 
     /// Whether the scan window is empty (placement impossible at this II).
     pub fn is_empty(&self) -> bool {
-        self.cycles.is_empty()
+        self.remaining == 0
     }
 }
 
-impl IntoIterator for SlotScan {
+impl Iterator for SlotScan {
     type Item = i64;
-    type IntoIter = std::vec::IntoIter<i64>;
-    fn into_iter(self) -> Self::IntoIter {
-        self.cycles.into_iter()
+    fn next(&mut self) -> Option<i64> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let cycle = self.next;
+        self.next += self.step;
+        self.remaining -= 1;
+        Some(cycle)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining as usize, Some(self.remaining as usize))
     }
 }
+
+impl ExactSizeIterator for SlotScan {}
 
 #[cfg(test)]
 mod tests {
@@ -235,28 +270,33 @@ mod tests {
     fn scan_orders() {
         // both bounds: forward window clipped to II
         let s = SlotScan::new(Some(4), Some(20), 3, 0);
-        assert_eq!(s.cycles(), &[4, 5, 6]);
+        assert_eq!(s.cycles(), vec![4, 5, 6]);
         // both bounds, tight window
         let s = SlotScan::new(Some(4), Some(5), 3, 0);
-        assert_eq!(s.cycles(), &[4, 5]);
+        assert_eq!(s.cycles(), vec![4, 5]);
         // empty window
         let s = SlotScan::new(Some(6), Some(4), 3, 0);
         assert!(s.is_empty());
         // preds only: forward II candidates
         let s = SlotScan::new(Some(2), None, 4, 0);
-        assert_eq!(s.cycles(), &[2, 3, 4, 5]);
+        assert_eq!(s.cycles(), vec![2, 3, 4, 5]);
         // succs only: backward II candidates
         let s = SlotScan::new(None, Some(9), 3, 0);
-        assert_eq!(s.cycles(), &[9, 8, 7]);
+        assert_eq!(s.cycles(), vec![9, 8, 7]);
         // free node: forward from the default
         let s = SlotScan::new(None, None, 2, 7);
-        assert_eq!(s.cycles(), &[7, 8]);
+        assert_eq!(s.cycles(), vec![7, 8]);
     }
 
     #[test]
-    fn scan_is_iterable() {
+    fn scan_is_an_exact_size_iterator() {
         let s = SlotScan::new(Some(0), None, 2, 0);
-        let v: Vec<i64> = s.into_iter().collect();
+        assert_eq!(s.len(), 2);
+        let v: Vec<i64> = s.collect();
         assert_eq!(v, vec![0, 1]);
+        // `cycles()` does not consume the scan (it is `Copy`).
+        let s = SlotScan::new(None, Some(3), 2, 0);
+        assert_eq!(s.cycles(), vec![3, 2]);
+        assert_eq!(s.cycles(), vec![3, 2]);
     }
 }

@@ -50,6 +50,10 @@ impl SmsScheduler {
         graph.validate().map_err(ScheduleError::InvalidGraph)?;
         let mii = mii(graph, &self.machine);
         let limit = max_ii(mii);
+        // One reservation table for the whole II search; `reset` re-arms it per retry
+        // without touching the allocator.
+        let pool = ResourcePool::new(&self.machine);
+        let mut mrt = ModuloReservationTable::new(&pool, mii.max(1));
         for ii in mii..=limit {
             // The SMS order gives the best schedules; the topological fallback order
             // guarantees progress on graphs where the SMS order sandwiches a node
@@ -59,7 +63,8 @@ impl SmsScheduler {
                 OrderingContext::topological(graph, ii),
             ];
             for ctx in &orders {
-                if let Some(mut sched) = self.try_schedule(graph, ctx, ii, mii) {
+                mrt.reset(ii);
+                if let Some(mut sched) = self.try_schedule(graph, ctx, &pool, &mut mrt, ii, mii) {
                     sched.normalize();
                     return Ok(sched);
                 }
@@ -71,18 +76,18 @@ impl SmsScheduler {
         })
     }
 
-    /// Attempt a schedule at a fixed `ii`; `None` if some node cannot be placed or the
-    /// register file overflows.
+    /// Attempt a schedule at a fixed `ii` using the (already reset) reservation table;
+    /// `None` if some node cannot be placed or the register file overflows.
     fn try_schedule(
         &self,
         graph: &DepGraph,
         ctx: &OrderingContext,
+        pool: &ResourcePool,
+        mrt: &mut ModuloReservationTable,
         ii: u32,
         mii: u32,
     ) -> Option<ModuloSchedule> {
-        let pool = ResourcePool::new(&self.machine);
         let mut sched = ModuloSchedule::new(&graph.name, graph.n_nodes(), ii, mii);
-        let mut mrt = ModuloReservationTable::new(&pool, ii);
 
         for &node_id in &ctx.order {
             let node = graph.node(node_id);

@@ -1,6 +1,7 @@
 //! Property-based tests (proptest) on the core data structures and schedulers:
 //! randomly generated loop bodies must always produce legal schedules, unrolling must
-//! preserve structure, and the reservation table must never be oversubscribed.
+//! preserve structure, the reservation table must never be oversubscribed, and the
+//! checkpoint/rollback transaction must restore schedules bit-for-bit.
 
 use clustered_vliw::core::{BsaScheduler, NeScheduler};
 use clustered_vliw::prelude::*;
@@ -156,5 +157,102 @@ proptest! {
             vliw_arch::LatencyModel::table1(),
         );
         prop_assert!(mii(&graph, &wide) <= mii(&graph, &narrow));
+    }
+}
+
+/// Drive a schedule + reservation-table pair through `seed`-derived random bursts of
+/// legal placements and bus reservations, half of them rolled back, asserting after
+/// every rollback that both structures are bit-identical to the deep copies taken at
+/// the checkpoint.  This is the invariant that lets BSA trial clusters on the live
+/// schedule instead of cloning it per trial.
+fn check_transaction_roundtrip(graph: &DepGraph, seed: u64) {
+    use clustered_vliw::sms::{CommPlacement, ModuloReservationTable, ModuloSchedule, PlacedOp};
+    let machine = MachineConfig::two_cluster(1, 2);
+    let pool = vliw_arch::ResourcePool::new(&machine);
+    let ii = 4 + (seed % 5) as u32;
+    let mut sched = ModuloSchedule::new(&graph.name, graph.n_nodes(), ii, ii);
+    let mut mrt = ModuloReservationTable::new(&pool, ii);
+    let mut state = seed | 1;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state >> 33
+    };
+
+    // Interleave committed bursts with rolled-back trial bursts.
+    let mut unplaced: Vec<vliw_ddg::NodeId> = graph.node_ids().collect();
+    for _ in 0..24 {
+        let trial = next() % 2 == 0;
+        let snapshot = trial.then(|| (sched.clone(), mrt.clone()));
+        let cp = sched.checkpoint();
+        let mut trial_reservations = Vec::new();
+
+        for _ in 0..(1 + next() % 3) {
+            if !unplaced.is_empty() && next() % 3 != 0 {
+                let idx = (next() as usize) % unplaced.len();
+                let node = unplaced[idx];
+                let cluster = (next() as usize) % machine.n_clusters;
+                let cycle = (next() % (3 * ii as u64)) as i64 - ii as i64;
+                let kind = graph.node(node).class.fu_kind();
+                if let Some(fu) = mrt.find_free(pool.fus(cluster, kind), cycle) {
+                    trial_reservations.push(mrt.reserve(fu, cycle));
+                    sched.place(PlacedOp {
+                        node,
+                        cycle,
+                        cluster,
+                        fu,
+                    });
+                    unplaced.swap_remove(idx);
+                }
+            } else if graph.n_nodes() >= 2 {
+                // A bus transfer of random duration (may wrap column II-1 -> 0).
+                let duration = 1 + (next() % ii as u64) as u32;
+                let start = (next() % (2 * ii as u64)) as i64 - ii as i64;
+                if let Some(bus) = mrt.find_free_for(pool.buses(), start, duration) {
+                    trial_reservations.push(mrt.reserve_for(bus, start, duration));
+                    sched.add_comm(CommPlacement {
+                        src_node: vliw_ddg::NodeId(0),
+                        dst_node: vliw_ddg::NodeId(1),
+                        from_cluster: 0,
+                        to_cluster: 1,
+                        bus,
+                        start_cycle: start,
+                        duration,
+                    });
+                }
+            }
+        }
+
+        if let Some((sched_before, mrt_before)) = snapshot {
+            // Roll the whole burst back: the pair must be bit-identical.
+            sched.rollback(cp);
+            for r in trial_reservations.drain(..).rev() {
+                mrt.release(r);
+            }
+            assert_eq!(sched, sched_before);
+            assert_eq!(mrt, mrt_before);
+            // Re-mark the burst's nodes as unplaced for later rounds.
+            unplaced = graph
+                .node_ids()
+                .filter(|&n| sched.placement(n).is_none())
+                .collect();
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // The checkpoint/rollback transaction must leave the schedule *and* the
+    // reservation table bit-identical to a deep copy taken before the trial, for any
+    // randomized sequence of placements, communications and releases.
+    #[test]
+    fn checkpoint_rollback_is_bit_identical_to_a_pre_trial_clone(
+        graph in arb_loop(),
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(graph.validate().is_ok());
+        check_transaction_roundtrip(&graph, seed);
     }
 }

@@ -1,57 +1,291 @@
-//! Offline stand-in for `rayon`.
+//! Offline stand-in for `rayon` backed by a real thread pool.
 //!
-//! The build environment has no network access, so this shim provides the
-//! parallel-iterator entry points the workspace calls (`par_iter`,
-//! `into_par_iter`) as *sequential* iterators.  The experiment runner's per-loop
-//! scheduling jobs are independent either way; swapping the real rayon back in is a
-//! one-line Cargo.toml change once a registry is reachable.
+//! The build environment has no registry access, so this crate re-implements the
+//! parallel-iterator entry points the workspace uses (`par_iter`, `into_par_iter`,
+//! `map`, `collect`) on top of `std::thread::scope`.  Work is handed out in chunks
+//! from a shared atomic cursor — idle workers keep claiming the next chunk until the
+//! input is exhausted, which gives the same dynamic load balancing that makes rayon
+//! effective for the experiment runner's very unevenly sized scheduling jobs.
+//!
+//! `collect` preserves input order regardless of which worker produced which chunk.
+//! The worker count defaults to the number of available cores and can be pinned with
+//! the `RAYON_NUM_THREADS` environment variable (`1` recovers the old sequential
+//! behaviour exactly).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads a parallel call will use.
+///
+/// Reads `RAYON_NUM_THREADS` (any value ≥ 1) and falls back to
+/// [`std::thread::available_parallelism`].
+pub fn current_num_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// How many chunks each worker should expect to claim, on average.  More chunks give
+/// better load balancing for skewed job sizes at the cost of a little synchronisation.
+const CHUNKS_PER_THREAD: usize = 8;
+
+/// Run `f` over `n` indices in parallel, in chunks, collecting the results in index
+/// order.  This is the single driver every parallel iterator bottoms out in.
+fn drive<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = current_num_threads().min(n);
+    if threads <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let chunk = (n / (threads * CHUNKS_PER_THREAD)).max(1);
+    let cursor = AtomicUsize::new(0);
+    let parts: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                if start >= n {
+                    break;
+                }
+                let end = (start + chunk).min(n);
+                let out: Vec<R> = (start..end).map(&f).collect();
+                parts.lock().unwrap().push((start, out));
+            });
+        }
+    });
+    let mut parts = parts.into_inner().unwrap();
+    parts.sort_unstable_by_key(|(start, _)| *start);
+    let mut results = Vec::with_capacity(n);
+    for (_, mut part) in parts {
+        results.append(&mut part);
+    }
+    results
+}
+
+/// The parallel-iterator surface: `map` to build a pipeline, `collect` / `for_each` /
+/// `reduce`-style terminals to run it on the pool.
+pub trait ParallelIterator: Sized {
+    /// The element type.
+    type Item: Send;
+
+    /// Terminal driver: apply `f` to every element on the pool, in input order.
+    ///
+    /// This is an implementation detail of the shim (real rayon drives consumers
+    /// through `plumbing`), but it has to be public so adapters can compose.
+    fn exec<R: Send>(self, f: &(dyn Fn(Self::Item) -> R + Sync)) -> Vec<R>;
+
+    /// Transform every element with `f` (runs on the pool at the terminal call).
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    /// Execute the pipeline and collect the results in input order.
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        self.exec(&|x| x).into_iter().collect()
+    }
+
+    /// Execute the pipeline for its side effects.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        self.exec(&|x| {
+            f(x);
+        });
+    }
+}
+
+/// The result of [`ParallelIterator::map`].
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, T, F> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    T: Send,
+    F: Fn(I::Item) -> T + Sync,
+{
+    type Item = T;
+    fn exec<R: Send>(self, g: &(dyn Fn(T) -> R + Sync)) -> Vec<R> {
+        let f = self.f;
+        self.base.exec(&move |x| g(f(x)))
+    }
+}
+
+/// Borrowing parallel iterator over a slice.
+pub struct SliceParIter<'data, T> {
+    slice: &'data [T],
+}
+
+impl<'data, T: Sync> ParallelIterator for SliceParIter<'data, T> {
+    type Item = &'data T;
+    fn exec<R: Send>(self, f: &(dyn Fn(&'data T) -> R + Sync)) -> Vec<R> {
+        let slice = self.slice;
+        drive(slice.len(), |i| f(&slice[i]))
+    }
+}
+
+/// Owning parallel iterator over a `Vec`.
+pub struct VecParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for VecParIter<T> {
+    type Item = T;
+    fn exec<R: Send>(self, f: &(dyn Fn(T) -> R + Sync)) -> Vec<R> {
+        // Moving items out of the Vec from several workers needs per-slot interior
+        // mutability; a Mutex<Option<T>> per slot keeps this safe and the lock is
+        // uncontended (every index is claimed exactly once).
+        let cells: Vec<Mutex<Option<T>>> = self
+            .items
+            .into_iter()
+            .map(|x| Mutex::new(Some(x)))
+            .collect();
+        drive(cells.len(), |i| {
+            let item = cells[i].lock().unwrap().take().expect("slot taken twice");
+            f(item)
+        })
+    }
+}
 
 /// Drop-in for `rayon::prelude`.
 pub mod prelude {
-    /// `.par_iter()` on collections — sequential fallback.
+    pub use crate::{Map, ParallelIterator};
+
+    /// `.par_iter()` on collections.
     pub trait IntoParallelRefIterator<'data> {
-        /// The iterator type (a plain sequential iterator in this shim).
-        type Iter: Iterator;
-        /// Iterate by reference; in real rayon this is a parallel iterator.
+        /// The borrowing parallel iterator type.
+        type Iter: ParallelIterator;
+        /// Iterate by reference, in parallel.
         fn par_iter(&'data self) -> Self::Iter;
     }
 
-    impl<'data, T: 'data> IntoParallelRefIterator<'data> for [T] {
-        type Iter = std::slice::Iter<'data, T>;
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+        type Iter = crate::SliceParIter<'data, T>;
         fn par_iter(&'data self) -> Self::Iter {
-            self.iter()
+            crate::SliceParIter { slice: self }
         }
     }
 
-    impl<'data, T: 'data> IntoParallelRefIterator<'data> for Vec<T> {
-        type Iter = std::slice::Iter<'data, T>;
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type Iter = crate::SliceParIter<'data, T>;
         fn par_iter(&'data self) -> Self::Iter {
-            self.iter()
+            crate::SliceParIter { slice: self }
         }
     }
 
-    /// `.into_par_iter()` on owned collections — sequential fallback.
+    /// `.into_par_iter()` on owned collections.
     pub trait IntoParallelIterator {
-        /// The iterator type.
-        type Iter: Iterator;
-        /// Consume `self` into an iterator.
+        /// The owning parallel iterator type.
+        type Iter: ParallelIterator;
+        /// Consume `self` into a parallel iterator.
         fn into_par_iter(self) -> Self::Iter;
     }
 
-    impl<T> IntoParallelIterator for Vec<T> {
-        type Iter = std::vec::IntoIter<T>;
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Iter = crate::VecParIter<T>;
         fn into_par_iter(self) -> Self::Iter {
-            self.into_iter()
+            crate::VecParIter { items: self }
         }
     }
 
     impl<T> IntoParallelIterator for std::ops::Range<T>
     where
         std::ops::Range<T>: Iterator,
+        <std::ops::Range<T> as Iterator>::Item: Send,
     {
-        type Iter = std::ops::Range<T>;
+        type Iter = crate::VecParIter<<std::ops::Range<T> as Iterator>::Item>;
         fn into_par_iter(self) -> Self::Iter {
-            self
+            crate::VecParIter {
+                items: self.collect(),
+            }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_map_collect_preserves_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = input.par_iter().map(|&x| x * 2).collect();
+        let expected: Vec<u64> = (0..1000).map(|x| x * 2).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn into_par_iter_moves_items() {
+        let input: Vec<String> = (0..100).map(|i| format!("s{i}")).collect();
+        let out: Vec<usize> = input.into_par_iter().map(|s| s.len()).collect();
+        assert_eq!(out.len(), 100);
+        assert_eq!(out[0], 2);
+        assert_eq!(out[10], 3);
+    }
+
+    #[test]
+    fn range_into_par_iter() {
+        let out: Vec<usize> = (0usize..50).into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(out, (1..=50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let input: Vec<u32> = Vec::new();
+        let out: Vec<u32> = input.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn uneven_work_is_balanced_across_chunks() {
+        // Jobs with wildly different costs still come back in order.
+        let input: Vec<u64> = (0..200).collect();
+        let out: Vec<u64> = input
+            .par_iter()
+            .map(|&x| {
+                let spins = if x % 17 == 0 { 20_000 } else { 10 };
+                let mut acc = x;
+                for i in 0..spins {
+                    acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+                }
+                // Return something order-dependent but deterministic.
+                let _ = acc;
+                x
+            })
+            .collect();
+        assert_eq!(out, input);
+    }
+
+    #[test]
+    fn num_threads_is_at_least_one() {
+        assert!(super::current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn for_each_runs_every_item() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let hits = AtomicUsize::new(0);
+        let input: Vec<u32> = (0..321).collect();
+        input.par_iter().for_each(|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 321);
     }
 }
