@@ -7,7 +7,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cvliw_core::UnrollPolicy;
 use vliw_arch::MachineConfig;
-use vliw_bench::{relative_ipc, run_corpus, Algorithm};
+use vliw_bench::{run_corpus, Algorithm, Baseline, Sweep};
 use vliw_timing::CycleTimeModel;
 use vliw_workloads::{LoopCorpus, SpecFp95};
 
@@ -30,7 +30,20 @@ fn fig4_point(c: &mut Criterion) {
             group.bench_with_input(
                 BenchmarkId::new(label, format!("{buses}bus")),
                 &machine,
-                |b, m| b.iter(|| relative_ipc(&corpus, m, alg, UnrollPolicy::None)),
+                |b, m| {
+                    b.iter(|| {
+                        let mut sweep = Sweep::new();
+                        let id = sweep.cell_vs(
+                            m.clone(),
+                            alg,
+                            UnrollPolicy::None,
+                            Baseline::UnifiedCounterpart,
+                        );
+                        sweep
+                            .run(std::slice::from_ref(&corpus))
+                            .mean_relative_ipc(id)
+                    })
+                },
             );
         }
     }

@@ -1,37 +1,17 @@
 //! Figure 10 — impact of loop unrolling on code size: total operation slots (useful +
 //! NOP) and useful operations only, normalised to the unified configuration without
 //! unrolling, for the same scenarios as Figure 8.
+//!
+//! The data comes from [`vliw_bench::figures::fig10`], which drives the declarative
+//! sweep runner.
 
-use cvliw_core::UnrollPolicy;
-use serde::Serialize;
-use vliw_arch::MachineConfig;
-use vliw_bench::{run_corpus, standard_corpora, write_json, Algorithm};
+use vliw_bench::{figures, standard_corpora, write_json};
 use vliw_metrics::TextTable;
-
-#[derive(Debug, Serialize)]
-struct Bar {
-    clusters: usize,
-    policy: String,
-    buses: usize,
-    latency: u32,
-    normalized_total: f64,
-    normalized_useful: f64,
-}
 
 fn main() {
     let corpora = standard_corpora();
-    let unified = MachineConfig::unified();
+    let bars = figures::fig10(&corpora);
 
-    // Baseline: unified configuration, no unrolling, summed over all benchmarks.
-    let mut base_total = 0u64;
-    let mut base_useful = 0u64;
-    for corpus in &corpora {
-        let r = run_corpus(corpus, &unified, Algorithm::UnifiedSms, UnrollPolicy::None);
-        base_total += r.code_size.total_slots;
-        base_useful += r.code_size.useful_ops;
-    }
-
-    let mut bars: Vec<Bar> = Vec::new();
     for &clusters in &[2usize, 4] {
         println!("Figure 10 ({clusters}-cluster configuration) — code size normalised to unified/no-unrolling");
         let mut table = TextTable::new([
@@ -40,35 +20,13 @@ fn main() {
             "total slots (norm.)",
             "useful ops (norm.)",
         ]);
-        for policy in UnrollPolicy::ALL {
-            for &buses in &[1usize, 2] {
-                for &lat in &[1u32, 2, 4] {
-                    let machine = MachineConfig::clustered(clusters, buses, lat);
-                    let mut total = 0u64;
-                    let mut useful = 0u64;
-                    for corpus in &corpora {
-                        let r = run_corpus(corpus, &machine, Algorithm::Bsa, policy);
-                        total += r.code_size.total_slots;
-                        useful += r.code_size.useful_ops;
-                    }
-                    let nt = total as f64 / base_total as f64;
-                    let nu = useful as f64 / base_useful as f64;
-                    table.row([
-                        policy.label().to_string(),
-                        format!("B={buses} L={lat}"),
-                        format!("{nt:.2}"),
-                        format!("{nu:.2}"),
-                    ]);
-                    bars.push(Bar {
-                        clusters,
-                        policy: policy.label().to_string(),
-                        buses,
-                        latency: lat,
-                        normalized_total: nt,
-                        normalized_useful: nu,
-                    });
-                }
-            }
+        for b in bars.iter().filter(|b| b.clusters == clusters) {
+            table.row([
+                b.policy.clone(),
+                format!("B={} L={}", b.buses, b.latency),
+                format!("{:.2}", b.normalized_total),
+                format!("{:.2}", b.normalized_useful),
+            ]);
         }
         println!("{table}");
     }

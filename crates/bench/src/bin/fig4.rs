@@ -3,56 +3,26 @@
 //! paper's single-pass scheduler (BSA) and the two-phase baseline (N&E), with bus
 //! latencies of 1 and 2 cycles, on the 2-cluster and 4-cluster configurations.
 //!
-//! No unrolling is applied (this figure motivates the unrolling technique).
+//! No unrolling is applied (this figure motivates the unrolling technique).  The data
+//! comes from [`vliw_bench::figures::fig4`], which drives the declarative sweep
+//! runner (memoized unified baselines, rayon-parallel cells).
 
-use cvliw_core::UnrollPolicy;
-use serde::Serialize;
-use vliw_arch::MachineConfig;
-use vliw_bench::{mean, relative_ipc, standard_corpora, write_json, Algorithm};
+use vliw_bench::{figures, standard_corpora, write_json};
 use vliw_metrics::TextTable;
-
-#[derive(Debug, Serialize)]
-struct Point {
-    clusters: usize,
-    buses: usize,
-    latency: u32,
-    algorithm: String,
-    relative_ipc: f64,
-}
 
 fn main() {
     let corpora = standard_corpora();
-    let bus_counts = [1usize, 2, 3, 4, 6, 8, 12];
-    let latencies = [1u32, 2];
-    let algorithms = [Algorithm::Bsa, Algorithm::NystromEichenberger];
-    let mut points: Vec<Point> = Vec::new();
+    let output = figures::fig4(&corpora);
 
     for &clusters in &[2usize, 4] {
         println!("Figure 4 ({clusters}-cluster configuration) — relative IPC vs number of buses");
         let mut table = TextTable::new(["algorithm / latency", "buses", "relative IPC"]);
-        for &alg in &algorithms {
-            for &lat in &latencies {
-                for &buses in &bus_counts {
-                    let machine = MachineConfig::clustered(clusters, buses, lat);
-                    let rels: Vec<f64> = corpora
-                        .iter()
-                        .map(|c| relative_ipc(c, &machine, alg, UnrollPolicy::None).2)
-                        .collect();
-                    let avg = mean(&rels);
-                    table.row([
-                        format!("{} L={lat}", alg.label()),
-                        buses.to_string(),
-                        format!("{avg:.3}"),
-                    ]);
-                    points.push(Point {
-                        clusters,
-                        buses,
-                        latency: lat,
-                        algorithm: alg.label().to_string(),
-                        relative_ipc: avg,
-                    });
-                }
-            }
+        for p in output.points.iter().filter(|p| p.clusters == clusters) {
+            table.row([
+                format!("{} L={}", p.algorithm, p.latency),
+                p.buses.to_string(),
+                format!("{:.3}", p.relative_ipc),
+            ]);
         }
         println!("{table}");
     }
@@ -62,38 +32,17 @@ fn main() {
     // percent higher IPC.
     println!("Motivation check — BSA vs N&E at the N&E configurations (latency 1):");
     let mut table = TextTable::new(["configuration", "BSA rel. IPC", "N&E rel. IPC", "BSA gain"]);
-    for (clusters, buses) in [(2usize, 2usize), (4, 4)] {
-        let machine = MachineConfig::clustered(clusters, buses, 1);
-        let bsa = mean(
-            &corpora
-                .iter()
-                .map(|c| relative_ipc(c, &machine, Algorithm::Bsa, UnrollPolicy::None).2)
-                .collect::<Vec<_>>(),
-        );
-        let ne = mean(
-            &corpora
-                .iter()
-                .map(|c| {
-                    relative_ipc(
-                        c,
-                        &machine,
-                        Algorithm::NystromEichenberger,
-                        UnrollPolicy::None,
-                    )
-                    .2
-                })
-                .collect::<Vec<_>>(),
-        );
+    for row in &output.motivation {
         table.row([
-            format!("{clusters}-cluster/{buses}-bus"),
-            format!("{bsa:.3}"),
-            format!("{ne:.3}"),
-            format!("{:+.1}%", (bsa / ne - 1.0) * 100.0),
+            format!("{}-cluster/{}-bus", row.clusters, row.buses),
+            format!("{:.3}", row.bsa),
+            format!("{:.3}", row.ne),
+            format!("{:+.1}%", (row.bsa / row.ne - 1.0) * 100.0),
         ]);
     }
     println!("{table}");
 
-    if let Ok(path) = write_json("fig4", &points) {
+    if let Ok(path) = write_json("fig4", &output.points) {
         println!("JSON written to {}", path.display());
     }
 }

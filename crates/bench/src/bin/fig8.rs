@@ -1,38 +1,22 @@
 //! Figure 8 — IPC of every SPECfp95 benchmark on the unified and clustered
 //! configurations, for the three unrolling policies (No unrolling / Unrolling /
 //! Selective unrolling), with 1 or 2 buses and bus latencies of 1, 2 and 4 cycles.
+//!
+//! The data comes from [`vliw_bench::figures::fig8`], which drives the declarative
+//! sweep runner (memoized unified baselines, rayon-parallel cells).
 
-use cvliw_core::UnrollPolicy;
-use serde::Serialize;
-use vliw_arch::MachineConfig;
-use vliw_bench::{mean, run_corpus, standard_corpora, write_json, Algorithm};
+use vliw_bench::{figures, standard_corpora, write_json};
 use vliw_metrics::TextTable;
-
-#[derive(Debug, Serialize)]
-struct Bar {
-    benchmark: String,
-    clusters: usize,
-    policy: String,
-    buses: usize,
-    latency: u32,
-    ipc: f64,
-    unified_ipc: f64,
-    relative_ipc: f64,
-    unrolled_loops: usize,
-}
 
 fn main() {
     let corpora = standard_corpora();
-    let policies = UnrollPolicy::ALL;
-    let bus_latencies = [1u32, 2, 4];
-    let bus_counts = [1usize, 2];
-    let mut bars: Vec<Bar> = Vec::new();
+    let bars = figures::fig8(&corpora);
 
     for &clusters in &[2usize, 4] {
         println!("=== Figure 8 ({clusters}-cluster configuration) ===\n");
         for corpus in &corpora {
-            let unified = MachineConfig::unified();
-            println!("--- {} ---", corpus.benchmark.name());
+            let benchmark = corpus.benchmark.name();
+            println!("--- {benchmark} ---");
             let mut table = TextTable::new([
                 "policy",
                 "config",
@@ -40,37 +24,17 @@ fn main() {
                 "clustered IPC",
                 "relative",
             ]);
-            for policy in policies {
-                let unified_result = run_corpus(corpus, &unified, Algorithm::UnifiedSms, policy);
-                for &buses in &bus_counts {
-                    for &lat in &bus_latencies {
-                        let machine = MachineConfig::clustered(clusters, buses, lat);
-                        let clustered = run_corpus(corpus, &machine, Algorithm::Bsa, policy);
-                        let rel = if unified_result.ipc > 0.0 {
-                            clustered.ipc / unified_result.ipc
-                        } else {
-                            0.0
-                        };
-                        table.row([
-                            policy.label().to_string(),
-                            format!("B={buses} L={lat}"),
-                            format!("{:.2}", unified_result.ipc),
-                            format!("{:.2}", clustered.ipc),
-                            format!("{rel:.3}"),
-                        ]);
-                        bars.push(Bar {
-                            benchmark: corpus.benchmark.name().to_string(),
-                            clusters,
-                            policy: policy.label().to_string(),
-                            buses,
-                            latency: lat,
-                            ipc: clustered.ipc,
-                            unified_ipc: unified_result.ipc,
-                            relative_ipc: rel,
-                            unrolled_loops: clustered.unrolled_loops,
-                        });
-                    }
-                }
+            for b in bars
+                .iter()
+                .filter(|b| b.clusters == clusters && b.benchmark == benchmark)
+            {
+                table.row([
+                    b.policy.clone(),
+                    format!("B={} L={}", b.buses, b.latency),
+                    format!("{:.2}", b.unified_ipc),
+                    format!("{:.2}", b.ipc),
+                    format!("{:.3}", b.relative_ipc),
+                ]);
             }
             println!("{table}");
         }
@@ -78,26 +42,8 @@ fn main() {
         // Averages over all benchmarks (the AVERAGE panel of Figure 8).
         println!("--- AVERAGE ({clusters}-cluster) ---");
         let mut table = TextTable::new(["policy", "config", "avg relative IPC"]);
-        for policy in policies {
-            for &buses in &bus_counts {
-                for &lat in &bus_latencies {
-                    let rels: Vec<f64> = bars
-                        .iter()
-                        .filter(|b| {
-                            b.clusters == clusters
-                                && b.policy == policy.label()
-                                && b.buses == buses
-                                && b.latency == lat
-                        })
-                        .map(|b| b.relative_ipc)
-                        .collect();
-                    table.row([
-                        policy.label().to_string(),
-                        format!("B={buses} L={lat}"),
-                        format!("{:.3}", mean(&rels)),
-                    ]);
-                }
-            }
+        for (policy, buses, lat, avg) in figures::fig8_averages(&bars, clusters) {
+            table.row([policy, format!("B={buses} L={lat}"), format!("{avg:.3}")]);
         }
         println!("{table}");
     }

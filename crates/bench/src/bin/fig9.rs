@@ -1,29 +1,17 @@
 //! Figure 9 — speed-up of the clustered configurations over the unified one when the
 //! cycle time (Table 2 / Palacharla model) is taken into account, for the No-unrolling
 //! (NU) and Selective-unrolling (SU) policies with 1 or 2 buses (bus latency 1).
+//!
+//! The data comes from [`vliw_bench::figures::fig9`], which drives the declarative
+//! sweep runner (memoized unified baselines, rayon-parallel cells).
 
-use cvliw_core::UnrollPolicy;
-use serde::Serialize;
-use vliw_arch::MachineConfig;
-use vliw_bench::{mean, run_corpus, standard_corpora, write_json, Algorithm};
+use vliw_bench::{figures, standard_corpora, write_json};
 use vliw_metrics::TextTable;
-use vliw_timing::{speedup, CycleTimeModel};
-
-#[derive(Debug, Serialize)]
-struct Bar {
-    clusters: usize,
-    buses: usize,
-    policy: String,
-    relative_ipc: f64,
-    cycle_time_ratio: f64,
-    speedup: f64,
-}
 
 fn main() {
     let corpora = standard_corpora();
-    let model = CycleTimeModel::new();
-    let unified = MachineConfig::unified();
-    let mut bars: Vec<Bar> = Vec::new();
+    let bars = figures::fig9(&corpora);
+
     let mut table = TextTable::new([
         "configuration",
         "policy",
@@ -31,41 +19,14 @@ fn main() {
         "cycle-time ratio",
         "speed-up",
     ]);
-
-    for &clusters in &[2usize, 4] {
-        for &buses in &[1usize, 2] {
-            let machine = MachineConfig::clustered(clusters, buses, 1);
-            for (policy, label) in [(UnrollPolicy::None, "NU"), (UnrollPolicy::Selective, "SU")] {
-                // Average relative IPC over the benchmarks.
-                let mut rels = Vec::new();
-                for corpus in &corpora {
-                    let unified_result =
-                        run_corpus(corpus, &unified, Algorithm::UnifiedSms, policy);
-                    let clustered = run_corpus(corpus, &machine, Algorithm::Bsa, policy);
-                    if unified_result.ipc > 0.0 {
-                        rels.push(clustered.ipc / unified_result.ipc);
-                    }
-                }
-                let rel = mean(&rels);
-                // speedup() wants absolute IPCs; feed the ratio directly.
-                let row = speedup(&model, &unified, &machine, 1.0, rel);
-                table.row([
-                    format!("{clusters}-cluster B={buses}"),
-                    label.to_string(),
-                    format!("{rel:.3}"),
-                    format!("{:.2}", row.cycle_time_ratio),
-                    format!("{:.2}", row.speedup),
-                ]);
-                bars.push(Bar {
-                    clusters,
-                    buses,
-                    policy: label.to_string(),
-                    relative_ipc: rel,
-                    cycle_time_ratio: row.cycle_time_ratio,
-                    speedup: row.speedup,
-                });
-            }
-        }
+    for b in &bars {
+        table.row([
+            format!("{}-cluster B={}", b.clusters, b.buses),
+            b.policy.clone(),
+            format!("{:.3}", b.relative_ipc),
+            format!("{:.2}", b.cycle_time_ratio),
+            format!("{:.2}", b.speedup),
+        ]);
     }
 
     println!("Figure 9 — speed-up over the unified configuration (bus latency = 1)");

@@ -1,12 +1,17 @@
 //! `perf` — the timing harness behind `BENCH_perf.json`.
 //!
-//! Times the experiment pipeline at two granularities so later performance work has a
-//! trajectory to compare against:
+//! Times the experiment pipeline at three granularities so later performance work has
+//! a trajectory to compare against:
 //!
 //! * **Figure-8 sweep** — the full `{benchmark × policy × clusters × buses ×
-//!   bus-latency}` scheduling sweep (the most expensive reproduction in the repo),
-//!   wall-clock, with the configured thread count and again pinned to one thread so
-//!   thread scaling is visible on multi-core runners;
+//!   bus-latency}` scheduling sweep (the most expensive reproduction in the repo)
+//!   through the declarative sweep runner, wall-clock, with the configured thread
+//!   count and again pinned to one thread so thread scaling is visible on multi-core
+//!   runners;
+//! * **Figure-4 baseline memoization** — the Figure-4 pipeline through the sweep
+//!   runner (unified baselines scheduled once per structure) against a naive replica
+//!   that reschedules the unified counterpart for every cell, exactly as the
+//!   pre-sweep `relative_ipc` helper did;
 //! * **component microbenches** — the MRT multi-cycle probe/reserve/release cycle,
 //!   a BSA clustered schedule, and a unified SMS schedule, each over a fixed synthetic
 //!   workload.
@@ -20,7 +25,7 @@ use cvliw_core::{BsaScheduler, UnrollPolicy};
 use serde::Serialize;
 use std::time::Instant;
 use vliw_arch::{MachineConfig, ResourcePool};
-use vliw_bench::{run_corpus, standard_corpora, Algorithm};
+use vliw_bench::{figures, run_corpus, standard_corpora, Algorithm};
 use vliw_sms::{ModuloReservationTable, SmsScheduler};
 use vliw_workloads::{LoopCorpus, SpecFp95};
 
@@ -52,39 +57,54 @@ struct Report {
     fig8_sweep_serial_ms: Option<f64>,
     /// baseline / optimized; only meaningful (and only emitted) in full mode.
     speedup_vs_seed: Option<f64>,
+    /// The Figure-4 pipeline through the sweep runner (memoized unified baselines).
+    fig4_sweep_ms: f64,
+    /// The same cells with the baseline rescheduled per cell (the pre-sweep
+    /// `relative_ipc` behaviour).
+    fig4_naive_ms: f64,
+    /// naive / memoized — the measured win of the baseline memoization.
+    fig4_memoization_speedup: f64,
     micro: Vec<Micro>,
 }
 
-/// Every `run_corpus` call of the Figure-8 reproduction, without the reporting.
+/// The full Figure-8 reproduction through the sweep runner, without the reporting.
 fn fig8_sweep(corpora: &[LoopCorpus]) -> usize {
-    let mut jobs = 0;
-    for &clusters in &[2usize, 4] {
-        for corpus in corpora {
-            for policy in UnrollPolicy::ALL {
-                let unified = MachineConfig::unified();
-                let r = run_corpus(corpus, &unified, Algorithm::UnifiedSms, policy);
-                assert!(r.failed_loops <= corpus.len());
-                jobs += 1;
-                for &buses in &[1usize, 2] {
-                    for &lat in &[1u32, 2, 4] {
-                        let machine = MachineConfig::clustered(clusters, buses, lat);
-                        let r = run_corpus(corpus, &machine, Algorithm::Bsa, policy);
-                        assert!(r.failed_loops <= corpus.len());
-                        jobs += 1;
-                    }
-                }
-            }
-        }
-    }
-    jobs
+    let bars = figures::fig8(corpora);
+    assert_eq!(bars.len(), 2 * corpora.len() * 3 * 2 * 3);
+    assert!(bars.iter().all(|b| b.ipc > 0.0));
+    bars.len()
 }
 
 fn time_sweep(corpora: &[LoopCorpus]) -> f64 {
     let start = Instant::now();
-    let jobs = fig8_sweep(corpora);
+    let bars = fig8_sweep(corpora);
     let ms = start.elapsed().as_secs_f64() * 1e3;
-    println!("  {jobs} corpus jobs in {ms:.0} ms");
+    println!("  {bars} figure bars in {ms:.0} ms");
     ms
+}
+
+/// The Figure-4 cell grid as the pre-sweep code ran it: the unified counterpart is
+/// rescheduled from scratch for every (algorithm, latency, bus-count) cell.
+fn fig4_naive(corpora: &[LoopCorpus]) -> usize {
+    let mut points = 0usize;
+    for &clusters in &[2usize, 4] {
+        for &alg in &[Algorithm::Bsa, Algorithm::NystromEichenberger] {
+            for &lat in &[1u32, 2] {
+                for &buses in &[1usize, 2, 3, 4, 6, 8, 12] {
+                    let machine = MachineConfig::clustered(clusters, buses, lat);
+                    let unified = machine.unified_counterpart();
+                    for corpus in corpora {
+                        let clustered = run_corpus(corpus, &machine, alg, UnrollPolicy::None);
+                        let base =
+                            run_corpus(corpus, &unified, Algorithm::UnifiedSms, UnrollPolicy::None);
+                        assert!(clustered.ipc > 0.0 && base.ipc > 0.0);
+                    }
+                    points += 1;
+                }
+            }
+        }
+    }
+    points
 }
 
 fn micro_mrt_probe() -> Micro {
@@ -179,6 +199,19 @@ fn main() {
         None
     };
 
+    println!("Figure-4 pipeline (memoized baselines):");
+    let start = Instant::now();
+    let output = figures::fig4(&corpora);
+    let fig4_ms = start.elapsed().as_secs_f64() * 1e3;
+    println!("  {} points in {fig4_ms:.0} ms", output.points.len());
+
+    println!("Figure-4 cells, naive per-cell baselines (pre-sweep behaviour):");
+    let start = Instant::now();
+    let naive_points = fig4_naive(&corpora);
+    let fig4_naive_ms = start.elapsed().as_secs_f64() * 1e3;
+    println!("  {naive_points} points in {fig4_naive_ms:.0} ms");
+    assert_eq!(naive_points, output.points.len());
+
     println!("Component microbenches:");
     let micro = vec![micro_mrt_probe(), micro_bsa_schedule(), micro_unified_sms()];
     for m in &micro {
@@ -198,11 +231,18 @@ fn main() {
         fig8_sweep_ms: sweep_ms,
         fig8_sweep_serial_ms: serial_ms,
         speedup_vs_seed: (!fast).then(|| SEED_FIG8_SWEEP_MS / sweep_ms),
+        fig4_sweep_ms: fig4_ms,
+        fig4_naive_ms,
+        fig4_memoization_speedup: fig4_naive_ms / fig4_ms,
         micro,
     };
     if let Some(s) = report.speedup_vs_seed {
         println!("Full sweep: {sweep_ms:.0} ms vs seed {SEED_FIG8_SWEEP_MS:.0} ms — {s:.2}x");
     }
+    println!(
+        "Figure-4 path: {fig4_ms:.0} ms memoized vs {fig4_naive_ms:.0} ms naive — {:.2}x",
+        report.fig4_memoization_speedup
+    );
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write("BENCH_perf.json", json).expect("BENCH_perf.json is writable");
     println!("Report written to BENCH_perf.json");

@@ -1,0 +1,368 @@
+//! The figure pipelines: each of the paper's data figures as a plain function from
+//! benchmark corpora to the serialisable rows its binary prints and writes to
+//! `results/<name>.json`.
+//!
+//! All four pipelines declare their cells on the [`Sweep`] runner, so the expensive
+//! unified-machine baselines are scheduled once per (corpus, machine structure,
+//! policy) instead of once per cell, and the whole cross-product runs rayon-parallel.
+//! The row orders and numeric values are byte-identical to the historical per-binary
+//! loops (guarded by `tests/golden.rs`): scheduling is deterministic and the means
+//! are taken over the same values in the same order.
+
+use crate::sweep::{Baseline, Sweep};
+use crate::{mean, Algorithm, CellId};
+use cvliw_core::UnrollPolicy;
+use serde::Serialize;
+use vliw_arch::MachineConfig;
+use vliw_timing::{speedup, CycleTimeModel};
+use vliw_workloads::LoopCorpus;
+
+/// One point of Figure 4: average relative IPC of a clustered configuration.
+#[derive(Debug, Serialize)]
+pub struct Fig4Point {
+    /// Number of clusters.
+    pub clusters: usize,
+    /// Number of buses.
+    pub buses: usize,
+    /// Bus latency in cycles.
+    pub latency: u32,
+    /// Algorithm label (`BSA` or `N&E`).
+    pub algorithm: String,
+    /// IPC relative to the unified counterpart, averaged over the benchmarks.
+    pub relative_ipc: f64,
+}
+
+/// One row of the Figure 4 motivation check: BSA vs N&E at the configurations N&E
+/// evaluated (bus latency 1).
+#[derive(Debug, Serialize)]
+pub struct Fig4Motivation {
+    /// Number of clusters.
+    pub clusters: usize,
+    /// Number of buses.
+    pub buses: usize,
+    /// BSA's average relative IPC.
+    pub bsa: f64,
+    /// N&E's average relative IPC.
+    pub ne: f64,
+}
+
+/// The Figure 4 pipeline output.
+#[derive(Debug)]
+pub struct Fig4Output {
+    /// The figure's points (serialized to `results/fig4.json`).
+    pub points: Vec<Fig4Point>,
+    /// The motivation-section comparison rows.
+    pub motivation: Vec<Fig4Motivation>,
+}
+
+/// Figure 4 — relative performance (IPC of the clustered machine / IPC of the unified
+/// machine with the same resources) as a function of the number of buses, for the
+/// paper's single-pass scheduler (BSA) and the two-phase baseline (N&E), with bus
+/// latencies of 1 and 2 cycles, on the 2-cluster and 4-cluster configurations.
+/// No unrolling is applied (this figure motivates the unrolling technique).
+pub fn fig4(corpora: &[LoopCorpus]) -> Fig4Output {
+    let bus_counts = [1usize, 2, 3, 4, 6, 8, 12];
+    let latencies = [1u32, 2];
+    let algorithms = [Algorithm::Bsa, Algorithm::NystromEichenberger];
+
+    let mut sweep = Sweep::new();
+    let mut point_cells: Vec<(usize, usize, u32, Algorithm, CellId)> = Vec::new();
+    for &clusters in &[2usize, 4] {
+        for &alg in &algorithms {
+            for &lat in &latencies {
+                for &buses in &bus_counts {
+                    let machine = MachineConfig::clustered(clusters, buses, lat);
+                    let id = sweep.cell_vs(
+                        machine,
+                        alg,
+                        UnrollPolicy::None,
+                        Baseline::UnifiedCounterpart,
+                    );
+                    point_cells.push((clusters, buses, lat, alg, id));
+                }
+            }
+        }
+    }
+    // Motivation check cells ((2,2) and (4,4) at latency 1) are already part of the
+    // grid above; the runner deduplicates them, so declaring them again costs
+    // nothing and keeps the lookup simple.
+    let mut motivation_cells: Vec<(usize, usize, CellId, CellId)> = Vec::new();
+    for (clusters, buses) in [(2usize, 2usize), (4, 4)] {
+        let machine = MachineConfig::clustered(clusters, buses, 1);
+        let bsa = sweep.cell_vs(
+            machine.clone(),
+            Algorithm::Bsa,
+            UnrollPolicy::None,
+            Baseline::UnifiedCounterpart,
+        );
+        let ne = sweep.cell_vs(
+            machine,
+            Algorithm::NystromEichenberger,
+            UnrollPolicy::None,
+            Baseline::UnifiedCounterpart,
+        );
+        motivation_cells.push((clusters, buses, bsa, ne));
+    }
+
+    let results = sweep.run(corpora);
+    let points = point_cells
+        .into_iter()
+        .map(|(clusters, buses, latency, alg, id)| Fig4Point {
+            clusters,
+            buses,
+            latency,
+            algorithm: alg.label().to_string(),
+            relative_ipc: results.mean_relative_ipc(id),
+        })
+        .collect();
+    let motivation = motivation_cells
+        .into_iter()
+        .map(|(clusters, buses, bsa, ne)| Fig4Motivation {
+            clusters,
+            buses,
+            bsa: results.mean_relative_ipc(bsa),
+            ne: results.mean_relative_ipc(ne),
+        })
+        .collect();
+    Fig4Output { points, motivation }
+}
+
+/// One bar of Figure 8: IPC of one benchmark on one clustered configuration under one
+/// unrolling policy, with its unified reference.
+#[derive(Debug, Serialize)]
+pub struct Fig8Bar {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Number of clusters.
+    pub clusters: usize,
+    /// Unrolling-policy label.
+    pub policy: String,
+    /// Number of buses.
+    pub buses: usize,
+    /// Bus latency in cycles.
+    pub latency: u32,
+    /// IPC of the clustered configuration.
+    pub ipc: f64,
+    /// IPC of the paper's unified configuration under the same policy.
+    pub unified_ipc: f64,
+    /// `ipc / unified_ipc`.
+    pub relative_ipc: f64,
+    /// Loops the policy unrolled on the clustered machine.
+    pub unrolled_loops: usize,
+}
+
+/// Figure 8 — IPC of every SPECfp95 benchmark on the unified and clustered
+/// configurations, for the three unrolling policies (No unrolling / Unrolling /
+/// Selective unrolling), with 1 or 2 buses and bus latencies of 1, 2 and 4 cycles.
+pub fn fig8(corpora: &[LoopCorpus]) -> Vec<Fig8Bar> {
+    let bus_latencies = [1u32, 2, 4];
+    let bus_counts = [1usize, 2];
+    let unified = MachineConfig::unified();
+
+    let mut sweep = Sweep::new();
+    let mut cells: Vec<(usize, UnrollPolicy, usize, u32, CellId)> = Vec::new();
+    for &clusters in &[2usize, 4] {
+        for policy in UnrollPolicy::ALL {
+            for &buses in &bus_counts {
+                for &lat in &bus_latencies {
+                    let machine = MachineConfig::clustered(clusters, buses, lat);
+                    let id = sweep.cell_vs(
+                        machine,
+                        Algorithm::Bsa,
+                        policy,
+                        Baseline::Machine(unified.clone()),
+                    );
+                    cells.push((clusters, policy, buses, lat, id));
+                }
+            }
+        }
+    }
+    let results = sweep.run(corpora);
+
+    // Historical bar order: clusters → benchmark → policy → buses → latency.
+    let mut bars = Vec::with_capacity(cells.len() * corpora.len());
+    for &clusters in &[2usize, 4] {
+        for (corpus_idx, corpus) in corpora.iter().enumerate() {
+            for policy in UnrollPolicy::ALL {
+                for &buses in &bus_counts {
+                    for &lat in &bus_latencies {
+                        let &(.., id) = cells
+                            .iter()
+                            .find(|&&(c, p, b, l, _)| {
+                                c == clusters && p == policy && b == buses && l == lat
+                            })
+                            .expect("cell declared above");
+                        let outcome = &results.cell(id)[corpus_idx];
+                        bars.push(Fig8Bar {
+                            benchmark: corpus.benchmark.name().to_string(),
+                            clusters,
+                            policy: policy.label().to_string(),
+                            buses,
+                            latency: lat,
+                            ipc: outcome.result.ipc,
+                            unified_ipc: outcome.baseline.ipc,
+                            relative_ipc: outcome.relative_ipc,
+                            unrolled_loops: outcome.result.unrolled_loops,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    bars
+}
+
+/// One bar of Figure 9: cycle-time-aware speed-up of a clustered configuration.
+#[derive(Debug, Serialize)]
+pub struct Fig9Bar {
+    /// Number of clusters.
+    pub clusters: usize,
+    /// Number of buses.
+    pub buses: usize,
+    /// Policy label (`NU` = no unrolling, `SU` = selective unrolling).
+    pub policy: String,
+    /// Average IPC relative to the unified configuration.
+    pub relative_ipc: f64,
+    /// Cycle time of the unified machine over the clustered machine's (Palacharla
+    /// model).
+    pub cycle_time_ratio: f64,
+    /// `relative_ipc × cycle_time_ratio`.
+    pub speedup: f64,
+}
+
+/// Figure 9 — speed-up of the clustered configurations over the unified one when the
+/// cycle time (Table 2 / Palacharla model) is taken into account, for the No-unrolling
+/// (NU) and Selective-unrolling (SU) policies with 1 or 2 buses (bus latency 1).
+pub fn fig9(corpora: &[LoopCorpus]) -> Vec<Fig9Bar> {
+    let model = CycleTimeModel::new();
+    let unified = MachineConfig::unified();
+
+    let mut sweep = Sweep::new();
+    let mut cells: Vec<(usize, usize, &'static str, MachineConfig, CellId)> = Vec::new();
+    for &clusters in &[2usize, 4] {
+        for &buses in &[1usize, 2] {
+            let machine = MachineConfig::clustered(clusters, buses, 1);
+            for (policy, label) in [(UnrollPolicy::None, "NU"), (UnrollPolicy::Selective, "SU")] {
+                let id = sweep.cell_vs(
+                    machine.clone(),
+                    Algorithm::Bsa,
+                    policy,
+                    Baseline::Machine(unified.clone()),
+                );
+                cells.push((clusters, buses, label, machine.clone(), id));
+            }
+        }
+    }
+    let results = sweep.run(corpora);
+
+    cells
+        .into_iter()
+        .map(|(clusters, buses, label, machine, id)| {
+            // Figure 9 historically skipped corpora whose unified baseline had zero
+            // IPC (Figure 4 instead counts them as 0.0, via mean_relative_ipc).
+            let rel = mean(&results.relative_ipcs(id));
+            // speedup() wants absolute IPCs; feed the ratio directly.
+            let row = speedup(&model, &unified, &machine, 1.0, rel);
+            Fig9Bar {
+                clusters,
+                buses,
+                policy: label.to_string(),
+                relative_ipc: rel,
+                cycle_time_ratio: row.cycle_time_ratio,
+                speedup: row.speedup,
+            }
+        })
+        .collect()
+}
+
+/// One bar of Figure 10: code size of a configuration normalised to the unified
+/// machine without unrolling.
+#[derive(Debug, Serialize)]
+pub struct Fig10Bar {
+    /// Number of clusters.
+    pub clusters: usize,
+    /// Unrolling-policy label.
+    pub policy: String,
+    /// Number of buses.
+    pub buses: usize,
+    /// Bus latency in cycles.
+    pub latency: u32,
+    /// Total operation slots (useful + NOP), normalised.
+    pub normalized_total: f64,
+    /// Useful operations only, normalised.
+    pub normalized_useful: f64,
+}
+
+/// Figure 10 — impact of loop unrolling on code size: total operation slots (useful +
+/// NOP) and useful operations only, normalised to the unified configuration without
+/// unrolling, for the same scenarios as Figure 8.
+pub fn fig10(corpora: &[LoopCorpus]) -> Vec<Fig10Bar> {
+    let unified = MachineConfig::unified();
+    let mut sweep = Sweep::new();
+    let base_id = sweep.cell(unified, Algorithm::UnifiedSms, UnrollPolicy::None);
+    let mut cells: Vec<(usize, UnrollPolicy, usize, u32, CellId)> = Vec::new();
+    for &clusters in &[2usize, 4] {
+        for policy in UnrollPolicy::ALL {
+            for &buses in &[1usize, 2] {
+                for &lat in &[1u32, 2, 4] {
+                    let machine = MachineConfig::clustered(clusters, buses, lat);
+                    let id = sweep.cell(machine, Algorithm::Bsa, policy);
+                    cells.push((clusters, policy, buses, lat, id));
+                }
+            }
+        }
+    }
+    let results = sweep.run(corpora);
+
+    // Baseline: unified configuration, no unrolling, summed over all benchmarks.
+    let (base_total, base_useful) = results.cell(base_id).iter().fold((0u64, 0u64), |acc, o| {
+        (
+            acc.0 + o.result.code_size.total_slots,
+            acc.1 + o.result.code_size.useful_ops,
+        )
+    });
+
+    cells
+        .into_iter()
+        .map(|(clusters, policy, buses, latency, id)| {
+            let (total, useful) = results.cell(id).iter().fold((0u64, 0u64), |acc, o| {
+                (
+                    acc.0 + o.result.code_size.total_slots,
+                    acc.1 + o.result.code_size.useful_ops,
+                )
+            });
+            Fig10Bar {
+                clusters,
+                policy: policy.label().to_string(),
+                buses,
+                latency,
+                normalized_total: total as f64 / base_total as f64,
+                normalized_useful: useful as f64 / base_useful as f64,
+            }
+        })
+        .collect()
+}
+
+/// Average relative IPC per `(policy, buses, latency)` over the bars of one cluster
+/// count — the AVERAGE panel of Figure 8 (used by the `fig8` binary's report).
+pub fn fig8_averages(bars: &[Fig8Bar], clusters: usize) -> Vec<(String, usize, u32, f64)> {
+    let mut rows = Vec::new();
+    for policy in UnrollPolicy::ALL {
+        for &buses in &[1usize, 2] {
+            for &lat in &[1u32, 2, 4] {
+                let rels: Vec<f64> = bars
+                    .iter()
+                    .filter(|b| {
+                        b.clusters == clusters
+                            && b.policy == policy.label()
+                            && b.buses == buses
+                            && b.latency == lat
+                    })
+                    .map(|b| b.relative_ipc)
+                    .collect();
+                rows.push((policy.label().to_string(), buses, lat, mean(&rels)));
+            }
+        }
+    }
+    rows
+}

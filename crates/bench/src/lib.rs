@@ -14,25 +14,39 @@
 //! plus the Criterion micro-benchmarks (`cargo bench -p vliw-bench`) measuring
 //! scheduler throughput.
 //!
-//! The library part of the crate holds the shared experiment runner: scheduling a
-//! whole [`LoopCorpus`] on a machine with a given algorithm and unrolling policy, in
-//! parallel over loops (the runs are completely independent, so this is a plain
-//! `rayon` parallel map), and accumulating IPC / code-size metrics.
+//! The library is layered:
+//!
+//! * [`run_corpus`] schedules one whole [`LoopCorpus`] on one machine with one
+//!   algorithm and unrolling policy, in parallel over loops, and aggregates IPC,
+//!   code size and the engine's [`ScheduleDiagnostics`] into a [`CorpusResult`];
+//! * [`sweep`] is the declarative runner on top: declare the cells of a
+//!   `machines × algorithms × policies` cross-product once, and [`sweep::Sweep::run`]
+//!   executes every `(cell, corpus)` job rayon-parallel with unified-machine
+//!   baselines memoized per (corpus, machine, policy) — the figure binaries all
+//!   drive it through [`figures`];
+//! * [`figures`] holds the figure pipelines themselves (`fig4`, `fig8`, `fig9`,
+//!   `fig10`) as plain functions from corpora to the serialisable rows the binaries
+//!   print and write, which is also what the golden-output regression test calls.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
+
+pub mod figures;
+pub mod sweep;
 
 use cvliw_core::{BsaScheduler, ClusterSchedule, NeScheduler, SelectiveUnroller, UnrollPolicy};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use vliw_arch::MachineConfig;
 use vliw_ddg::DepGraph;
-use vliw_metrics::{CodeSizeModel, CodeSizeReport, IpcAccountant, LoopContribution};
-use vliw_sms::{ScheduleError, SmsScheduler};
+use vliw_metrics::{CodeSizeModel, CodeSizeReport, IpcAccountant, IpcView, LoopContribution};
+use vliw_sms::{LimitingResource, ScheduleDiagnostics, ScheduleError, SmsScheduler};
 use vliw_workloads::LoopCorpus;
 
+pub use sweep::{Baseline, CellId, CellOutcome, Sweep, SweepResults};
+
 /// Which scheduling algorithm to run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Algorithm {
     /// The unified-machine Swing Modulo Scheduler (reference).
     UnifiedSms,
@@ -73,6 +87,52 @@ pub fn schedule_loop(
     }
 }
 
+/// Aggregated engine diagnostics over every loop of a corpus run: how many loops each
+/// resource limited, communication totals and search effort.  Serialized into every
+/// [`CorpusResult`], so any result JSON carries the breakdown the single
+/// `limited_by_bus` flag used to hide.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CorpusDiagnostics {
+    /// Loops that scheduled at their minimum II.
+    pub at_mii: usize,
+    /// Loops bounded by a dependence recurrence.
+    pub recurrence_limited: usize,
+    /// Loops bounded by functional-unit counts (at MII or above).
+    pub fu_limited: usize,
+    /// Loops whose II was pushed above MII by bus saturation (the selective
+    /// unroller's candidates).
+    pub bus_limited: usize,
+    /// Loops whose II was pushed above MII by register pressure.
+    pub register_limited: usize,
+    /// Inter-cluster value transfers across all scheduled loops.
+    pub total_comms: u64,
+    /// Scheduling attempts (orderings tried) summed over all loops — the II-search
+    /// effort behind the corpus.
+    pub total_attempts: u64,
+    /// The largest per-cluster `MaxLive` seen in any schedule.
+    pub max_register_pressure: u32,
+}
+
+impl CorpusDiagnostics {
+    /// Fold one loop's engine diagnostics into the aggregate.
+    pub fn absorb(&mut self, d: &ScheduleDiagnostics) {
+        if d.ii == d.mii {
+            self.at_mii += 1;
+        }
+        match d.limiting {
+            LimitingResource::Recurrence => self.recurrence_limited += 1,
+            LimitingResource::FunctionalUnits => self.fu_limited += 1,
+            LimitingResource::Bus => self.bus_limited += 1,
+            LimitingResource::Registers => self.register_limited += 1,
+        }
+        self.total_comms += d.n_comms as u64;
+        self.total_attempts += d.attempts() as u64;
+        self.max_register_pressure = self
+            .max_register_pressure
+            .max(d.max_live_per_cluster.iter().copied().max().unwrap_or(0));
+    }
+}
+
 /// The aggregate result of scheduling a whole corpus on one configuration.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CorpusResult {
@@ -94,16 +154,15 @@ pub struct CorpusResult {
     pub code_size: CodeSizeReport,
     /// Per-loop IPC contributions (kept for drill-down output).
     pub contributions: Vec<LoopContribution>,
+    /// Aggregated engine diagnostics (limiting resources, comms, search effort).
+    pub diagnostics: CorpusDiagnostics,
 }
 
 impl CorpusResult {
-    /// The IPC accountant rebuilt from the stored contributions.
-    pub fn accountant(&self) -> IpcAccountant {
-        let mut acc = IpcAccountant::new();
-        for c in &self.contributions {
-            acc.add(c.clone());
-        }
-        acc
+    /// A borrowed IPC view over the stored contributions — the aggregate queries of
+    /// an [`IpcAccountant`] without cloning a single contribution.
+    pub fn ipc_view(&self) -> IpcView<'_> {
+        IpcView::new(&self.contributions)
     }
 }
 
@@ -112,8 +171,8 @@ impl CorpusResult {
 ///
 /// The expensive per-loop post-processing (the IPC contribution and the code-size
 /// model, which expands the pipelined program) happens *inside* the parallel map —
-/// each job returns its `(contribution, code size, unrolled?)` tuple and the serial
-/// tail merely folds those small values together.
+/// each job returns its `(contribution, code size, unrolled?, diagnostics)` tuple and
+/// the serial tail merely folds those small values together.
 pub fn run_corpus(
     corpus: &LoopCorpus,
     machine: &MachineConfig,
@@ -121,7 +180,8 @@ pub fn run_corpus(
     policy: UnrollPolicy,
 ) -> CorpusResult {
     let code_model = CodeSizeModel::new(machine);
-    let per_loop: Vec<Option<(LoopContribution, CodeSizeReport, bool)>> = corpus
+    type PerLoop = (LoopContribution, CodeSizeReport, bool, ScheduleDiagnostics);
+    let per_loop: Vec<Option<PerLoop>> = corpus
         .loops
         .par_iter()
         .map(|graph| {
@@ -135,23 +195,25 @@ pub fn run_corpus(
                 cs.unroll_factor,
             );
             let size = code_model.loop_size(&cs.schedule, cs.scheduled_graph.n_nodes());
-            Some((contribution, size, cs.unroll_factor > 1))
+            Some((contribution, size, cs.unroll_factor > 1, cs.diagnostics))
         })
         .collect();
 
     let mut acc = IpcAccountant::new();
     let mut code = CodeSizeReport::zero();
+    let mut diagnostics = CorpusDiagnostics::default();
     let mut unrolled_loops = 0usize;
     let mut failed_loops = 0usize;
     for entry in per_loop {
         match entry {
             None => failed_loops += 1,
-            Some((contribution, size, unrolled)) => {
+            Some((contribution, size, unrolled, diag)) => {
                 if unrolled {
                     unrolled_loops += 1;
                 }
                 acc.add(contribution);
                 code.accumulate(size);
+                diagnostics.absorb(&diag);
             }
         }
     }
@@ -165,26 +227,8 @@ pub fn run_corpus(
         failed_loops,
         code_size: code,
         contributions: acc.contributions().to_vec(),
+        diagnostics,
     }
-}
-
-/// Schedule a corpus on a clustered machine and on its unified counterpart (same total
-/// resources), returning `(clustered IPC, unified IPC, relative IPC)`.
-pub fn relative_ipc(
-    corpus: &LoopCorpus,
-    clustered: &MachineConfig,
-    algorithm: Algorithm,
-    policy: UnrollPolicy,
-) -> (f64, f64, f64) {
-    let unified_machine = clustered.unified_counterpart();
-    let clustered_result = run_corpus(corpus, clustered, algorithm, policy);
-    let unified_result = run_corpus(corpus, &unified_machine, Algorithm::UnifiedSms, policy);
-    let rel = if unified_result.ipc > 0.0 {
-        clustered_result.ipc / unified_result.ipc
-    } else {
-        0.0
-    };
-    (clustered_result.ipc, unified_result.ipc, rel)
 }
 
 /// Average of a slice of f64 values (0 for an empty slice).
@@ -242,12 +286,25 @@ mod tests {
     }
 
     #[test]
-    fn relative_ipc_is_at_most_slightly_above_one() {
+    fn corpus_diagnostics_cover_every_scheduled_loop() {
+        let corpus = small_corpus();
+        let machine = MachineConfig::two_cluster(1, 1);
+        let result = run_corpus(&corpus, &machine, Algorithm::Bsa, UnrollPolicy::None);
+        let d = &result.diagnostics;
+        let classified = d.recurrence_limited + d.fu_limited + d.bus_limited + d.register_limited;
+        assert_eq!(classified, corpus.len() - result.failed_loops);
+        assert!(d.total_attempts >= classified as u64);
+        assert!(d.max_register_pressure > 0);
+    }
+
+    #[test]
+    fn ipc_view_agrees_with_the_stored_aggregate() {
         let corpus = small_corpus();
         let machine = MachineConfig::two_cluster(2, 1);
-        let (_, _, rel) = relative_ipc(&corpus, &machine, Algorithm::Bsa, UnrollPolicy::None);
-        assert!(rel > 0.3, "relative IPC suspiciously low: {rel}");
-        assert!(rel < 1.3, "relative IPC suspiciously high: {rel}");
+        let result = run_corpus(&corpus, &machine, Algorithm::Bsa, UnrollPolicy::None);
+        let view = result.ipc_view();
+        assert_eq!(view.len(), result.contributions.len());
+        assert!((view.ipc() - result.ipc).abs() < 1e-12);
     }
 
     #[test]

@@ -22,7 +22,7 @@ use crate::ne::NeScheduler;
 use crate::result::LoopScheduler;
 use vliw_arch::MachineConfig;
 use vliw_ddg::DepGraph;
-use vliw_sms::{ModuloSchedule, ScheduleError};
+use vliw_sms::{ModuloSchedule, ScheduleError, ScheduledLoop};
 
 /// Ablation: assign node `i` to cluster `i mod n_clusters`, then schedule.
 #[derive(Debug, Clone)]
@@ -40,6 +40,12 @@ impl RoundRobinScheduler {
 
     /// Schedule `graph` with the round-robin assignment.
     pub fn schedule(&self, graph: &DepGraph) -> Result<ModuloSchedule, ScheduleError> {
+        self.schedule_diag(graph).map(|out| out.schedule)
+    }
+
+    /// Like [`RoundRobinScheduler::schedule`], but also return the engine's
+    /// [`vliw_sms::ScheduleDiagnostics`].
+    pub fn schedule_diag(&self, graph: &DepGraph) -> Result<ScheduledLoop, ScheduleError> {
         let n = self.inner.machine().n_clusters;
         let assignment: Vec<usize> = (0..graph.n_nodes()).map(|i| i % n).collect();
         self.inner.schedule_with_assignment(graph, &assignment)
@@ -51,8 +57,8 @@ impl LoopScheduler for RoundRobinScheduler {
         self.inner.machine()
     }
 
-    fn schedule_loop(&self, graph: &DepGraph) -> Result<ModuloSchedule, ScheduleError> {
-        self.schedule(graph)
+    fn schedule_loop(&self, graph: &DepGraph) -> Result<ScheduledLoop, ScheduleError> {
+        self.schedule_diag(graph)
     }
 
     fn name(&self) -> &'static str {
@@ -77,6 +83,12 @@ impl LoadBalancedScheduler {
 
     /// Schedule `graph` with the balance-only assignment.
     pub fn schedule(&self, graph: &DepGraph) -> Result<ModuloSchedule, ScheduleError> {
+        self.schedule_diag(graph).map(|out| out.schedule)
+    }
+
+    /// Like [`LoadBalancedScheduler::schedule`], but also return the engine's
+    /// [`vliw_sms::ScheduleDiagnostics`].
+    pub fn schedule_diag(&self, graph: &DepGraph) -> Result<ScheduledLoop, ScheduleError> {
         let machine = self.inner.machine();
         let n = machine.n_clusters;
         let mut load = vec![[0usize; 3]; n];
@@ -98,8 +110,8 @@ impl LoopScheduler for LoadBalancedScheduler {
         self.inner.machine()
     }
 
-    fn schedule_loop(&self, graph: &DepGraph) -> Result<ModuloSchedule, ScheduleError> {
-        self.schedule(graph)
+    fn schedule_loop(&self, graph: &DepGraph) -> Result<ScheduledLoop, ScheduleError> {
+        self.schedule_diag(graph)
     }
 
     fn name(&self) -> &'static str {

@@ -8,24 +8,25 @@
 //! inform each other, which is the paper's key difference from the earlier two-phase
 //! (assign, then schedule) approaches.
 //!
-//! Cluster selection follows Figure 5 exactly:
+//! Since the engine refactor the II search, ordering fallbacks, scratch reuse and
+//! register checking all live in the shared [`IiSearchDriver`]; this module only
+//! contains [`BsaPolicy`] — the cluster-selection strategy of Figure 5:
 //!
 //! 1. nodes that start a new connected subgraph rotate the *default cluster*;
-//! 2. every cluster with a free slot (functional unit + buses + registers) is tried and
-//!    its **profit** computed — the reduction in outgoing edges of that cluster;
+//! 2. every cluster with a free slot (functional unit + buses + registers) is tried
+//!    (via [`EngineView::probe`]) and its **profit** computed — the reduction in
+//!    outgoing edges of that cluster;
 //! 3. among the clusters with the best profit: a single candidate wins outright; then a
 //!    candidate already holding a predecessor or successor of the node; then the
 //!    default cluster; finally the candidate with the lowest register requirements;
-//! 4. if no cluster is feasible the initiation interval is increased and the whole
-//!    schedule restarted.
+//! 4. if no cluster is feasible the engine increases the initiation interval and
+//!    restarts the whole schedule.
 
-use crate::comm::{allocate_comms, required_comms, CommAllocation};
 use crate::result::LoopScheduler;
-use vliw_arch::{MachineConfig, ResourcePool};
-use vliw_ddg::{mii, DepGraph, NodeId};
+use vliw_arch::MachineConfig;
+use vliw_ddg::{DepGraph, NodeId};
 use vliw_sms::{
-    early_start, late_start, max_ii, LifetimeMap, ModuloReservationTable, ModuloSchedule,
-    OrderingContext, PlacedOp, ScheduleError, SlotScan,
+    ClusterPolicy, EngineView, IiSearchDriver, ModuloSchedule, ScheduleError, ScheduledLoop, Trial,
 };
 
 /// The paper's cluster-oriented modulo scheduler.
@@ -35,19 +36,6 @@ pub struct BsaScheduler {
     /// Check per-cluster register pressure (`MaxLive`) when choosing clusters.  On by
     /// default, matching the paper (no spill code is generated).
     pub check_registers: bool,
-}
-
-/// A fully evaluated candidate placement of one node on one cluster.
-#[derive(Debug, Clone)]
-struct Trial {
-    cluster: usize,
-    cycle: i64,
-    fu: vliw_arch::ResourceIndex,
-    comms: Vec<vliw_sms::CommPlacement>,
-    /// Register pressure of the candidate cluster after the placement.
-    max_live: u32,
-    /// Profit: outgoing cross-cluster edges saved by placing the node here.
-    profit: i64,
 }
 
 impl BsaScheduler {
@@ -65,293 +53,155 @@ impl BsaScheduler {
     }
 
     /// Modulo schedule `graph`, performing cluster assignment and scheduling in a
-    /// single pass.  The II search starts at MII and the whole pass is restarted each
-    /// time a node cannot be placed (Figure 5, step 5).
+    /// single pass.
     pub fn schedule(&self, graph: &DepGraph) -> Result<ModuloSchedule, ScheduleError> {
-        graph.validate().map_err(ScheduleError::InvalidGraph)?;
-        let mii = mii(graph, &self.machine);
-        let limit = max_ii(mii);
-        let mut bus_failure_seen = false;
-        // Scratch state shared by every II attempt: the reservation table is `reset`
-        // instead of reallocated, and the assignment / trial buffers are reused.
-        let pool = ResourcePool::new(&self.machine);
-        let mut scratch = ScheduleScratch {
-            mrt: ModuloReservationTable::new(&pool, mii.max(1)),
-            assignment: vec![None; graph.n_nodes()],
-            trials: Vec::with_capacity(self.machine.n_clusters),
-        };
-        for ii in mii..=limit {
-            // SMS order first; topological fallback guarantees progress on graphs
-            // where the SMS order leaves a node with an empty scheduling window.
-            let orders = [
-                OrderingContext::new(graph, ii),
-                OrderingContext::topological(graph, ii),
-            ];
-            for ctx in &orders {
-                match self.try_schedule(graph, ctx, &pool, &mut scratch, ii, mii) {
-                    Ok(mut sched) => {
-                        sched.normalize();
-                        sched.limited_by_bus = bus_failure_seen && sched.ii() > mii;
-                        return Ok(sched);
-                    }
-                    Err(bus_blocked) => {
-                        bus_failure_seen |= bus_blocked;
-                    }
-                }
-            }
-        }
-        Err(ScheduleError::MaxIiExceeded {
-            mii,
-            max_ii_tried: limit,
-        })
+        self.schedule_diag(graph).map(|out| out.schedule)
     }
 
-    /// One scheduling attempt at a fixed II with a given node order.
-    /// `Err(bus_blocked)` reports whether the failure involved a placement that had a
-    /// free functional unit but could not get its communications onto a bus (used for
-    /// the `LimitedByBus` predicate of the selective unroller).
-    fn try_schedule(
-        &self,
-        graph: &DepGraph,
-        ctx: &OrderingContext,
-        pool: &ResourcePool,
-        scratch: &mut ScheduleScratch,
-        ii: u32,
-        mii: u32,
-    ) -> Result<ModuloSchedule, bool> {
-        let machine = &self.machine;
-        let mut sched = ModuloSchedule::new(&graph.name, graph.n_nodes(), ii, mii);
-        scratch.mrt.reset(ii);
-        scratch.assignment.fill(None);
-        let ScheduleScratch {
-            mrt,
-            assignment,
-            trials,
-        } = scratch;
+    /// Like [`BsaScheduler::schedule`], but also return the engine's
+    /// [`vliw_sms::ScheduleDiagnostics`].
+    pub fn schedule_diag(&self, graph: &DepGraph) -> Result<ScheduledLoop, ScheduleError> {
+        IiSearchDriver::new(&self.machine)
+            .check_registers(self.check_registers)
+            .schedule(graph, &mut BsaPolicy::new())
+    }
+}
+
+/// One feasible trial together with its communication profit.
+#[derive(Debug, Clone)]
+struct ScoredTrial {
+    trial: Trial,
+    /// Profit: outgoing cross-cluster edges saved by placing the node here.
+    profit: i64,
+}
+
+/// The cluster-selection strategy of Figure 5, as a [`ClusterPolicy`] on the shared
+/// engine.
+#[derive(Debug, Clone)]
+pub struct BsaPolicy {
+    /// The rotating default cluster (Figure 5, step 2).
+    defcluster: usize,
+    /// Feasible per-cluster trials of the node currently being placed (buffer reused
+    /// across nodes).
+    trials: Vec<ScoredTrial>,
+}
+
+impl BsaPolicy {
+    /// A fresh policy (state resets at every attempt anyway).
+    pub fn new() -> Self {
+        Self {
+            defcluster: 0,
+            trials: Vec::new(),
+        }
+    }
+}
+
+impl Default for BsaPolicy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ClusterPolicy for BsaPolicy {
+    fn name(&self) -> &'static str {
+        "bsa"
+    }
+
+    fn begin_attempt(&mut self, _graph: &DepGraph, machine: &MachineConfig, _ii: u32) {
         // Figure 5 initialises the default cluster before the loop; starting at the
         // last cluster makes the first new subgraph use cluster 0.
-        let mut defcluster = machine.n_clusters - 1;
-        let mut bus_blocked_anywhere = false;
-
-        for &node_id in &ctx.order {
-            // (2) New subgraph: rotate the default cluster.
-            if ctx.starts_new_subgraph(graph, &sched, node_id) {
-                defcluster = (defcluster + 1) % machine.n_clusters;
-            }
-
-            // (3) Try the node on every cluster.
-            trials.clear();
-            let mut node_bus_blocked = false;
-            for cluster in machine.clusters() {
-                match self.try_node_on_cluster(
-                    graph, ctx, &mut sched, mrt, pool, assignment, node_id, cluster, ii,
-                ) {
-                    TrialOutcome::Feasible(trial) => trials.push(trial),
-                    TrialOutcome::BusBlocked => node_bus_blocked = true,
-                    TrialOutcome::Infeasible => {}
-                }
-            }
-            bus_blocked_anywhere |= node_bus_blocked;
-
-            // (4) Keep only the clusters with the best profit.
-            let Some(best_profit) = trials.iter().map(|t| t.profit).max() else {
-                // (5) No feasible cluster: fail this II.
-                return Err(node_bus_blocked || bus_blocked_anywhere);
-            };
-            let is_best = |t: &Trial| t.profit == best_profit;
-            let n_best = trials.iter().filter(|t| is_best(t)).count();
-
-            // (6)-(9) Choose among the candidates (all with the best profit): a single
-            // candidate wins outright; then one already holding a neighbour of the
-            // node; then the default cluster; finally the lowest register pressure.
-            let chosen_idx = if n_best == 1 {
-                trials.iter().position(is_best).expect("n_best == 1")
-            } else if let Some(i) = trials.iter().position(|t| {
-                is_best(t) && cluster_holds_neighbour(graph, assignment, node_id, t.cluster)
-            }) {
-                i
-            } else if let Some(i) = trials
-                .iter()
-                .position(|t| is_best(t) && t.cluster == defcluster)
-            {
-                i
-            } else {
-                trials
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, t)| is_best(t))
-                    .min_by_key(|(_, t)| (t.max_live, t.cluster))
-                    .expect("candidates non-empty")
-                    .0
-            };
-
-            // (10) Commit: reserve the functional unit and the buses, record the node.
-            let trial = trials.swap_remove(chosen_idx);
-            mrt.reserve(trial.fu, trial.cycle);
-            for comm in &trial.comms {
-                mrt.reserve_for(comm.bus, comm.start_cycle, comm.duration);
-                sched.add_comm(*comm);
-            }
-            sched.place(PlacedOp {
-                node: node_id,
-                cycle: trial.cycle,
-                cluster: trial.cluster,
-                fu: trial.fu,
-            });
-            assignment[node_id.index()] = Some(trial.cluster);
-        }
-        Ok(sched)
+        self.defcluster = machine.n_clusters - 1;
     }
 
-    /// Try to place `node` on `cluster`: find a cycle with a free functional unit whose
-    /// communications fit on the buses and whose register pressure fits the cluster's
-    /// register file.  The reservation table *and the schedule* are left unchanged
-    /// regardless of outcome — tentative state is applied in place and undone through
-    /// the checkpoint/rollback transaction, never by cloning the schedule.
-    #[allow(clippy::too_many_arguments)]
-    fn try_node_on_cluster(
-        &self,
-        graph: &DepGraph,
-        ctx: &OrderingContext,
-        sched: &mut ModuloSchedule,
-        mrt: &mut ModuloReservationTable,
-        pool: &ResourcePool,
-        assignment: &[Option<usize>],
-        node: NodeId,
-        cluster: usize,
-        ii: u32,
-    ) -> TrialOutcome {
-        let machine = &self.machine;
-        let bus_latency = machine.buses.latency;
-        let class = graph.node(node).class;
-        let kind = class.fu_kind();
-        let early = early_start(graph, sched, node, ii, Some(cluster), bus_latency);
-        let late = late_start(graph, sched, node, ii, Some(cluster), bus_latency);
-        let default_start = ctx.analysis.asap(node);
-        let scan = SlotScan::new(early, late, ii, default_start);
+    fn select_placement(&mut self, node: NodeId, view: &mut EngineView<'_>) -> Option<Trial> {
+        let n_clusters = view.machine().n_clusters;
 
-        let mut saw_bus_block = false;
-        for cycle in scan {
-            let Some(fu) = mrt.find_free(pool.fus(cluster, kind), cycle) else {
-                continue;
-            };
-            // Tentatively reserve the FU so the bus allocator sees a consistent table;
-            // everything reserved in this probe is rolled back before returning.
-            let fu_reservation = mrt.reserve(fu, cycle);
-            let requests = required_comms(graph, sched, machine, node, cluster, cycle);
-            let allocation = allocate_comms(&requests, sched, pool, mrt, machine);
-            match allocation {
-                CommAllocation::Satisfied(comms) => {
-                    // Register-pressure check on the schedule itself: apply the trial,
-                    // measure lifetimes, roll back to the checkpoint.
-                    let (fits, max_live) = if self.check_registers {
-                        let cp = sched.checkpoint();
-                        for c in &comms {
-                            sched.add_comm(*c);
-                        }
-                        sched.place(PlacedOp {
-                            node,
-                            cycle,
-                            cluster,
-                            fu,
-                        });
-                        let lt = LifetimeMap::new(graph, sched, machine);
-                        let fits = lt.fits(machine);
-                        let max_live = lt.max_live_in(cluster);
-                        sched.rollback(cp);
-                        (fits, max_live)
-                    } else {
-                        (true, 0)
-                    };
-                    // Release the tentative reservations: the caller re-applies the
-                    // chosen trial once all clusters have been evaluated.
-                    for c in &comms {
-                        mrt.unreserve_for(c.bus, c.start_cycle, c.duration);
-                    }
-                    mrt.release(fu_reservation);
-                    if !fits {
-                        // The register file would overflow at this cycle; later cycles
-                        // (longer lifetimes) will not help, so this cluster is out.
-                        return TrialOutcome::Infeasible;
-                    }
-                    let profit = self.profit_of(graph, assignment, node, cluster);
-                    return TrialOutcome::Feasible(Trial {
-                        cluster,
-                        cycle,
-                        fu,
-                        comms,
-                        max_live,
-                        profit,
-                    });
+        // (2) New subgraph: rotate the default cluster.
+        if view.starts_new_subgraph(node) {
+            self.defcluster = (self.defcluster + 1) % n_clusters;
+        }
+
+        // (3) Try the node on every cluster.
+        self.trials.clear();
+        let mut node_bus_blocked = false;
+        for cluster in 0..n_clusters {
+            let probe = view.probe(node, cluster);
+            match probe.trial {
+                Some(trial) => {
+                    let profit = profit_of(view.graph(), view.assignment(), node, cluster);
+                    self.trials.push(ScoredTrial { trial, profit });
                 }
-                CommAllocation::BusUnavailable => {
-                    saw_bus_block = true;
-                    mrt.release(fu_reservation);
-                }
-                CommAllocation::WindowTooSmall => {
-                    mrt.release(fu_reservation);
-                }
+                // A cluster counts as bus-blocked only when its whole cycle scan
+                // failed with a bus saturation (a register rejection wins over an
+                // earlier bus rejection, exactly as in Figure 5's accounting).
+                None if !probe.register_blocked && probe.saw_bus_block => node_bus_blocked = true,
+                None => {}
             }
         }
-        if saw_bus_block {
-            TrialOutcome::BusBlocked
+        if node_bus_blocked {
+            view.record_bus_failure();
+        }
+
+        // (4) Keep only the clusters with the best profit.
+        let best_profit = self.trials.iter().map(|t| t.profit).max()?;
+        let is_best = |t: &ScoredTrial| t.profit == best_profit;
+        let n_best = self.trials.iter().filter(|t| is_best(t)).count();
+
+        // (6)-(9) Choose among the candidates (all with the best profit): a single
+        // candidate wins outright; then one already holding a neighbour of the
+        // node; then the default cluster; finally the lowest register pressure.
+        let chosen_idx = if n_best == 1 {
+            self.trials.iter().position(is_best).expect("n_best == 1")
+        } else if let Some(i) = self.trials.iter().position(|t| {
+            is_best(t)
+                && cluster_holds_neighbour(view.graph(), view.assignment(), node, t.trial.cluster)
+        }) {
+            i
+        } else if let Some(i) = self
+            .trials
+            .iter()
+            .position(|t| is_best(t) && t.trial.cluster == self.defcluster)
+        {
+            i
         } else {
-            TrialOutcome::Infeasible
-        }
-    }
+            self.trials
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| is_best(t))
+                .min_by_key(|(_, t)| (t.trial.max_live, t.trial.cluster))
+                .expect("candidates non-empty")
+                .0
+        };
 
-    /// Profit of putting `node` on `cluster` (Figure 5, fragment 3): the outgoing
-    /// cross-cluster edge count of the cluster *before* minus *after* the hypothetical
-    /// placement.  Higher is better; the value is usually ≤ 0 for nodes with no
-    /// neighbours in the cluster and > −(out-degree) when neighbours are present.
-    ///
-    /// Only edges incident to `node` change between the two counts (the node is the
-    /// only assignment that differs), so the difference is computed directly from the
-    /// node's adjacency in O(degree) instead of scanning the whole edge list twice:
-    /// every value edge arriving from a node already in `cluster` stops leaving the
-    /// cluster (+1), and every value edge towards a node *not* in `cluster` — placed
-    /// elsewhere or still unscheduled, exactly as the paper counts "the rest of the
-    /// nodes" — starts leaving it (−1).
-    fn profit_of(
-        &self,
-        graph: &DepGraph,
-        assignment: &[Option<usize>],
-        node: NodeId,
-        cluster: usize,
-    ) -> i64 {
-        let saved = graph
-            .in_edges(node)
-            .filter(|e| e.kind.carries_value() && e.src != node)
-            .filter(|e| assignment[e.src.index()] == Some(cluster))
-            .count() as i64;
-        let added = graph
-            .out_edges(node)
-            .filter(|e| e.kind.carries_value() && e.dst != node)
-            .filter(|e| assignment[e.dst.index()] != Some(cluster))
-            .count() as i64;
-        saved - added
+        // (10) The engine commits the chosen trial.
+        Some(self.trials.swap_remove(chosen_idx).trial)
     }
 }
 
-/// Reusable buffers for the II search: the reservation table survives `reset`, and the
-/// per-node bookkeeping vectors keep their capacity across retries, so one
-/// [`BsaScheduler::schedule`] call performs a fixed number of allocations regardless
-/// of how many IIs it has to explore.
-struct ScheduleScratch {
-    mrt: ModuloReservationTable,
-    /// Cluster each node ended up in (for the profit computation).
-    assignment: Vec<Option<usize>>,
-    /// Feasible per-cluster trials of the node currently being placed.
-    trials: Vec<Trial>,
-}
-
-/// Outcome of trying one node on one cluster.
-enum TrialOutcome {
-    Feasible(Trial),
-    /// A functional-unit slot existed but the communications would not fit on the
-    /// buses — the signature of a bus-limited loop.
-    BusBlocked,
-    Infeasible,
+/// Profit of putting `node` on `cluster` (Figure 5, fragment 3): the outgoing
+/// cross-cluster edge count of the cluster *before* minus *after* the hypothetical
+/// placement.  Higher is better; the value is usually ≤ 0 for nodes with no
+/// neighbours in the cluster and > −(out-degree) when neighbours are present.
+///
+/// Only edges incident to `node` change between the two counts (the node is the
+/// only assignment that differs), so the difference is computed directly from the
+/// node's adjacency in O(degree) instead of scanning the whole edge list twice:
+/// every value edge arriving from a node already in `cluster` stops leaving the
+/// cluster (+1), and every value edge towards a node *not* in `cluster` — placed
+/// elsewhere or still unscheduled, exactly as the paper counts "the rest of the
+/// nodes" — starts leaving it (−1).
+fn profit_of(graph: &DepGraph, assignment: &[Option<usize>], node: NodeId, cluster: usize) -> i64 {
+    let saved = graph
+        .in_edges(node)
+        .filter(|e| e.kind.carries_value() && e.src != node)
+        .filter(|e| assignment[e.src.index()] == Some(cluster))
+        .count() as i64;
+    let added = graph
+        .out_edges(node)
+        .filter(|e| e.kind.carries_value() && e.dst != node)
+        .filter(|e| assignment[e.dst.index()] != Some(cluster))
+        .count() as i64;
+    saved - added
 }
 
 /// Whether `cluster` already holds a direct predecessor or successor of `node`.
@@ -373,15 +223,14 @@ impl LoopScheduler for BsaScheduler {
         &self.machine
     }
 
-    fn schedule_loop(&self, graph: &DepGraph) -> Result<ModuloSchedule, ScheduleError> {
-        self.schedule(graph)
+    fn schedule_loop(&self, graph: &DepGraph) -> Result<ScheduledLoop, ScheduleError> {
+        self.schedule_diag(graph)
     }
 
     fn name(&self) -> &'static str {
         "bsa"
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;

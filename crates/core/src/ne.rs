@@ -21,17 +21,18 @@
 //!   clusters" is avoided by capping the load at a fraction of the capacity, as N&E
 //!   do); the cap is relaxed if no cluster is eligible.
 //!
-//! The scheduling phase is the same slot/bus machinery as BSA, with the cluster forced;
-//! the crucial difference — and the one responsible for the Figure 4 gap — is that the
+//! The scheduling phase is the shared engine ([`IiSearchDriver`]) with the cluster
+//! forced through [`NePolicy`] (a [`FixedAssignmentPolicy`] whose assignment is
+//! recomputed at every candidate II, since the fill cap depends on the II); the
+//! crucial difference — and the one responsible for the Figure 4 gap — is that the
 //! assignment was made without seeing the partial schedule or the bus occupancy.
 
-use crate::comm::{allocate_comms, required_comms, CommAllocation};
 use crate::result::LoopScheduler;
-use vliw_arch::{FuKind, MachineConfig, ResourcePool};
-use vliw_ddg::{mii, sccs, DepGraph};
+use vliw_arch::{FuKind, MachineConfig};
+use vliw_ddg::{sccs, DepGraph, NodeId};
 use vliw_sms::{
-    early_start, late_start, max_ii, LifetimeMap, ModuloReservationTable, ModuloSchedule,
-    OrderingContext, PlacedOp, ScheduleError, SlotScan,
+    ClusterPolicy, EngineView, FixedAssignmentPolicy, IiSearchDriver, ModuloSchedule,
+    ScheduleError, ScheduledLoop, Trial,
 };
 
 /// Fraction of a cluster's capacity the assignment phase is willing to fill before
@@ -45,6 +46,30 @@ pub struct NeScheduler {
     machine: MachineConfig,
     /// Check per-cluster register pressure during scheduling (as in BSA).
     pub check_registers: bool,
+}
+
+/// The [`ClusterPolicy`] of the two-phase baseline: recompute the phase-1 assignment
+/// at every candidate II, then force each node onto its assigned cluster.
+pub struct NePolicy<'s> {
+    scheduler: &'s NeScheduler,
+    fixed: FixedAssignmentPolicy,
+}
+
+impl ClusterPolicy for NePolicy<'_> {
+    fn name(&self) -> &'static str {
+        "nystrom-eichenberger"
+    }
+
+    fn begin_ii(&mut self, graph: &DepGraph, _machine: &MachineConfig, ii: u32) {
+        // Phase 1 is redone from scratch at every II, exactly as N&E restart both
+        // phases when scheduling fails.
+        self.fixed
+            .set_assignment(self.scheduler.assign_clusters(graph, ii));
+    }
+
+    fn select_placement(&mut self, node: NodeId, view: &mut EngineView<'_>) -> Option<Trial> {
+        self.fixed.select_placement(node, view)
+    }
 }
 
 impl NeScheduler {
@@ -63,46 +88,28 @@ impl NeScheduler {
 
     /// Modulo schedule `graph` with the two-phase approach.
     pub fn schedule(&self, graph: &DepGraph) -> Result<ModuloSchedule, ScheduleError> {
-        graph.validate().map_err(ScheduleError::InvalidGraph)?;
-        let mii = mii(graph, &self.machine);
-        let limit = max_ii(mii);
-        let mut bus_failure_seen = false;
-        let pool = ResourcePool::new(&self.machine);
-        let mut mrt = ModuloReservationTable::new(&pool, mii.max(1));
-        for ii in mii..=limit {
-            let assignment = self.assign_clusters(graph, ii);
-            let orders = [
-                OrderingContext::new(graph, ii),
-                OrderingContext::topological(graph, ii),
-            ];
-            for ctx in &orders {
-                mrt.reset(ii);
-                match self.try_schedule(graph, ctx, &assignment, &pool, &mut mrt, ii, mii) {
-                    Ok(mut sched) => {
-                        sched.normalize();
-                        sched.limited_by_bus = bus_failure_seen && sched.ii() > mii;
-                        return Ok(sched);
-                    }
-                    Err(bus_blocked) => bus_failure_seen |= bus_blocked,
-                }
-            }
-        }
-        Err(ScheduleError::MaxIiExceeded {
-            mii,
-            max_ii_tried: limit,
-        })
+        self.schedule_diag(graph).map(|out| out.schedule)
+    }
+
+    /// Like [`NeScheduler::schedule`], but also return the engine's
+    /// [`vliw_sms::ScheduleDiagnostics`].
+    pub fn schedule_diag(&self, graph: &DepGraph) -> Result<ScheduledLoop, ScheduleError> {
+        let mut policy = NePolicy {
+            scheduler: self,
+            fixed: FixedAssignmentPolicy::new("nystrom-eichenberger", Vec::new()),
+        };
+        self.driver().schedule(graph, &mut policy)
     }
 
     /// Modulo schedule `graph` with a *fixed*, caller-supplied cluster assignment
     /// (one cluster index per node).  This is the building block for the ablation
     /// schedulers in [`crate::ablation`]: any assignment policy can be plugged in
-    /// front of the same phase-2 scheduling machinery.
+    /// front of the same engine.
     pub fn schedule_with_assignment(
         &self,
         graph: &DepGraph,
         assignment: &[usize],
-    ) -> Result<ModuloSchedule, ScheduleError> {
-        graph.validate().map_err(ScheduleError::InvalidGraph)?;
+    ) -> Result<ScheduledLoop, ScheduleError> {
         assert_eq!(
             assignment.len(),
             graph.n_nodes(),
@@ -112,32 +119,13 @@ impl NeScheduler {
             assignment.iter().all(|&c| c < self.machine.n_clusters),
             "assignment references a cluster outside the machine"
         );
-        let mii = mii(graph, &self.machine);
-        let limit = max_ii(mii);
-        let mut bus_failure_seen = false;
-        let pool = ResourcePool::new(&self.machine);
-        let mut mrt = ModuloReservationTable::new(&pool, mii.max(1));
-        for ii in mii..=limit {
-            let orders = [
-                OrderingContext::new(graph, ii),
-                OrderingContext::topological(graph, ii),
-            ];
-            for ctx in &orders {
-                mrt.reset(ii);
-                match self.try_schedule(graph, ctx, assignment, &pool, &mut mrt, ii, mii) {
-                    Ok(mut sched) => {
-                        sched.normalize();
-                        sched.limited_by_bus = bus_failure_seen && sched.ii() > mii;
-                        return Ok(sched);
-                    }
-                    Err(bus_blocked) => bus_failure_seen |= bus_blocked,
-                }
-            }
-        }
-        Err(ScheduleError::MaxIiExceeded {
-            mii,
-            max_ii_tried: limit,
-        })
+        let mut policy = FixedAssignmentPolicy::new("fixed-assignment", assignment.to_vec());
+        self.driver().schedule(graph, &mut policy)
+    }
+
+    /// The shared engine configured for this scheduler.
+    fn driver(&self) -> IiSearchDriver<'_> {
+        IiSearchDriver::new(&self.machine).check_registers(self.check_registers)
     }
 
     /// Phase 1: partition the nodes across the clusters (see module docs).
@@ -223,84 +211,6 @@ impl NeScheduler {
         }
         assignment
     }
-
-    /// Phase 2: modulo-schedule every node on its pre-assigned cluster.  `Err(bus)`
-    /// reports whether a failure was caused by bus saturation.
-    #[allow(clippy::too_many_arguments)]
-    fn try_schedule(
-        &self,
-        graph: &DepGraph,
-        ctx: &OrderingContext,
-        assignment: &[usize],
-        pool: &ResourcePool,
-        mrt: &mut ModuloReservationTable,
-        ii: u32,
-        mii: u32,
-    ) -> Result<ModuloSchedule, bool> {
-        let machine = &self.machine;
-        let mut sched = ModuloSchedule::new(&graph.name, graph.n_nodes(), ii, mii);
-        let bus_latency = machine.buses.latency;
-        let mut bus_blocked = false;
-
-        for &node_id in &ctx.order {
-            let cluster = assignment[node_id.index()];
-            let class = graph.node(node_id).class;
-            let kind = class.fu_kind();
-            let early = early_start(graph, &sched, node_id, ii, Some(cluster), bus_latency);
-            let late = late_start(graph, &sched, node_id, ii, Some(cluster), bus_latency);
-            let scan = SlotScan::new(early, late, ii, ctx.analysis.asap(node_id));
-
-            let mut placed = false;
-            for cycle in scan {
-                let Some(fu) = mrt.find_free(pool.fus(cluster, kind), cycle) else {
-                    continue;
-                };
-                let fu_reservation = mrt.reserve(fu, cycle);
-                let requests = required_comms(graph, &sched, machine, node_id, cluster, cycle);
-                match allocate_comms(&requests, &sched, pool, mrt, machine) {
-                    CommAllocation::Satisfied(comms) => {
-                        // Apply the placement, then check register pressure in place;
-                        // an overflow rolls the transaction back instead of having
-                        // probed a deep copy of the schedule.
-                        let cp = sched.checkpoint();
-                        for c in &comms {
-                            sched.add_comm(*c);
-                        }
-                        sched.place(PlacedOp {
-                            node: node_id,
-                            cycle,
-                            cluster,
-                            fu,
-                        });
-                        if self.check_registers {
-                            let lt = LifetimeMap::new(graph, &sched, machine);
-                            if !lt.fits(machine) {
-                                sched.rollback(cp);
-                                for c in &comms {
-                                    mrt.unreserve_for(c.bus, c.start_cycle, c.duration);
-                                }
-                                mrt.release(fu_reservation);
-                                break; // larger cycles only lengthen lifetimes
-                            }
-                        }
-                        placed = true;
-                        break;
-                    }
-                    CommAllocation::BusUnavailable => {
-                        bus_blocked = true;
-                        mrt.release(fu_reservation);
-                    }
-                    CommAllocation::WindowTooSmall => {
-                        mrt.release(fu_reservation);
-                    }
-                }
-            }
-            if !placed {
-                return Err(bus_blocked);
-            }
-        }
-        Ok(sched)
-    }
 }
 
 impl LoopScheduler for NeScheduler {
@@ -308,8 +218,8 @@ impl LoopScheduler for NeScheduler {
         &self.machine
     }
 
-    fn schedule_loop(&self, graph: &DepGraph) -> Result<ModuloSchedule, ScheduleError> {
-        self.schedule(graph)
+    fn schedule_loop(&self, graph: &DepGraph) -> Result<ScheduledLoop, ScheduleError> {
+        self.schedule_diag(graph)
     }
 
     fn name(&self) -> &'static str {

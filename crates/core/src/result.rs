@@ -3,7 +3,7 @@
 use serde::{Deserialize, Serialize};
 use vliw_arch::MachineConfig;
 use vliw_ddg::DepGraph;
-use vliw_sms::{ModuloSchedule, ScheduleError, SmsScheduler};
+use vliw_sms::{ModuloSchedule, ScheduleDiagnostics, ScheduleError, ScheduledLoop, SmsScheduler};
 
 /// The outcome of scheduling one loop (possibly after unrolling).
 ///
@@ -15,6 +15,9 @@ use vliw_sms::{ModuloSchedule, ScheduleError, SmsScheduler};
 pub struct ClusterSchedule {
     /// The modulo schedule of `scheduled_graph`.
     pub schedule: ModuloSchedule,
+    /// The engine's account of the II search that produced `schedule` (limiting
+    /// resource, II trajectory, communication counts, per-cluster pressure).
+    pub diagnostics: ScheduleDiagnostics,
     /// The graph that was scheduled (original or unrolled).
     pub scheduled_graph: DepGraph,
     /// The unroll factor applied (1 = not unrolled).
@@ -29,9 +32,10 @@ pub struct ClusterSchedule {
 
 impl ClusterSchedule {
     /// Wrap a schedule of the original (non-unrolled) graph.
-    pub fn from_original(graph: &DepGraph, schedule: ModuloSchedule) -> Self {
+    pub fn from_original(graph: &DepGraph, scheduled: ScheduledLoop) -> Self {
         Self {
-            schedule,
+            schedule: scheduled.schedule,
+            diagnostics: scheduled.diagnostics,
             scheduled_graph: graph.clone(),
             unroll_factor: 1,
             original_ops: graph.n_nodes(),
@@ -44,11 +48,12 @@ impl ClusterSchedule {
     pub fn from_unrolled(
         original: &DepGraph,
         unrolled: DepGraph,
-        schedule: ModuloSchedule,
+        scheduled: ScheduledLoop,
         factor: u32,
     ) -> Self {
         Self {
-            schedule,
+            schedule: scheduled.schedule,
+            diagnostics: scheduled.diagnostics,
             scheduled_graph: unrolled,
             unroll_factor: factor,
             original_ops: original.n_nodes(),
@@ -85,14 +90,17 @@ impl ClusterSchedule {
 
 /// Anything that can modulo-schedule a loop for a fixed machine.
 ///
-/// Implemented by the unified SMS scheduler, the paper's BSA and the N&E baseline, so
-/// that unrolling policies and the experiment harness can be written once.
+/// Implemented by the unified SMS scheduler, the paper's BSA, the N&E baseline and the
+/// ablation schedulers — all of them thin policies on the shared
+/// [`vliw_sms::IiSearchDriver`] — so that unrolling policies and the experiment
+/// harness can be written once.  Scheduling returns a [`ScheduledLoop`]: the schedule
+/// plus the engine's [`ScheduleDiagnostics`].
 pub trait LoopScheduler {
     /// The machine being scheduled for.
     fn machine(&self) -> &MachineConfig;
 
-    /// Produce a modulo schedule of `graph`.
-    fn schedule_loop(&self, graph: &DepGraph) -> Result<ModuloSchedule, ScheduleError>;
+    /// Produce a modulo schedule of `graph`, with diagnostics.
+    fn schedule_loop(&self, graph: &DepGraph) -> Result<ScheduledLoop, ScheduleError>;
 
     /// Human-readable name of the scheduling algorithm (used in experiment reports).
     fn name(&self) -> &'static str;
@@ -103,8 +111,8 @@ impl LoopScheduler for SmsScheduler {
         self.machine()
     }
 
-    fn schedule_loop(&self, graph: &DepGraph) -> Result<ModuloSchedule, ScheduleError> {
-        self.schedule(graph)
+    fn schedule_loop(&self, graph: &DepGraph) -> Result<ScheduledLoop, ScheduleError> {
+        self.schedule_diag(graph)
     }
 
     fn name(&self) -> &'static str {
@@ -134,7 +142,7 @@ mod tests {
     fn ipc_accounts_original_ops_only() {
         let machine = MachineConfig::unified();
         let g = small_loop();
-        let sched = SmsScheduler::new(&machine).schedule(&g).unwrap();
+        let sched = SmsScheduler::new(&machine).schedule_diag(&g).unwrap();
         let cs = ClusterSchedule::from_original(&g, sched);
         assert_eq!(cs.unroll_factor, 1);
         assert_eq!(cs.total_useful_ops(), 3 * 100 * 3);
@@ -147,7 +155,9 @@ mod tests {
         let machine = MachineConfig::unified();
         let g = small_loop();
         let unrolled = vliw_ddg::unroll(&g, 2);
-        let sched = SmsScheduler::new(&machine).schedule(&unrolled).unwrap();
+        let sched = SmsScheduler::new(&machine)
+            .schedule_diag(&unrolled)
+            .unwrap();
         let cs = ClusterSchedule::from_unrolled(&g, unrolled, sched, 2);
         assert_eq!(cs.unroll_factor, 2);
         // Useful work is unchanged by unrolling.
@@ -164,5 +174,16 @@ mod tests {
         assert_eq!(as_dyn.name(), "unified-sms");
         let g = small_loop();
         assert!(as_dyn.schedule_loop(&g).is_ok());
+    }
+
+    #[test]
+    fn cluster_schedule_carries_the_engine_diagnostics() {
+        let machine = MachineConfig::unified();
+        let g = small_loop();
+        let sched = SmsScheduler::new(&machine).schedule_diag(&g).unwrap();
+        let cs = ClusterSchedule::from_original(&g, sched);
+        assert_eq!(cs.diagnostics.ii, cs.schedule.ii());
+        assert_eq!(cs.diagnostics.n_comms, cs.schedule.comms().len());
+        assert_eq!(cs.diagnostics.limited_by_bus(), cs.schedule.limited_by_bus);
     }
 }

@@ -91,8 +91,8 @@ impl<S: LoopScheduler> SelectiveUnroller<S> {
 
     /// Schedule the original body.
     pub fn schedule_original(&self, graph: &DepGraph) -> Result<ClusterSchedule, ScheduleError> {
-        let sched = self.scheduler.schedule_loop(graph)?;
-        Ok(ClusterSchedule::from_original(graph, sched))
+        let scheduled = self.scheduler.schedule_loop(graph)?;
+        Ok(ClusterSchedule::from_original(graph, scheduled))
     }
 
     /// Unroll by the number of clusters unconditionally, then schedule.
@@ -108,8 +108,8 @@ impl<S: LoopScheduler> SelectiveUnroller<S> {
         }
         let unrolled = unroll(graph, factor);
         match self.scheduler.schedule_loop(&unrolled) {
-            Ok(sched) => Ok(ClusterSchedule::from_unrolled(
-                graph, unrolled, sched, factor,
+            Ok(scheduled) => Ok(ClusterSchedule::from_unrolled(
+                graph, unrolled, scheduled, factor,
             )),
             Err(_) => self.schedule_original(graph),
         }
@@ -118,15 +118,17 @@ impl<S: LoopScheduler> SelectiveUnroller<S> {
     /// The selective-unrolling algorithm of Figure 6.
     pub fn schedule_selective(&self, graph: &DepGraph) -> Result<ClusterSchedule, ScheduleError> {
         // (1) Compute the schedule of the original graph.
-        let sched = self.scheduler.schedule_loop(graph)?;
-        // (2) Only bus-limited schedules are candidates for unrolling.
-        if !sched.limited_by_bus {
-            return Ok(ClusterSchedule::from_original(graph, sched));
+        let scheduled = self.scheduler.schedule_loop(graph)?;
+        // (2) Only bus-limited schedules are candidates for unrolling.  The predicate
+        // comes from the engine's structured diagnostics: the II search had to leave
+        // MII behind because of bus saturation (`LimitingResource::Bus`).
+        if !scheduled.diagnostics.limited_by_bus() {
+            return Ok(ClusterSchedule::from_original(graph, scheduled));
         }
         let machine = self.scheduler.machine();
         let ufactor = self.unroll_factor();
         if ufactor <= 1 || machine.buses.count == 0 {
-            return Ok(ClusterSchedule::from_original(graph, sched));
+            return Ok(ClusterSchedule::from_original(graph, scheduled));
         }
         // (4) comneeded = NDepsNotMult(G) * ufactor
         let comneeded = graph.deps_not_multiple_of(ufactor) as u64 * ufactor as u64;
@@ -135,7 +137,7 @@ impl<S: LoopScheduler> SelectiveUnroller<S> {
             comneeded.div_ceil(machine.buses.count as u64) * machine.buses.latency as u64;
         // (6) Unroll only if the communications fit under the current II.  Keep the
         // original schedule when the unrolled body turns out to be unschedulable.
-        if cycneeded < sched.ii() as u64 {
+        if cycneeded < scheduled.schedule.ii() as u64 {
             let unrolled = unroll(graph, ufactor);
             if let Ok(unrolled_sched) = self.scheduler.schedule_loop(&unrolled) {
                 return Ok(ClusterSchedule::from_unrolled(
@@ -146,7 +148,7 @@ impl<S: LoopScheduler> SelectiveUnroller<S> {
                 ));
             }
         }
-        Ok(ClusterSchedule::from_original(graph, sched))
+        Ok(ClusterSchedule::from_original(graph, scheduled))
     }
 
     /// The unroll factor used by the policies: the number of clusters (Figure 6,

@@ -15,12 +15,12 @@
 //!
 //! * the graph representation itself ([`DepGraph`], [`Node`], [`Edge`], [`DepKind`])
 //!   with a fluent [`builder::GraphBuilder`];
-//! * lower bounds on the initiation interval ([`mii`]): the resource-constrained
+//! * lower bounds on the initiation interval ([`mii()`]): the resource-constrained
 //!   `ResMII` and the recurrence-constrained `RecMII`;
 //! * strongly-connected-component / recurrence analysis ([`scc`]);
 //! * scheduling-priority metrics (ASAP/ALAP/depth/height, [`analysis`]);
 //! * the **loop unrolling** transform used by the paper's selective-unrolling policy
-//!   ([`unroll`]);
+//!   ([`unroll()`]);
 //! * Graphviz export for debugging ([`dot`]).
 
 #![warn(missing_docs)]

@@ -60,26 +60,25 @@ impl LoopContribution {
     }
 }
 
-/// Accumulates loop contributions into a benchmark-level IPC.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
-pub struct IpcAccountant {
-    contributions: Vec<LoopContribution>,
+/// A borrowed, allocation-free view over a slice of [`LoopContribution`]s exposing
+/// the same aggregate queries as [`IpcAccountant`].
+///
+/// Use this to re-derive IPC from contributions that already live somewhere (e.g. a
+/// stored corpus result) without cloning each contribution into a fresh accountant.
+#[derive(Debug, Clone, Copy)]
+pub struct IpcView<'a> {
+    contributions: &'a [LoopContribution],
 }
 
-impl IpcAccountant {
-    /// An empty accountant.
-    pub fn new() -> Self {
-        Self::default()
+impl<'a> IpcView<'a> {
+    /// A view over `contributions`.
+    pub fn new(contributions: &'a [LoopContribution]) -> Self {
+        Self { contributions }
     }
 
-    /// Add one loop's contribution.
-    pub fn add(&mut self, contribution: LoopContribution) {
-        self.contributions.push(contribution);
-    }
-
-    /// The contributions added so far.
-    pub fn contributions(&self) -> &[LoopContribution] {
-        &self.contributions
+    /// The contributions behind the view.
+    pub fn contributions(&self) -> &'a [LoopContribution] {
+        self.contributions
     }
 
     /// Total cycles over all loops and invocations.
@@ -103,12 +102,71 @@ impl IpcAccountant {
 
     /// IPC of `self` relative to `baseline` (the unified configuration in the paper's
     /// figures).
-    pub fn relative_to(&self, baseline: &IpcAccountant) -> f64 {
+    pub fn relative_to(&self, baseline: &IpcView<'_>) -> f64 {
         let base = baseline.ipc();
         if base == 0.0 {
             return 0.0;
         }
         self.ipc() / base
+    }
+
+    /// Number of loops accounted.
+    pub fn len(&self) -> usize {
+        self.contributions.len()
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.contributions.is_empty()
+    }
+}
+
+/// Accumulates loop contributions into a benchmark-level IPC.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct IpcAccountant {
+    contributions: Vec<LoopContribution>,
+}
+
+impl IpcAccountant {
+    /// An empty accountant.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one loop's contribution.
+    pub fn add(&mut self, contribution: LoopContribution) {
+        self.contributions.push(contribution);
+    }
+
+    /// The contributions added so far.
+    pub fn contributions(&self) -> &[LoopContribution] {
+        &self.contributions
+    }
+
+    /// A borrowed [`IpcView`] over the accumulated contributions.
+    pub fn view(&self) -> IpcView<'_> {
+        IpcView::new(&self.contributions)
+    }
+
+    /// Total cycles over all loops and invocations.
+    pub fn total_cycles(&self) -> u64 {
+        self.view().total_cycles()
+    }
+
+    /// Total useful operations over all loops and invocations.
+    pub fn total_ops(&self) -> u64 {
+        self.view().total_ops()
+    }
+
+    /// Instructions (useful operations) per cycle.
+    pub fn ipc(&self) -> f64 {
+        self.view().ipc()
+    }
+
+    /// IPC of `self` relative to `baseline` (the unified configuration in the paper's
+    /// figures).
+    pub fn relative_to(&self, baseline: &IpcAccountant) -> f64 {
+        self.view().relative_to(&baseline.view())
     }
 
     /// Number of loops accounted.
@@ -183,6 +241,22 @@ mod tests {
             acc
         };
         assert!(short.ipc() < long.ipc());
+    }
+
+    #[test]
+    fn view_matches_accountant_without_cloning() {
+        let mut acc = IpcAccountant::new();
+        acc.add(contribution(2, 3, 100, 6, 10));
+        acc.add(contribution(5, 2, 40, 3, 2));
+        let view = IpcView::new(acc.contributions());
+        assert_eq!(view.total_cycles(), acc.total_cycles());
+        assert_eq!(view.total_ops(), acc.total_ops());
+        assert_eq!(view.ipc(), acc.ipc());
+        assert_eq!(view.len(), 2);
+        assert!(!view.is_empty());
+        assert!((view.relative_to(&view) - 1.0).abs() < 1e-12);
+        assert!(IpcView::new(&[]).is_empty());
+        assert_eq!(IpcView::new(&[]).ipc(), 0.0);
     }
 
     #[test]

@@ -23,5 +23,5 @@ pub mod ipc;
 pub mod table;
 
 pub use codesize::{CodeSizeModel, CodeSizeReport};
-pub use ipc::{IpcAccountant, LoopContribution};
+pub use ipc::{IpcAccountant, IpcView, LoopContribution};
 pub use table::TextTable;

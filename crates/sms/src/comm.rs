@@ -1,0 +1,393 @@
+//! Inter-cluster communication allocation.
+//!
+//! When a node is placed in a cluster different from one of its (already scheduled)
+//! flow-dependence neighbours, the value has to cross a bus.  The architecture of
+//! Section 3 makes the bus an ordinary reservation-table resource that stays busy for
+//! the whole bus latency, so allocating a communication means finding a start cycle
+//! inside the window
+//!
+//! ```text
+//!   [ value-ready cycle , consumer-issue cycle − bus latency ]
+//! ```
+//!
+//! where some bus is free for `bus latency` consecutive cycles.  A value already
+//! transferred to a cluster is *not* transferred again (the paper's Figure 7 walks
+//! through exactly this case: "value from D − value from A was previously brought"),
+//! so the allocator first checks the communications recorded so far.
+
+use crate::mrt::ModuloReservationTable;
+use crate::schedule::{CommPlacement, ModuloSchedule};
+use vliw_arch::{MachineConfig, ResourcePool};
+use vliw_ddg::{DepGraph, NodeId};
+
+/// One communication that a tentative placement needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommRequest {
+    /// The node whose value crosses the bus.
+    pub src_node: NodeId,
+    /// The consumer on the other side.
+    pub dst_node: NodeId,
+    /// Sending cluster.
+    pub from_cluster: usize,
+    /// Receiving cluster.
+    pub to_cluster: usize,
+    /// First cycle the value is available for sending.
+    pub ready: i64,
+    /// Latest cycle the value must have *arrived* (the consumer's issue cycle in the
+    /// producer's time frame).
+    pub deadline: i64,
+}
+
+/// The set of communications required to place `node` on `cluster` at `cycle`, given
+/// the partial schedule `sched`.
+///
+/// Covers both directions: values arriving from already-placed predecessors in other
+/// clusters, and values leaving towards already-placed successors in other clusters.
+/// Requests are deduplicated per (source value, destination cluster) with the tightest
+/// deadline and latest ready time.
+pub fn required_comms(
+    graph: &DepGraph,
+    sched: &ModuloSchedule,
+    machine: &MachineConfig,
+    node: NodeId,
+    cluster: usize,
+    cycle: i64,
+) -> Vec<CommRequest> {
+    let ii = sched.ii() as i64;
+    let mut requests: Vec<CommRequest> = Vec::new();
+    let mut push = |req: CommRequest| {
+        if let Some(existing) = requests
+            .iter_mut()
+            .find(|r| r.src_node == req.src_node && r.to_cluster == req.to_cluster)
+        {
+            existing.ready = existing.ready.max(req.ready);
+            existing.deadline = existing.deadline.min(req.deadline);
+        } else {
+            requests.push(req);
+        }
+    };
+
+    // Incoming values: predecessor placed in another cluster.
+    for e in graph.in_edges(node).filter(|e| e.kind.carries_value()) {
+        if e.src == node {
+            continue;
+        }
+        let Some(p) = sched.placement(e.src) else {
+            continue;
+        };
+        if p.cluster == cluster {
+            continue;
+        }
+        // In the consumer's time frame the producer issued at p.cycle − d·II.
+        let ready = p.cycle + e.latency as i64 - e.distance as i64 * ii;
+        push(CommRequest {
+            src_node: e.src,
+            dst_node: node,
+            from_cluster: p.cluster,
+            to_cluster: cluster,
+            ready,
+            deadline: cycle,
+        });
+    }
+
+    // Outgoing values: successor already placed in another cluster.
+    for e in graph.out_edges(node).filter(|e| e.kind.carries_value()) {
+        if e.dst == node {
+            continue;
+        }
+        let Some(s) = sched.placement(e.dst) else {
+            continue;
+        };
+        if s.cluster == cluster {
+            continue;
+        }
+        let ready = cycle + e.latency as i64;
+        let deadline = s.cycle + e.distance as i64 * ii;
+        push(CommRequest {
+            src_node: node,
+            dst_node: e.dst,
+            from_cluster: cluster,
+            to_cluster: s.cluster,
+            ready,
+            deadline,
+        });
+    }
+    let _ = machine;
+    requests
+}
+
+/// Outcome of trying to allocate a set of communication requests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommAllocation {
+    /// All requests satisfied; the new communications (already reserved in the MRT
+    /// passed to [`allocate_comms`]) are listed.
+    Satisfied(Vec<CommPlacement>),
+    /// At least one request could not be satisfied because no bus slot fits the
+    /// window.  The MRT is left unchanged.
+    BusUnavailable,
+    /// At least one request has an empty window (deadline earlier than ready + bus
+    /// latency); the placement cycle itself is infeasible.  The MRT is left unchanged.
+    WindowTooSmall,
+}
+
+impl CommAllocation {
+    /// Whether the allocation succeeded.
+    pub fn is_satisfied(&self) -> bool {
+        matches!(self, CommAllocation::Satisfied(_))
+    }
+}
+
+/// Try to allocate buses for all `requests`, reserving slots in `mrt`.
+///
+/// Requests already covered by an earlier communication of the same value to the same
+/// cluster (with a compatible arrival time) are skipped.  On failure every reservation
+/// made for this call is rolled back and the MRT is unchanged.
+pub fn allocate_comms(
+    requests: &[CommRequest],
+    sched: &ModuloSchedule,
+    pool: &ResourcePool,
+    mrt: &mut ModuloReservationTable,
+    machine: &MachineConfig,
+) -> CommAllocation {
+    let latency = machine.buses.latency;
+    let ii = mrt.ii() as i64;
+    let mut new_comms: Vec<CommPlacement> = Vec::new();
+    let mut reservations = Vec::new();
+
+    let rollback = |mrt: &mut ModuloReservationTable, reservations: &mut Vec<_>| {
+        for r in reservations.drain(..) {
+            mrt.release(r);
+        }
+    };
+
+    for req in requests {
+        // Re-use an existing transfer of the same value to the same cluster if it
+        // arrives in time and was not sent before the value was ready (modulo-II
+        // periodicity makes any earlier compatible transfer usable every iteration).
+        let reused = sched.comms().iter().chain(new_comms.iter()).any(|c| {
+            c.src_node == req.src_node
+                && c.to_cluster == req.to_cluster
+                && c.start_cycle >= req.ready
+                && c.start_cycle + c.duration as i64 <= req.deadline
+        });
+        if reused {
+            continue;
+        }
+        if req.deadline - req.ready < latency as i64 {
+            rollback(mrt, &mut reservations);
+            return CommAllocation::WindowTooSmall;
+        }
+        // Scan start cycles in the window; at most II distinct columns exist.
+        let last_start = (req.deadline - latency as i64).min(req.ready + ii - 1);
+        let mut allocated = false;
+        for start in req.ready..=last_start {
+            if let Some(bus) = mrt.find_free_for(pool.buses(), start, latency) {
+                let reservation = mrt.reserve_for(bus, start, latency);
+                reservations.push(reservation);
+                new_comms.push(CommPlacement {
+                    src_node: req.src_node,
+                    dst_node: req.dst_node,
+                    from_cluster: req.from_cluster,
+                    to_cluster: req.to_cluster,
+                    bus,
+                    start_cycle: start,
+                    duration: latency,
+                });
+                allocated = true;
+                break;
+            }
+        }
+        if !allocated {
+            rollback(mrt, &mut reservations);
+            return CommAllocation::BusUnavailable;
+        }
+    }
+    CommAllocation::Satisfied(new_comms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::PlacedOp;
+    use vliw_arch::{FuKind, MachineConfig, OpClass};
+    use vliw_ddg::{DepGraph, DepKind};
+
+    fn two_cluster() -> (MachineConfig, ResourcePool) {
+        let m = MachineConfig::two_cluster(1, 1);
+        let p = ResourcePool::new(&m);
+        (m, p)
+    }
+
+    fn graph_pair() -> DepGraph {
+        let mut g = DepGraph::new("pair");
+        let a = g.add_node(OpClass::Load);
+        let b = g.add_node(OpClass::FpAdd);
+        g.add_edge(a, b, 2, 0, DepKind::Flow);
+        g
+    }
+
+    #[test]
+    fn no_comms_needed_within_one_cluster() {
+        let (machine, pool) = two_cluster();
+        let g = graph_pair();
+        let mut sched = ModuloSchedule::new("pair", 2, 4, 1);
+        sched.place(PlacedOp {
+            node: NodeId(0),
+            cycle: 0,
+            cluster: 0,
+            fu: pool.fus(0, FuKind::Mem).next().unwrap(),
+        });
+        let reqs = required_comms(&g, &sched, &machine, NodeId(1), 0, 3);
+        assert!(reqs.is_empty());
+    }
+
+    #[test]
+    fn incoming_value_from_other_cluster_requires_a_transfer() {
+        let (machine, pool) = two_cluster();
+        let g = graph_pair();
+        let mut sched = ModuloSchedule::new("pair", 2, 4, 1);
+        sched.place(PlacedOp {
+            node: NodeId(0),
+            cycle: 0,
+            cluster: 0,
+            fu: pool.fus(0, FuKind::Mem).next().unwrap(),
+        });
+        let reqs = required_comms(&g, &sched, &machine, NodeId(1), 1, 5);
+        assert_eq!(reqs.len(), 1);
+        let r = &reqs[0];
+        assert_eq!(r.src_node, NodeId(0));
+        assert_eq!((r.from_cluster, r.to_cluster), (0, 1));
+        assert_eq!(r.ready, 2); // load issues at 0, latency 2
+        assert_eq!(r.deadline, 5);
+    }
+
+    #[test]
+    fn outgoing_value_to_scheduled_successor() {
+        let (machine, pool) = two_cluster();
+        let g = graph_pair();
+        let mut sched = ModuloSchedule::new("pair", 2, 4, 1);
+        // The consumer is already placed on cluster 1; we now try the producer on 0.
+        sched.place(PlacedOp {
+            node: NodeId(1),
+            cycle: 6,
+            cluster: 1,
+            fu: pool.fus(1, FuKind::Fp).next().unwrap(),
+        });
+        let reqs = required_comms(&g, &sched, &machine, NodeId(0), 0, 1);
+        assert_eq!(reqs.len(), 1);
+        assert_eq!(reqs[0].ready, 3); // issue 1 + latency 2
+        assert_eq!(reqs[0].deadline, 6);
+    }
+
+    #[test]
+    fn allocation_reserves_a_bus_and_rolls_back_on_failure() {
+        let (machine, pool) = two_cluster();
+        let mut mrt = ModuloReservationTable::new(&pool, 2);
+        let sched = ModuloSchedule::new("x", 2, 2, 1);
+        let req = CommRequest {
+            src_node: NodeId(0),
+            dst_node: NodeId(1),
+            from_cluster: 0,
+            to_cluster: 1,
+            ready: 2,
+            deadline: 5,
+        };
+        let result = allocate_comms(&[req], &sched, &pool, &mut mrt, &machine);
+        let CommAllocation::Satisfied(comms) = result else {
+            panic!("expected success")
+        };
+        assert_eq!(comms.len(), 1);
+        let bus = pool.buses().next().unwrap();
+        assert_eq!(mrt.row_occupancy(bus), 1);
+
+        // The single bus (II = 2, one slot left) cannot take two more transfers.
+        let req2 = CommRequest {
+            ready: 3,
+            deadline: 6,
+            ..req
+        };
+        let req3 = CommRequest {
+            ready: 4,
+            deadline: 7,
+            ..req
+        };
+        let before = mrt.row_occupancy(bus);
+        let result = allocate_comms(&[req2, req3], &sched, &pool, &mut mrt, &machine);
+        assert_eq!(result, CommAllocation::BusUnavailable);
+        // rollback left the table untouched
+        assert_eq!(mrt.row_occupancy(bus), before);
+    }
+
+    #[test]
+    fn window_smaller_than_bus_latency_is_rejected() {
+        let machine = MachineConfig::two_cluster(1, 4); // 4-cycle buses
+        let pool = ResourcePool::new(&machine);
+        let mut mrt = ModuloReservationTable::new(&pool, 8);
+        let sched = ModuloSchedule::new("x", 2, 8, 1);
+        let req = CommRequest {
+            src_node: NodeId(0),
+            dst_node: NodeId(1),
+            from_cluster: 0,
+            to_cluster: 1,
+            ready: 2,
+            deadline: 4, // only 2 cycles of slack, bus needs 4
+        };
+        let result = allocate_comms(&[req], &sched, &pool, &mut mrt, &machine);
+        assert_eq!(result, CommAllocation::WindowTooSmall);
+    }
+
+    #[test]
+    fn existing_transfer_is_reused() {
+        let (machine, pool) = two_cluster();
+        let mut mrt = ModuloReservationTable::new(&pool, 4);
+        let mut sched = ModuloSchedule::new("x", 3, 4, 1);
+        // A transfer of node 0's value to cluster 1 already exists (cycles 2..3).
+        let bus = pool.buses().next().unwrap();
+        mrt.reserve_for(bus, 2, 1);
+        sched.add_comm(CommPlacement {
+            src_node: NodeId(0),
+            dst_node: NodeId(1),
+            from_cluster: 0,
+            to_cluster: 1,
+            bus,
+            start_cycle: 2,
+            duration: 1,
+        });
+        // A second consumer of the same value on cluster 1, later in time: no new
+        // transfer is needed.
+        let req = CommRequest {
+            src_node: NodeId(0),
+            dst_node: NodeId(2),
+            from_cluster: 0,
+            to_cluster: 1,
+            ready: 2,
+            deadline: 9,
+        };
+        let result = allocate_comms(&[req], &sched, &pool, &mut mrt, &machine);
+        let CommAllocation::Satisfied(comms) = result else {
+            panic!("expected success")
+        };
+        assert!(comms.is_empty());
+        assert_eq!(mrt.row_occupancy(bus), 1);
+    }
+
+    #[test]
+    fn duplicate_requests_are_merged() {
+        let (machine, pool) = two_cluster();
+        let mut g = DepGraph::new("fanin");
+        let a = g.add_node(OpClass::Load);
+        let b = g.add_node(OpClass::FpAdd);
+        // two flow edges from the same producer to the same consumer (e.g. x*x)
+        g.add_edge(a, b, 2, 0, DepKind::Flow);
+        g.add_edge(a, b, 2, 0, DepKind::Flow);
+        let mut sched = ModuloSchedule::new("fanin", 2, 4, 1);
+        sched.place(PlacedOp {
+            node: a,
+            cycle: 0,
+            cluster: 0,
+            fu: pool.fus(0, FuKind::Mem).next().unwrap(),
+        });
+        let reqs = required_comms(&g, &sched, &machine, b, 1, 5);
+        assert_eq!(reqs.len(), 1);
+    }
+}

@@ -1,0 +1,921 @@
+//! The shared modulo-scheduling engine.
+//!
+//! Every scheduler in this repository — the paper's single-pass BSA, the two-phase
+//! Nystrom & Eichenberger baseline, the unified-machine SMS reference and the two
+//! ablation schedulers — runs the *same* scheduling discipline: search initiation
+//! intervals upward from MII, try the Swing Modulo Scheduling node order and then a
+//! topological fallback, place one node at a time against a shared reservation table,
+//! and restart at a larger II when a node cannot be placed.  What distinguishes the
+//! algorithms is a single decision: *which cluster (and therefore which concrete
+//! placement) each node gets*.
+//!
+//! This module factors that split into two pieces:
+//!
+//! * [`IiSearchDriver`] owns everything that is common — the MII→max-II retry loop,
+//!   the ordering fallbacks, the scratch reuse (the reservation table is `reset`
+//!   instead of reallocated, tentative placements are undone through the schedule's
+//!   checkpoint/rollback transaction), register checking and the bookkeeping that
+//!   feeds [`ScheduleDiagnostics`];
+//! * [`ClusterPolicy`] encapsulates only the strategy difference: given the next node
+//!   and an [`EngineView`] of the partial schedule, return the [`Trial`] to commit
+//!   (policies evaluate candidates with [`EngineView::probe`], which leaves the
+//!   schedule and the reservation table untouched regardless of outcome).
+//!
+//! A new cluster-assignment strategy is therefore a ~50-line policy, not a fork of the
+//! ~700-line scheduler: implement [`ClusterPolicy::select_placement`] and hand it to
+//! the driver.  See `DESIGN.md` for the architecture notes and the catalogue of
+//! policies built on this engine.
+
+use crate::comm::{allocate_comms, required_comms, CommAllocation};
+use crate::lifetime::LifetimeMap;
+use crate::max_ii;
+use crate::mrt::ModuloReservationTable;
+use crate::ordering::OrderingContext;
+use crate::schedule::{CommPlacement, ModuloSchedule, PlacedOp, ScheduleError};
+use crate::slots::{early_start, late_start, SlotScan};
+use serde::{Deserialize, Serialize};
+use vliw_arch::{MachineConfig, ResourceIndex, ResourcePool};
+use vliw_ddg::{rec_mii, res_mii, DepGraph, NodeId};
+
+/// When the register-pressure check runs during an attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegisterCheckMode {
+    /// Probe every tentative placement against the register files (the clustered
+    /// schedulers): a placement whose lifetimes overflow a register file is rejected
+    /// and the cluster is abandoned for this node (later cycles only lengthen
+    /// lifetimes).
+    PerPlacement,
+    /// Check `MaxLive` of cluster 0 once, after every node has been placed (the
+    /// unified SMS scheduler): an overflow fails the whole attempt.
+    WholeSchedule,
+}
+
+/// A fully evaluated candidate placement of one node on one cluster, produced by
+/// [`EngineView::probe`] and committed by the driver when the policy selects it.
+#[derive(Debug, Clone)]
+pub struct Trial {
+    /// The node being placed.
+    pub node: NodeId,
+    /// The cluster the node would execute in.
+    pub cluster: usize,
+    /// The issue cycle.
+    pub cycle: i64,
+    /// The functional-unit row found free at `cycle`.
+    pub fu: ResourceIndex,
+    /// The bus transfers this placement needs (already proven allocatable).
+    pub comms: Vec<CommPlacement>,
+    /// Register pressure of the candidate cluster after the placement (0 when the
+    /// register check is disabled or deferred).
+    pub max_live: u32,
+}
+
+/// What [`EngineView::probe`] learned about one (node, cluster) combination.
+///
+/// Beyond the feasible placement itself, the probe reports *why* it stopped — the
+/// cluster schedulers interpret the flags differently when accounting bus pressure
+/// (BSA counts a cluster as bus-blocked only when the whole cycle scan failed with a
+/// bus saturation; N&E counts every saturated cycle, even for nodes that eventually
+/// place), so the translation into [`EngineView::record_bus_failure`] is left to the
+/// policy.
+#[derive(Debug, Clone)]
+pub struct Probe {
+    /// The feasible placement, if any cycle of the scan admitted one.
+    pub trial: Option<Trial>,
+    /// Some probed cycle had a free functional unit but no bus slot for the required
+    /// communications — the signature of a bus-limited loop.
+    pub saw_bus_block: bool,
+    /// The scan stopped because the register file would overflow at the first
+    /// otherwise-feasible cycle.
+    pub register_blocked: bool,
+}
+
+impl Probe {
+    /// Whether the probe found a feasible placement.
+    pub fn is_feasible(&self) -> bool {
+        self.trial.is_some()
+    }
+}
+
+/// The engine's view of one in-progress scheduling attempt, handed to
+/// [`ClusterPolicy::select_placement`].
+///
+/// The view exposes read access to the partial schedule and the bookkeeping a policy
+/// needs (the node order, the per-node cluster assignment so far), plus the
+/// [`EngineView::probe`] primitive that evaluates a candidate placement without
+/// mutating any observable state.
+pub struct EngineView<'a> {
+    graph: &'a DepGraph,
+    ctx: &'a OrderingContext,
+    machine: &'a MachineConfig,
+    pool: &'a ResourcePool,
+    sched: &'a mut ModuloSchedule,
+    mrt: &'a mut ModuloReservationTable,
+    assignment: &'a [Option<usize>],
+    ii: u32,
+    check_registers: bool,
+    per_placement_registers: bool,
+    bus_failed: bool,
+    register_failed: bool,
+}
+
+impl<'a> EngineView<'a> {
+    /// The dependence graph being scheduled.
+    pub fn graph(&self) -> &'a DepGraph {
+        self.graph
+    }
+
+    /// The machine being scheduled for.
+    pub fn machine(&self) -> &'a MachineConfig {
+        self.machine
+    }
+
+    /// The candidate initiation interval of this attempt.
+    pub fn ii(&self) -> u32 {
+        self.ii
+    }
+
+    /// The partial schedule built so far (read-only; tentative state never leaks).
+    pub fn schedule(&self) -> &ModuloSchedule {
+        self.sched
+    }
+
+    /// The node ordering (and graph analysis) driving this attempt.
+    pub fn ordering(&self) -> &'a OrderingContext {
+        self.ctx
+    }
+
+    /// Cluster each already-committed node was placed in (`None` = not yet placed),
+    /// indexed by node.  This is the engine-maintained bookkeeping BSA's profit
+    /// heuristic reads.
+    pub fn assignment(&self) -> &'a [Option<usize>] {
+        self.assignment
+    }
+
+    /// Whether `node` starts a new connected subgraph in the order (no direct
+    /// neighbour already scheduled) — the trigger for BSA's default-cluster rotation.
+    pub fn starts_new_subgraph(&self, node: NodeId) -> bool {
+        self.ctx.starts_new_subgraph(self.graph, self.sched, node)
+    }
+
+    /// Record that the current node failed (at least partly) because the buses were
+    /// saturated.  Feeds the `LimitedByBus` predicate of the selective unroller and
+    /// the [`ScheduleDiagnostics`]; policies decide when a [`Probe`] counts (see
+    /// [`Probe`]).  Register-pressure rejections need no counterpart hook: the
+    /// engine records them inside [`EngineView::probe`] itself.
+    pub fn record_bus_failure(&mut self) {
+        self.bus_failed = true;
+    }
+
+    /// Evaluate placing `node` on `cluster`: scan the candidate cycles for a free
+    /// functional unit whose communications fit on the buses and (in
+    /// [`RegisterCheckMode::PerPlacement`]) whose lifetimes fit the register files.
+    ///
+    /// The reservation table *and the schedule* are left unchanged regardless of
+    /// outcome — tentative state is applied in place and undone through the
+    /// checkpoint/rollback transaction, never by cloning the schedule.
+    pub fn probe(&mut self, node: NodeId, cluster: usize) -> Probe {
+        let machine = self.machine;
+        let bus_latency = machine.buses.latency;
+        let kind = self.graph.node(node).class.fu_kind();
+        let early = early_start(
+            self.graph,
+            self.sched,
+            node,
+            self.ii,
+            Some(cluster),
+            bus_latency,
+        );
+        let late = late_start(
+            self.graph,
+            self.sched,
+            node,
+            self.ii,
+            Some(cluster),
+            bus_latency,
+        );
+        let default_start = self.ctx.analysis.asap(node);
+        let scan = SlotScan::new(early, late, self.ii, default_start);
+
+        let mut saw_bus_block = false;
+        for cycle in scan {
+            let Some(fu) = self.mrt.find_free(self.pool.fus(cluster, kind), cycle) else {
+                continue;
+            };
+            // Tentatively reserve the FU so the bus allocator sees a consistent
+            // table; everything reserved in this probe is rolled back before
+            // returning.
+            let fu_reservation = self.mrt.reserve(fu, cycle);
+            let requests = required_comms(self.graph, self.sched, machine, node, cluster, cycle);
+            match allocate_comms(&requests, self.sched, self.pool, self.mrt, machine) {
+                CommAllocation::Satisfied(comms) => {
+                    // Register-pressure check on the schedule itself: apply the
+                    // trial, measure lifetimes, roll back to the checkpoint.
+                    let (fits, max_live) = if self.check_registers && self.per_placement_registers {
+                        let cp = self.sched.checkpoint();
+                        for c in &comms {
+                            self.sched.add_comm(*c);
+                        }
+                        self.sched.place(PlacedOp {
+                            node,
+                            cycle,
+                            cluster,
+                            fu,
+                        });
+                        let lt = LifetimeMap::new(self.graph, self.sched, machine);
+                        let fits = lt.fits(machine);
+                        let max_live = lt.max_live_in(cluster);
+                        self.sched.rollback(cp);
+                        (fits, max_live)
+                    } else {
+                        (true, 0)
+                    };
+                    // Release the tentative reservations: the driver re-applies the
+                    // chosen trial once the policy has decided.
+                    for c in &comms {
+                        self.mrt.unreserve_for(c.bus, c.start_cycle, c.duration);
+                    }
+                    self.mrt.release(fu_reservation);
+                    if !fits {
+                        // The register file would overflow at this cycle; later
+                        // cycles (longer lifetimes) will not help, so this cluster
+                        // is out.
+                        self.register_failed = true;
+                        return Probe {
+                            trial: None,
+                            saw_bus_block,
+                            register_blocked: true,
+                        };
+                    }
+                    return Probe {
+                        trial: Some(Trial {
+                            node,
+                            cluster,
+                            cycle,
+                            fu,
+                            comms,
+                            max_live,
+                        }),
+                        saw_bus_block,
+                        register_blocked: false,
+                    };
+                }
+                CommAllocation::BusUnavailable => {
+                    saw_bus_block = true;
+                    self.mrt.release(fu_reservation);
+                }
+                CommAllocation::WindowTooSmall => {
+                    self.mrt.release(fu_reservation);
+                }
+            }
+        }
+        Probe {
+            trial: None,
+            saw_bus_block,
+            register_blocked: false,
+        }
+    }
+
+    /// Evaluate placing `node` on cluster 0 of a unified machine: find the first free
+    /// functional unit in the scan, with no communication machinery and no
+    /// per-placement register check (the unified scheduler checks `MaxLive` once per
+    /// attempt, see [`RegisterCheckMode::WholeSchedule`]).
+    pub fn probe_unified(&mut self, node: NodeId) -> Probe {
+        let kind = self.graph.node(node).class.fu_kind();
+        let early = early_start(self.graph, self.sched, node, self.ii, None, 0);
+        let late = late_start(self.graph, self.sched, node, self.ii, None, 0);
+        let default_start = self.ctx.analysis.asap(node);
+        let scan = SlotScan::new(early, late, self.ii, default_start);
+        for cycle in scan {
+            if let Some(fu) = self.mrt.find_free(self.pool.fus(0, kind), cycle) {
+                return Probe {
+                    trial: Some(Trial {
+                        node,
+                        cluster: 0,
+                        cycle,
+                        fu,
+                        comms: Vec::new(),
+                        max_live: 0,
+                    }),
+                    saw_bus_block: false,
+                    register_blocked: false,
+                };
+            }
+        }
+        Probe {
+            trial: None,
+            saw_bus_block: false,
+            register_blocked: false,
+        }
+    }
+}
+
+/// A cluster-assignment strategy plugged into the [`IiSearchDriver`].
+///
+/// The engine calls [`ClusterPolicy::select_placement`] once per node (in scheduling
+/// order); the policy evaluates candidates through the [`EngineView`] and returns the
+/// trial to commit, or `None` to fail the attempt (the driver then falls back to the
+/// next ordering or the next II).
+pub trait ClusterPolicy {
+    /// Short name of the strategy (reports and diagnostics).
+    fn name(&self) -> &'static str;
+
+    /// Called once per candidate II, before the ordering attempts at that II.
+    /// Two-phase policies recompute their cluster assignment here.
+    fn begin_ii(&mut self, graph: &DepGraph, machine: &MachineConfig, ii: u32) {
+        let _ = (graph, machine, ii);
+    }
+
+    /// Called at the start of every scheduling attempt (once per ordering fallback);
+    /// per-attempt state such as BSA's default-cluster rotation resets here.
+    fn begin_attempt(&mut self, graph: &DepGraph, machine: &MachineConfig, ii: u32) {
+        let _ = (graph, machine, ii);
+    }
+
+    /// Choose the placement of `node`, or `None` when no cluster can take it at this
+    /// II (the attempt fails and the II search continues).
+    fn select_placement(&mut self, node: NodeId, view: &mut EngineView<'_>) -> Option<Trial>;
+}
+
+/// A policy that schedules every node on a pre-computed cluster (the building block
+/// of the two-phase baseline and the ablation schedulers).
+///
+/// N&E-style bus accounting: every bus-saturated probe cycle counts as a bus failure,
+/// even when the node eventually places at a later cycle.
+#[derive(Debug, Clone)]
+pub struct FixedAssignmentPolicy {
+    name: &'static str,
+    assignment: Vec<usize>,
+}
+
+impl FixedAssignmentPolicy {
+    /// A policy forcing node `i` onto `assignment[i]`.
+    pub fn new(name: &'static str, assignment: Vec<usize>) -> Self {
+        Self { name, assignment }
+    }
+
+    /// The forced assignment (one cluster per node).
+    pub fn assignment(&self) -> &[usize] {
+        &self.assignment
+    }
+
+    /// Replace the assignment (used by policies that recompute per II).
+    pub fn set_assignment(&mut self, assignment: Vec<usize>) {
+        self.assignment = assignment;
+    }
+}
+
+impl ClusterPolicy for FixedAssignmentPolicy {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn select_placement(&mut self, node: NodeId, view: &mut EngineView<'_>) -> Option<Trial> {
+        let probe = view.probe(node, self.assignment[node.index()]);
+        if probe.saw_bus_block {
+            view.record_bus_failure();
+        }
+        probe.trial
+    }
+}
+
+/// One step of the II search, recorded in [`ScheduleDiagnostics::ii_trajectory`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IiStep {
+    /// The initiation interval attempted.
+    pub ii: u32,
+    /// How many node orderings were tried at this II (the SMS order, then the
+    /// topological fallback).
+    pub orders_tried: u32,
+    /// A failure at this II involved a bus-saturated placement.
+    pub bus_blocked: bool,
+    /// A failure at this II involved a register-file overflow.
+    pub register_blocked: bool,
+}
+
+/// The resource that ultimately bounded the initiation interval of a schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LimitingResource {
+    /// The schedule reached MII and MII was set by a dependence recurrence.
+    Recurrence,
+    /// The schedule reached MII and MII was set by functional-unit counts, or the II
+    /// had to grow for reasons other than buses or registers (no free slot in any
+    /// scan window).
+    FunctionalUnits,
+    /// The II had to grow beyond MII because the communication buses were saturated —
+    /// the `LimitedByBus` predicate of the selective-unrolling algorithm (Figure 6).
+    Bus,
+    /// The II had to grow beyond MII because a register file overflowed.
+    Registers,
+}
+
+/// Structured account of how a schedule came to be, produced by the
+/// [`IiSearchDriver`] alongside every [`ModuloSchedule`] and carried through
+/// `ClusterSchedule` and the experiment results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleDiagnostics {
+    /// The achieved initiation interval.
+    pub ii: u32,
+    /// The minimum II (`max(ResMII, RecMII)`).
+    pub mii: u32,
+    /// The resource-constrained component of MII.
+    pub res_mii: u32,
+    /// The recurrence-constrained component of MII.
+    pub rec_mii: u32,
+    /// What bounded the II (see [`LimitingResource`]).
+    pub limiting: LimitingResource,
+    /// Every II with at least one failed ordering attempt, in order (empty when the
+    /// loop scheduled at MII on the first ordering).  The last entry may carry the
+    /// *final* II when its SMS ordering failed and the topological fallback
+    /// succeeded.
+    pub ii_trajectory: Vec<IiStep>,
+    /// Inter-cluster value transfers in the final schedule.
+    pub n_comms: usize,
+    /// Per-cluster `MaxLive` register pressure of the final schedule.
+    pub max_live_per_cluster: Vec<u32>,
+}
+
+impl ScheduleDiagnostics {
+    /// Whether the II was raised above MII because of bus saturation — exactly the
+    /// predicate the selective unroller keys on.
+    pub fn limited_by_bus(&self) -> bool {
+        matches!(self.limiting, LimitingResource::Bus)
+    }
+
+    /// Total scheduling attempts (orderings tried across all IIs, including the
+    /// successful one).
+    pub fn attempts(&self) -> u32 {
+        self.ii_trajectory
+            .iter()
+            .map(|s| s.orders_tried)
+            .sum::<u32>()
+            + 1
+    }
+}
+
+/// A schedule together with the engine's account of how it was found.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduledLoop {
+    /// The modulo schedule.
+    pub schedule: ModuloSchedule,
+    /// How the II search went and what limited it.
+    pub diagnostics: ScheduleDiagnostics,
+}
+
+/// Why one scheduling attempt failed (internal to the driver).
+struct AttemptFailure {
+    bus: bool,
+    register: bool,
+}
+
+/// Reusable buffers for the II search: the reservation table survives `reset`, and
+/// the per-node assignment keeps its allocation across retries, so one
+/// [`IiSearchDriver::schedule`] call performs a fixed number of engine-side
+/// allocations regardless of how many IIs it explores.
+struct EngineScratch {
+    mrt: ModuloReservationTable,
+    assignment: Vec<Option<usize>>,
+}
+
+/// The shared II-search driver (see module docs).
+///
+/// Borrow a machine, pick the register-check mode, then [`IiSearchDriver::schedule`]
+/// any graph with any [`ClusterPolicy`].
+#[derive(Debug, Clone)]
+pub struct IiSearchDriver<'m> {
+    machine: &'m MachineConfig,
+    check_registers: bool,
+    register_mode: RegisterCheckMode,
+}
+
+impl<'m> IiSearchDriver<'m> {
+    /// A driver for `machine` with per-placement register checking (the clustered
+    /// schedulers' configuration).
+    pub fn new(machine: &'m MachineConfig) -> Self {
+        Self {
+            machine,
+            check_registers: true,
+            register_mode: RegisterCheckMode::PerPlacement,
+        }
+    }
+
+    /// Enable or disable register checking entirely.
+    pub fn check_registers(mut self, on: bool) -> Self {
+        self.check_registers = on;
+        self
+    }
+
+    /// Choose when the register check runs (see [`RegisterCheckMode`]).
+    pub fn register_mode(mut self, mode: RegisterCheckMode) -> Self {
+        self.register_mode = mode;
+        self
+    }
+
+    /// The machine being scheduled for.
+    pub fn machine(&self) -> &MachineConfig {
+        self.machine
+    }
+
+    /// Modulo schedule `graph` under `policy`: search initiation intervals upward
+    /// from MII, trying the SMS node order and then the topological fallback at each
+    /// II, and restarting whenever a node cannot be placed.
+    pub fn schedule<P: ClusterPolicy + ?Sized>(
+        &self,
+        graph: &DepGraph,
+        policy: &mut P,
+    ) -> Result<ScheduledLoop, ScheduleError> {
+        graph.validate().map_err(ScheduleError::InvalidGraph)?;
+        let res = res_mii(graph, self.machine);
+        let rec = rec_mii(graph);
+        // `mii()` is `max(res_mii, rec_mii)`; computing the components once serves
+        // both the search and the diagnostics.
+        let mii = res.max(rec);
+        let limit = max_ii(mii);
+        let pool = ResourcePool::new(self.machine);
+        let mut scratch = EngineScratch {
+            mrt: ModuloReservationTable::new(&pool, mii.max(1)),
+            assignment: vec![None; graph.n_nodes()],
+        };
+        let mut trajectory: Vec<IiStep> = Vec::new();
+        // Failure causes accumulated over every failed attempt so far; the paper's
+        // `LimitedByBus` predicate is `bus_seen && II > MII` at success time.
+        let mut bus_seen = false;
+        let mut register_seen = false;
+        for ii in mii..=limit {
+            policy.begin_ii(graph, self.machine, ii);
+            // The SMS order gives the best schedules; the topological fallback
+            // guarantees progress on graphs where the SMS order sandwiches a node
+            // between already-placed predecessors and successors.
+            let orders = [
+                OrderingContext::new(graph, ii),
+                OrderingContext::topological(graph, ii),
+            ];
+            let mut step = IiStep {
+                ii,
+                orders_tried: 0,
+                bus_blocked: false,
+                register_blocked: false,
+            };
+            for ctx in &orders {
+                policy.begin_attempt(graph, self.machine, ii);
+                match self.try_schedule(graph, ctx, &pool, &mut scratch, policy, ii, mii) {
+                    Ok(mut sched) => {
+                        sched.normalize();
+                        sched.limited_by_bus = bus_seen && sched.ii() > mii;
+                        // A failed ordering at the *successful* II (the SMS order
+                        // failed, the topological fallback succeeded) still belongs
+                        // to the trajectory.
+                        if step.orders_tried > 0 {
+                            trajectory.push(step);
+                        }
+                        let diagnostics = self.diagnostics(
+                            graph,
+                            &sched,
+                            res,
+                            rec,
+                            mii,
+                            bus_seen,
+                            register_seen,
+                            trajectory,
+                        );
+                        return Ok(ScheduledLoop {
+                            schedule: sched,
+                            diagnostics,
+                        });
+                    }
+                    Err(failure) => {
+                        step.orders_tried += 1;
+                        step.bus_blocked |= failure.bus;
+                        step.register_blocked |= failure.register;
+                        bus_seen |= failure.bus;
+                        register_seen |= failure.register;
+                    }
+                }
+            }
+            trajectory.push(step);
+        }
+        Err(ScheduleError::MaxIiExceeded {
+            mii,
+            max_ii_tried: limit,
+        })
+    }
+
+    /// One scheduling attempt at a fixed II with a given node order.
+    #[allow(clippy::too_many_arguments)]
+    fn try_schedule<P: ClusterPolicy + ?Sized>(
+        &self,
+        graph: &DepGraph,
+        ctx: &OrderingContext,
+        pool: &ResourcePool,
+        scratch: &mut EngineScratch,
+        policy: &mut P,
+        ii: u32,
+        mii: u32,
+    ) -> Result<ModuloSchedule, AttemptFailure> {
+        let mut sched = ModuloSchedule::new(&graph.name, graph.n_nodes(), ii, mii);
+        scratch.mrt.reset(ii);
+        scratch.assignment.fill(None);
+        let EngineScratch { mrt, assignment } = scratch;
+        let per_placement = matches!(self.register_mode, RegisterCheckMode::PerPlacement);
+        let mut bus_failed = false;
+        let mut register_failed = false;
+
+        for &node in &ctx.order {
+            let mut view = EngineView {
+                graph,
+                ctx,
+                machine: self.machine,
+                pool,
+                sched: &mut sched,
+                mrt,
+                assignment,
+                ii,
+                check_registers: self.check_registers,
+                per_placement_registers: per_placement,
+                bus_failed: false,
+                register_failed: false,
+            };
+            let chosen = policy.select_placement(node, &mut view);
+            bus_failed |= view.bus_failed;
+            register_failed |= view.register_failed;
+            match chosen {
+                Some(trial) => {
+                    debug_assert_eq!(trial.node, node, "policy committed the wrong node");
+                    // Commit: reserve the functional unit and the buses, record the
+                    // node.
+                    mrt.reserve(trial.fu, trial.cycle);
+                    for comm in &trial.comms {
+                        mrt.reserve_for(comm.bus, comm.start_cycle, comm.duration);
+                        sched.add_comm(*comm);
+                    }
+                    sched.place(PlacedOp {
+                        node,
+                        cycle: trial.cycle,
+                        cluster: trial.cluster,
+                        fu: trial.fu,
+                    });
+                    assignment[node.index()] = Some(trial.cluster);
+                }
+                None => {
+                    return Err(AttemptFailure {
+                        bus: bus_failed,
+                        register: register_failed,
+                    })
+                }
+            }
+        }
+
+        if self.check_registers && matches!(self.register_mode, RegisterCheckMode::WholeSchedule) {
+            let lifetimes = LifetimeMap::new(graph, &sched, self.machine);
+            if lifetimes.max_live_in(0) as usize > self.machine.cluster.registers {
+                return Err(AttemptFailure {
+                    bus: bus_failed,
+                    register: true,
+                });
+            }
+        }
+        Ok(sched)
+    }
+
+    /// Build the diagnostics of a successful schedule.
+    #[allow(clippy::too_many_arguments)]
+    fn diagnostics(
+        &self,
+        graph: &DepGraph,
+        sched: &ModuloSchedule,
+        res: u32,
+        rec: u32,
+        mii: u32,
+        bus_seen: bool,
+        register_seen: bool,
+        trajectory: Vec<IiStep>,
+    ) -> ScheduleDiagnostics {
+        let limiting = if sched.ii() == mii {
+            if rec >= res {
+                LimitingResource::Recurrence
+            } else {
+                LimitingResource::FunctionalUnits
+            }
+        } else if bus_seen {
+            LimitingResource::Bus
+        } else if register_seen {
+            LimitingResource::Registers
+        } else {
+            LimitingResource::FunctionalUnits
+        };
+        let max_live_per_cluster = LifetimeMap::new(graph, sched, self.machine).max_live();
+        ScheduleDiagnostics {
+            ii: sched.ii(),
+            mii,
+            res_mii: res,
+            rec_mii: rec,
+            limiting,
+            ii_trajectory: trajectory,
+            n_comms: sched.comms().len(),
+            max_live_per_cluster,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vliw_arch::{BusConfig, ClusterConfig, LatencyModel, OpClass};
+    use vliw_ddg::GraphBuilder;
+
+    fn saxpy() -> DepGraph {
+        GraphBuilder::new("saxpy")
+            .iterations(1000)
+            .node("lx", OpClass::Load)
+            .node("ly", OpClass::Load)
+            .node("mul", OpClass::FpMul)
+            .node("add", OpClass::FpAdd)
+            .node("st", OpClass::Store)
+            .flow("lx", "mul")
+            .flow("mul", "add")
+            .flow("ly", "add")
+            .flow("add", "st")
+            .build()
+    }
+
+    /// The Figure-7 machine: two 2-wide clusters, a single 1-cycle bus — saturates
+    /// its bus on the Figure-7 loop.
+    fn fig7() -> (MachineConfig, DepGraph) {
+        let machine = MachineConfig::new(
+            "fig7",
+            2,
+            ClusterConfig::new(2, 0, 0, 32),
+            BusConfig::new(1, 1),
+            LatencyModel::unit(),
+        );
+        let g = GraphBuilder::new("fig7")
+            .with_latencies(LatencyModel::unit())
+            .iterations(100)
+            .node("A", OpClass::IntAlu)
+            .node("B", OpClass::IntAlu)
+            .node("C", OpClass::IntAlu)
+            .node("D", OpClass::IntAlu)
+            .node("E", OpClass::IntAlu)
+            .node("F", OpClass::IntAlu)
+            .flow("A", "C")
+            .flow("B", "C")
+            .flow("C", "E")
+            .flow("A", "E")
+            .flow("D", "F")
+            .flow("A", "F")
+            .flow_at("E", "D", 1)
+            .flow_at("D", "A", 1)
+            .build();
+        (machine, g)
+    }
+
+    #[test]
+    fn fixed_assignment_policy_schedules_on_forced_clusters() {
+        let machine = MachineConfig::two_cluster(2, 1);
+        let g = saxpy();
+        let assignment = vec![0, 0, 0, 0, 0];
+        let mut policy = FixedAssignmentPolicy::new("all-zero", assignment);
+        let out = IiSearchDriver::new(&machine)
+            .schedule(&g, &mut policy)
+            .unwrap();
+        assert!(out.schedule.is_complete());
+        for node in g.node_ids() {
+            assert_eq!(out.schedule.cluster_of(node), Some(0));
+        }
+        assert_eq!(out.diagnostics.n_comms, 0);
+        assert_eq!(out.diagnostics.ii, out.schedule.ii());
+    }
+
+    #[test]
+    fn diagnostics_classify_a_recurrence_bound_loop() {
+        let machine = MachineConfig::unified();
+        let g = GraphBuilder::new("acc")
+            .node("ld", OpClass::Load)
+            .node("add", OpClass::FpAdd)
+            .flow("ld", "add")
+            .flow_at("add", "add", 1)
+            .build();
+        let mut policy = FixedAssignmentPolicy::new("unified", vec![0, 0]);
+        let out = IiSearchDriver::new(&machine)
+            .schedule(&g, &mut policy)
+            .unwrap();
+        assert_eq!(out.diagnostics.limiting, LimitingResource::Recurrence);
+        assert!(out.diagnostics.rec_mii >= out.diagnostics.res_mii);
+        assert!(out.diagnostics.ii_trajectory.is_empty());
+        assert_eq!(out.diagnostics.attempts(), 1);
+        assert!(!out.diagnostics.limited_by_bus());
+    }
+
+    #[test]
+    fn diagnostics_classify_a_bus_bound_loop() {
+        // Forcing the Figure-7 recurrence across the clusters saturates the single
+        // bus, driving the II above MII with bus failures on the way.
+        let (machine, g) = fig7();
+        let mut policy = FixedAssignmentPolicy::new("split", vec![0, 1, 0, 1, 0, 1]);
+        let out = IiSearchDriver::new(&machine)
+            .schedule(&g, &mut policy)
+            .unwrap();
+        assert!(out.schedule.ii() > out.diagnostics.mii);
+        assert_eq!(out.diagnostics.limiting, LimitingResource::Bus);
+        assert!(out.diagnostics.limited_by_bus());
+        assert!(out.schedule.limited_by_bus);
+        assert!(!out.diagnostics.ii_trajectory.is_empty());
+        assert!(out
+            .diagnostics
+            .ii_trajectory
+            .iter()
+            .any(|step| step.bus_blocked));
+        assert!(out.diagnostics.n_comms > 0);
+    }
+
+    #[test]
+    fn trajectory_iis_are_consecutive_from_mii() {
+        let (machine, g) = fig7();
+        let mut policy = FixedAssignmentPolicy::new("split", vec![0, 1, 0, 1, 0, 1]);
+        let out = IiSearchDriver::new(&machine)
+            .schedule(&g, &mut policy)
+            .unwrap();
+        for (i, step) in out.diagnostics.ii_trajectory.iter().enumerate() {
+            assert_eq!(step.ii, out.diagnostics.mii + i as u32);
+            assert!(step.orders_tried >= 1);
+        }
+        // Every II below the achieved one failed completely; the achieved II itself
+        // appears as a final step only when its SMS ordering failed first.
+        let len = out.diagnostics.ii_trajectory.len() as u32;
+        assert!(
+            out.diagnostics.ii == out.diagnostics.mii + len
+                || out.diagnostics.ii == out.diagnostics.mii + len - 1,
+            "ii {} vs mii {} + {len}",
+            out.diagnostics.ii,
+            out.diagnostics.mii
+        );
+    }
+
+    #[test]
+    fn whole_schedule_register_mode_rejects_overflowing_attempts() {
+        let tiny = MachineConfig::new(
+            "tiny-regs",
+            1,
+            ClusterConfig::new(4, 4, 4, 2),
+            BusConfig::none(),
+            LatencyModel::table1(),
+        );
+        let g = saxpy();
+        let relaxed = IiSearchDriver::new(&tiny)
+            .check_registers(false)
+            .register_mode(RegisterCheckMode::WholeSchedule)
+            .schedule(&g, &mut FixedAssignmentPolicy::new("u", vec![0; 5]))
+            .unwrap();
+        match IiSearchDriver::new(&tiny)
+            .register_mode(RegisterCheckMode::WholeSchedule)
+            .schedule(&g, &mut FixedAssignmentPolicy::new("u", vec![0; 5]))
+        {
+            Ok(strict) => {
+                assert!(strict.schedule.ii() >= relaxed.schedule.ii());
+                if strict.schedule.ii() > strict.diagnostics.mii {
+                    assert_eq!(strict.diagnostics.limiting, LimitingResource::Registers);
+                }
+            }
+            Err(ScheduleError::MaxIiExceeded { .. }) => {} // also acceptable: never fits
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+
+    #[test]
+    fn max_live_per_cluster_has_one_entry_per_cluster() {
+        let machine = MachineConfig::four_cluster(2, 1);
+        let g = saxpy();
+        let mut policy = FixedAssignmentPolicy::new("rr", vec![0, 1, 2, 3, 0]);
+        let out = IiSearchDriver::new(&machine)
+            .schedule(&g, &mut policy)
+            .unwrap();
+        assert_eq!(
+            out.diagnostics.max_live_per_cluster.len(),
+            machine.n_clusters
+        );
+    }
+
+    #[test]
+    fn invalid_graphs_are_rejected_before_scheduling() {
+        let machine = MachineConfig::unified();
+        let mut g = DepGraph::new("bad");
+        let a = g.add_node(OpClass::IntAlu);
+        g.add_edge(a, a, 1, 0, vliw_ddg::DepKind::Flow);
+        let err = IiSearchDriver::new(&machine)
+            .schedule(&g, &mut FixedAssignmentPolicy::new("u", vec![0]))
+            .unwrap_err();
+        assert!(matches!(err, ScheduleError::InvalidGraph(_)));
+    }
+
+    #[test]
+    fn empty_graph_schedules_trivially() {
+        let machine = MachineConfig::unified();
+        let out = IiSearchDriver::new(&machine)
+            .schedule(
+                &DepGraph::new("empty"),
+                &mut FixedAssignmentPolicy::new("u", vec![]),
+            )
+            .unwrap();
+        assert!(out.schedule.is_complete());
+        assert_eq!(out.diagnostics.n_comms, 0);
+    }
+}

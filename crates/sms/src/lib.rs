@@ -18,11 +18,19 @@
 //!   interval, stage count, kernel emission as a [`vliw_arch::VliwProgram`] and the
 //!   `NCYCLES = (NITER + SC − 1)·II` cycle model of Section 4;
 //! * [`unified::SmsScheduler`] — the unified-machine (single cluster) modulo scheduler
-//!   that serves as the IPC reference in every experiment.
+//!   that serves as the IPC reference in every experiment;
+//! * [`comm`] — inter-cluster communication requests and the bus allocator;
+//! * [`engine`] — the shared scheduling engine: the [`engine::IiSearchDriver`] owns
+//!   the MII→max-II retry loop, ordering fallbacks, scratch reuse and register
+//!   checking, parameterized by a [`engine::ClusterPolicy`] that encapsulates only
+//!   the cluster-assignment strategy.  Every scheduler in the repository (unified
+//!   SMS, BSA, N&E and the ablations) is a thin policy on this engine.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod comm;
+pub mod engine;
 pub mod lifetime;
 pub mod mrt;
 pub mod ordering;
@@ -30,6 +38,11 @@ pub mod schedule;
 pub mod slots;
 pub mod unified;
 
+pub use comm::{allocate_comms, required_comms, CommAllocation, CommRequest};
+pub use engine::{
+    ClusterPolicy, EngineView, FixedAssignmentPolicy, IiSearchDriver, IiStep, LimitingResource,
+    Probe, RegisterCheckMode, ScheduleDiagnostics, ScheduledLoop, Trial,
+};
 pub use lifetime::{cluster_max_live, LifetimeMap};
 pub use mrt::{ModuloReservationTable, Reservation};
 pub use ordering::{sms_order, OrderingContext};

@@ -9,14 +9,29 @@
 //! on the cluster chosen by phase 1), which reuses the slot-selection and reservation
 //! machinery exposed here.
 
-use crate::lifetime::LifetimeMap;
-use crate::max_ii;
-use crate::mrt::ModuloReservationTable;
-use crate::ordering::OrderingContext;
-use crate::schedule::{ModuloSchedule, PlacedOp, ScheduleError};
-use crate::slots::{early_start, late_start, SlotScan};
-use vliw_arch::{MachineConfig, ResourcePool};
-use vliw_ddg::{mii, DepGraph};
+use crate::engine::{
+    ClusterPolicy, EngineView, IiSearchDriver, RegisterCheckMode, ScheduledLoop, Trial,
+};
+use crate::schedule::{ModuloSchedule, ScheduleError};
+use vliw_arch::MachineConfig;
+use vliw_ddg::{DepGraph, NodeId};
+
+/// The [`ClusterPolicy`] of the unified machine: every node goes to cluster 0 at the
+/// first cycle with a free functional unit, with no communication machinery; register
+/// pressure is checked once per attempt by the engine
+/// ([`RegisterCheckMode::WholeSchedule`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UnifiedPolicy;
+
+impl ClusterPolicy for UnifiedPolicy {
+    fn name(&self) -> &'static str {
+        "unified-sms"
+    }
+
+    fn select_placement(&mut self, node: NodeId, view: &mut EngineView<'_>) -> Option<Trial> {
+        view.probe_unified(node).trial
+    }
+}
 
 /// Swing Modulo Scheduler for a unified (single-cluster) VLIW machine.
 #[derive(Debug, Clone)]
@@ -47,82 +62,16 @@ impl SmsScheduler {
 
     /// Modulo schedule `graph`, searching initiation intervals upward from MII.
     pub fn schedule(&self, graph: &DepGraph) -> Result<ModuloSchedule, ScheduleError> {
-        graph.validate().map_err(ScheduleError::InvalidGraph)?;
-        let mii = mii(graph, &self.machine);
-        let limit = max_ii(mii);
-        // One reservation table for the whole II search; `reset` re-arms it per retry
-        // without touching the allocator.
-        let pool = ResourcePool::new(&self.machine);
-        let mut mrt = ModuloReservationTable::new(&pool, mii.max(1));
-        for ii in mii..=limit {
-            // The SMS order gives the best schedules; the topological fallback order
-            // guarantees progress on graphs where the SMS order sandwiches a node
-            // between already-placed predecessors and successors.
-            let orders = [
-                OrderingContext::new(graph, ii),
-                OrderingContext::topological(graph, ii),
-            ];
-            for ctx in &orders {
-                mrt.reset(ii);
-                if let Some(mut sched) = self.try_schedule(graph, ctx, &pool, &mut mrt, ii, mii) {
-                    sched.normalize();
-                    return Ok(sched);
-                }
-            }
-        }
-        Err(ScheduleError::MaxIiExceeded {
-            mii,
-            max_ii_tried: limit,
-        })
+        self.schedule_diag(graph).map(|out| out.schedule)
     }
 
-    /// Attempt a schedule at a fixed `ii` using the (already reset) reservation table;
-    /// `None` if some node cannot be placed or the register file overflows.
-    fn try_schedule(
-        &self,
-        graph: &DepGraph,
-        ctx: &OrderingContext,
-        pool: &ResourcePool,
-        mrt: &mut ModuloReservationTable,
-        ii: u32,
-        mii: u32,
-    ) -> Option<ModuloSchedule> {
-        let mut sched = ModuloSchedule::new(&graph.name, graph.n_nodes(), ii, mii);
-
-        for &node_id in &ctx.order {
-            let node = graph.node(node_id);
-            let early = early_start(graph, &sched, node_id, ii, None, 0);
-            let late = late_start(graph, &sched, node_id, ii, None, 0);
-            let default_start = ctx.analysis.asap(node_id);
-            let scan = SlotScan::new(early, late, ii, default_start);
-            let kind = node.class.fu_kind();
-
-            let mut placed = false;
-            for cycle in scan {
-                if let Some(fu) = mrt.find_free(pool.fus(0, kind), cycle) {
-                    mrt.reserve(fu, cycle);
-                    sched.place(PlacedOp {
-                        node: node_id,
-                        cycle,
-                        cluster: 0,
-                        fu,
-                    });
-                    placed = true;
-                    break;
-                }
-            }
-            if !placed {
-                return None;
-            }
-        }
-
-        if self.check_registers {
-            let lifetimes = LifetimeMap::new(graph, &sched, &self.machine);
-            if lifetimes.max_live_in(0) as usize > self.machine.cluster.registers {
-                return None;
-            }
-        }
-        Some(sched)
+    /// Like [`SmsScheduler::schedule`], but also return the engine's
+    /// [`crate::engine::ScheduleDiagnostics`].
+    pub fn schedule_diag(&self, graph: &DepGraph) -> Result<ScheduledLoop, ScheduleError> {
+        IiSearchDriver::new(&self.machine)
+            .check_registers(self.check_registers)
+            .register_mode(RegisterCheckMode::WholeSchedule)
+            .schedule(graph, &mut UnifiedPolicy)
     }
 }
 

@@ -1,0 +1,57 @@
+//! Golden-output regression tests: regenerate the committed figure artifacts with the
+//! current engine + sweep runner at **full scale** and assert they match the files
+//! under `results/` bit-for-bit.  This is the behaviour-preservation guard of the
+//! engine refactor: the five schedulers route through the shared `IiSearchDriver`,
+//! the figures through the memoized sweep — and not a single byte of output moved.
+//!
+//! The tests are `#[ignore]`d by default because the full-scale Figure 8 sweep takes
+//! ~1.5 minutes in release mode (and far longer in debug).  Run them with
+//!
+//! ```text
+//! cargo test --release --test golden -- --ignored
+//! ```
+//!
+//! CI runs exactly that in the dedicated `golden` job.  The corpora come from
+//! `LoopCorpus::all()` directly (not `standard_corpora()`), so `FAST_EXPERIMENTS`
+//! cannot silently shrink the comparison.
+
+use serde::Serialize;
+use vliw_bench::figures;
+use vliw_workloads::LoopCorpus;
+
+fn assert_matches_committed<T: Serialize>(value: &T, name: &str) {
+    let rendered = serde_json::to_string_pretty(value).expect("figure rows serialize");
+    let path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(format!("results/{name}.json"));
+    let committed = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    assert!(
+        rendered == committed,
+        "results/{name}.json drifted from the committed artifact \
+         (regenerate with `cargo run --release -p vliw-bench --bin {name}` and inspect \
+         the diff; committed {} bytes, regenerated {} bytes)",
+        committed.len(),
+        rendered.len()
+    );
+}
+
+#[test]
+#[ignore = "full-scale regeneration (seconds in release, minutes in debug); CI golden job runs it"]
+fn fig4_regenerates_byte_identical() {
+    let corpora = LoopCorpus::all();
+    assert_matches_committed(&figures::fig4(&corpora).points, "fig4");
+}
+
+#[test]
+#[ignore = "full-scale regeneration (~1.5 min in release); CI golden job runs it"]
+fn fig8_regenerates_byte_identical() {
+    let corpora = LoopCorpus::all();
+    assert_matches_committed(&figures::fig8(&corpora), "fig8");
+}
+
+#[test]
+#[ignore = "full-scale regeneration (seconds in release, minutes in debug); CI golden job runs it"]
+fn fig9_regenerates_byte_identical() {
+    let corpora = LoopCorpus::all();
+    assert_matches_committed(&figures::fig9(&corpora), "fig9");
+}

@@ -85,7 +85,8 @@ fn both_cluster_schedulers_validate_on_a_spec_corpus() {
             }
             let sched = scheduler
                 .schedule_loop(graph)
-                .unwrap_or_else(|e| panic!("{} failed on {}: {e}", scheduler.name(), graph.name));
+                .unwrap_or_else(|e| panic!("{} failed on {}: {e}", scheduler.name(), graph.name))
+                .schedule;
             let violations = validator.validate(graph, &sched);
             assert!(
                 violations.is_empty(),

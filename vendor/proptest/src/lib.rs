@@ -194,7 +194,7 @@ pub mod collection {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
 
-    /// Sizes accepted by [`vec`]: a fixed count or a range of counts.
+    /// Sizes accepted by [`vec()`]: a fixed count or a range of counts.
     pub trait IntoSizeRange {
         /// Lower and upper bound (inclusive) of the element count.
         fn bounds(&self) -> (usize, usize);

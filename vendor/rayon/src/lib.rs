@@ -12,8 +12,18 @@
 //! the `RAYON_NUM_THREADS` environment variable (`1` recovers the old sequential
 //! behaviour exactly).
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+std::thread_local! {
+    /// Whether the current thread *is* a pool worker.  Real rayon runs nested
+    /// `par_iter` calls on the same pool; this shim gets the same effect (and avoids
+    /// spawning `threads²` OS threads when a parallel job itself calls `par_iter`,
+    /// as the sweep runner's cells do) by running nested calls sequentially on the
+    /// worker they occur on — the outer level already keeps every core busy.
+    static IN_POOL: Cell<bool> = const { Cell::new(false) };
+}
 
 /// Number of worker threads a parallel call will use.
 ///
@@ -44,7 +54,7 @@ where
     F: Fn(usize) -> R + Sync,
 {
     let threads = current_num_threads().min(n);
-    if threads <= 1 {
+    if threads <= 1 || IN_POOL.with(|flag| flag.get()) {
         return (0..n).map(f).collect();
     }
     let chunk = (n / (threads * CHUNKS_PER_THREAD)).max(1);
@@ -52,14 +62,17 @@ where
     let parts: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::new());
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|| loop {
-                let start = cursor.fetch_add(chunk, Ordering::Relaxed);
-                if start >= n {
-                    break;
+            scope.spawn(|| {
+                IN_POOL.with(|flag| flag.set(true));
+                loop {
+                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= n {
+                        break;
+                    }
+                    let end = (start + chunk).min(n);
+                    let out: Vec<R> = (start..end).map(&f).collect();
+                    parts.lock().unwrap().push((start, out));
                 }
-                let end = (start + chunk).min(n);
-                let out: Vec<R> = (start..end).map(&f).collect();
-                parts.lock().unwrap().push((start, out));
             });
         }
     });
@@ -276,6 +289,24 @@ mod tests {
     #[test]
     fn num_threads_is_at_least_one() {
         assert!(super::current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn nested_parallel_calls_run_inline_and_preserve_order() {
+        // A nested par_iter inside a pool worker must not spawn a second level of
+        // threads, and the combined result must still come back in input order.
+        let outer: Vec<u64> = (0..64).collect();
+        let out: Vec<Vec<u64>> = outer
+            .par_iter()
+            .map(|&x| {
+                let inner: Vec<u64> = (0..8u64).collect();
+                inner.par_iter().map(|&y| x * 10 + y).collect()
+            })
+            .collect();
+        for (x, row) in out.iter().enumerate() {
+            let expected: Vec<u64> = (0..8).map(|y| x as u64 * 10 + y).collect();
+            assert_eq!(row, &expected);
+        }
     }
 
     #[test]
