@@ -1,40 +1,14 @@
 //! Table 1 — the evaluated machine configurations and the operation latencies.
+//!
+//! The data comes from [`vliw_bench::figures::table1`]; this binary only prints it
+//! and writes `results/table1.json` (the golden test regenerates the same rows).
 
-use serde::Serialize;
-use vliw_arch::{FuKind, MachineConfig, OpClass};
-use vliw_bench::write_json;
+use vliw_bench::{figures, write_json};
 use vliw_metrics::TextTable;
 
-#[derive(Debug, Serialize)]
-struct ConfigRow {
-    configuration: String,
-    clusters: usize,
-    int_per_cluster: usize,
-    fp_per_cluster: usize,
-    mem_per_cluster: usize,
-    regs_per_cluster: usize,
-    total_issue: usize,
-    total_regs: usize,
-}
-
-#[derive(Debug, Serialize)]
-struct LatencyRow {
-    class: String,
-    latency: u32,
-}
-
-#[derive(Debug, Serialize)]
-struct Table1 {
-    configurations: Vec<ConfigRow>,
-    latencies: Vec<LatencyRow>,
-}
-
 fn main() {
-    let configs = [
-        MachineConfig::unified(),
-        MachineConfig::two_cluster(1, 1),
-        MachineConfig::four_cluster(1, 1),
-    ];
+    let out = figures::table1();
+
     let mut table = TextTable::new([
         "configuration",
         "clusters",
@@ -45,28 +19,17 @@ fn main() {
         "total issue",
         "total regs",
     ]);
-    let mut config_rows: Vec<ConfigRow> = Vec::new();
-    for m in &configs {
+    for c in &out.configurations {
         table.row([
-            m.name.clone(),
-            m.n_clusters.to_string(),
-            m.cluster.fu_count(FuKind::Int).to_string(),
-            m.cluster.fu_count(FuKind::Fp).to_string(),
-            m.cluster.fu_count(FuKind::Mem).to_string(),
-            m.cluster.registers.to_string(),
-            m.total_issue_width().to_string(),
-            m.total_registers().to_string(),
+            c.configuration.clone(),
+            c.clusters.to_string(),
+            c.int_per_cluster.to_string(),
+            c.fp_per_cluster.to_string(),
+            c.mem_per_cluster.to_string(),
+            c.regs_per_cluster.to_string(),
+            c.total_issue.to_string(),
+            c.total_regs.to_string(),
         ]);
-        config_rows.push(ConfigRow {
-            configuration: m.name.clone(),
-            clusters: m.n_clusters,
-            int_per_cluster: m.cluster.fu_count(FuKind::Int),
-            fp_per_cluster: m.cluster.fu_count(FuKind::Fp),
-            mem_per_cluster: m.cluster.fu_count(FuKind::Mem),
-            regs_per_cluster: m.cluster.registers,
-            total_issue: m.total_issue_width(),
-            total_regs: m.total_registers(),
-        });
     }
     println!("Table 1a — machine configurations");
     println!("{table}");
@@ -74,27 +37,14 @@ fn main() {
         "Clustered configurations are evaluated with 1 or 2 buses of latency 1, 2 or 4 cycles.\n"
     );
 
-    let machine = MachineConfig::unified();
     let mut latencies = TextTable::new(["operation class", "latency (cycles)"]);
-    let mut latency_rows: Vec<LatencyRow> = Vec::new();
-    for class in OpClass::ALL {
-        latencies.row([
-            class.mnemonic().to_string(),
-            machine.latency(class).to_string(),
-        ]);
-        latency_rows.push(LatencyRow {
-            class: class.mnemonic().to_string(),
-            latency: machine.latency(class),
-        });
+    for l in &out.latencies {
+        latencies.row([l.class.clone(), l.latency.to_string()]);
     }
     println!("Table 1b — operation latencies");
     println!("{latencies}");
 
-    let json = Table1 {
-        configurations: config_rows,
-        latencies: latency_rows,
-    };
-    if let Ok(path) = write_json("table1", &json) {
+    if let Ok(path) = write_json("table1", &out) {
         println!("JSON written to {}", path.display());
     }
 }

@@ -1,20 +1,15 @@
 //! Table 2 — cycle times of the evaluated configurations (Palacharla delay model,
 //! 0.18 µm).
+//!
+//! The data comes from [`vliw_bench::figures::table2`]; this binary only prints it
+//! and writes `results/table2.json` (the golden test regenerates the same rows).
 
-use vliw_arch::MachineConfig;
-use vliw_bench::write_json;
+use vliw_bench::{figures, write_json};
 use vliw_metrics::TextTable;
-use vliw_timing::CycleTimeModel;
 
 fn main() {
-    let model = CycleTimeModel::new();
-    let configs = [
-        MachineConfig::unified(),
-        MachineConfig::two_cluster(1, 1),
-        MachineConfig::two_cluster(2, 1),
-        MachineConfig::four_cluster(1, 1),
-        MachineConfig::four_cluster(2, 1),
-    ];
+    let rows = figures::table2();
+    let unified_ct = rows[0].3;
     let mut table = TextTable::new([
         "configuration",
         "bypass (ps)",
@@ -22,21 +17,14 @@ fn main() {
         "cycle time (ps)",
         "vs unified",
     ]);
-    let unified_ct = model.cycle_time_ps(&configs[0]);
-    let mut rows = Vec::new();
-    for m in &configs {
-        let (rd, wr) = m.register_file_ports();
-        let bypass = model.model().bypass_delay_ps(m.cluster.issue_width());
-        let rf = model.model().register_file_ps(m.cluster.registers, rd, wr);
-        let ct = model.cycle_time_ps(m);
+    for (name, bypass, rf, ct) in &rows {
         table.row([
-            m.name.clone(),
+            name.clone(),
             format!("{bypass:.0}"),
             format!("{rf:.0}"),
             format!("{ct:.0}"),
             format!("{:.2}x", unified_ct / ct),
         ]);
-        rows.push((m.name.clone(), bypass, rf, ct));
     }
     println!("Table 2 — cycle times (Palacharla model, 0.18um calibration)");
     println!("{table}");

@@ -66,6 +66,7 @@ pub fn fig4(corpora: &[LoopCorpus]) -> Fig4Output {
     let algorithms = [Algorithm::Bsa, Algorithm::NystromEichenberger];
 
     let mut sweep = Sweep::new();
+    sweep.verify_cells(crate::verify_from_env());
     let mut point_cells: Vec<(usize, usize, u32, Algorithm, CellId)> = Vec::new();
     for &clusters in &[2usize, 4] {
         for &alg in &algorithms {
@@ -160,6 +161,7 @@ pub fn fig8(corpora: &[LoopCorpus]) -> Vec<Fig8Bar> {
     let unified = MachineConfig::unified();
 
     let mut sweep = Sweep::new();
+    sweep.verify_cells(crate::verify_from_env());
     let mut cells: Vec<(usize, UnrollPolicy, usize, u32, CellId)> = Vec::new();
     for &clusters in &[2usize, 4] {
         for policy in UnrollPolicy::ALL {
@@ -238,6 +240,7 @@ pub fn fig9(corpora: &[LoopCorpus]) -> Vec<Fig9Bar> {
     let unified = MachineConfig::unified();
 
     let mut sweep = Sweep::new();
+    sweep.verify_cells(crate::verify_from_env());
     let mut cells: Vec<(usize, usize, &'static str, MachineConfig, CellId)> = Vec::new();
     for &clusters in &[2usize, 4] {
         for &buses in &[1usize, 2] {
@@ -299,6 +302,7 @@ pub struct Fig10Bar {
 pub fn fig10(corpora: &[LoopCorpus]) -> Vec<Fig10Bar> {
     let unified = MachineConfig::unified();
     let mut sweep = Sweep::new();
+    sweep.verify_cells(crate::verify_from_env());
     let base_id = sweep.cell(unified, Algorithm::UnifiedSms, UnrollPolicy::None);
     let mut cells: Vec<(usize, UnrollPolicy, usize, u32, CellId)> = Vec::new();
     for &clusters in &[2usize, 4] {
@@ -339,6 +343,108 @@ pub fn fig10(corpora: &[LoopCorpus]) -> Vec<Fig10Bar> {
                 normalized_total: total as f64 / base_total as f64,
                 normalized_useful: useful as f64 / base_useful as f64,
             }
+        })
+        .collect()
+}
+
+/// One machine-configuration row of Table 1 (serialized into `results/table1.json`).
+#[derive(Debug, Serialize)]
+pub struct Table1Config {
+    /// Configuration name.
+    pub configuration: String,
+    /// Number of clusters.
+    pub clusters: usize,
+    /// Integer units per cluster.
+    pub int_per_cluster: usize,
+    /// FP units per cluster.
+    pub fp_per_cluster: usize,
+    /// Memory units per cluster.
+    pub mem_per_cluster: usize,
+    /// Registers per cluster.
+    pub regs_per_cluster: usize,
+    /// Total issue width.
+    pub total_issue: usize,
+    /// Total registers.
+    pub total_regs: usize,
+}
+
+/// One latency row of Table 1.
+#[derive(Debug, Serialize)]
+pub struct Table1Latency {
+    /// Operation-class mnemonic.
+    pub class: String,
+    /// Result latency in cycles.
+    pub latency: u32,
+}
+
+/// The Table 1 pipeline output: the evaluated machine configurations and the
+/// operation latencies.
+#[derive(Debug, Serialize)]
+pub struct Table1Output {
+    /// Table 1a — machine configurations.
+    pub configurations: Vec<Table1Config>,
+    /// Table 1b — operation latencies.
+    pub latencies: Vec<Table1Latency>,
+}
+
+/// Table 1 — the evaluated machine configurations and the operation latencies.
+pub fn table1() -> Table1Output {
+    use vliw_arch::{FuKind, OpClass};
+    let configs = [
+        MachineConfig::unified(),
+        MachineConfig::two_cluster(1, 1),
+        MachineConfig::four_cluster(1, 1),
+    ];
+    let configurations = configs
+        .iter()
+        .map(|m| Table1Config {
+            configuration: m.name.clone(),
+            clusters: m.n_clusters,
+            int_per_cluster: m.cluster.fu_count(FuKind::Int),
+            fp_per_cluster: m.cluster.fu_count(FuKind::Fp),
+            mem_per_cluster: m.cluster.fu_count(FuKind::Mem),
+            regs_per_cluster: m.cluster.registers,
+            total_issue: m.total_issue_width(),
+            total_regs: m.total_registers(),
+        })
+        .collect();
+    let machine = MachineConfig::unified();
+    let latencies = OpClass::ALL
+        .into_iter()
+        .map(|class| Table1Latency {
+            class: class.mnemonic().to_string(),
+            latency: machine.latency(class),
+        })
+        .collect();
+    Table1Output {
+        configurations,
+        latencies,
+    }
+}
+
+/// One row of Table 2: `(configuration, bypass ps, register-file ps, cycle-time ps)`
+/// (serialized as a tuple to keep `results/table2.json` byte-identical to the
+/// historical binary output).
+pub type Table2Row = (String, f64, f64, f64);
+
+/// Table 2 — cycle times of the evaluated configurations (Palacharla delay model).
+pub fn table2() -> Vec<Table2Row> {
+    let model = CycleTimeModel::new();
+    let configs = [
+        MachineConfig::unified(),
+        MachineConfig::two_cluster(1, 1),
+        MachineConfig::two_cluster(2, 1),
+        MachineConfig::four_cluster(1, 1),
+        MachineConfig::four_cluster(2, 1),
+    ];
+    configs
+        .iter()
+        .map(|m| {
+            let (rd, wr) = m.register_file_ports();
+            let bypass = model.model().bypass_delay_ps(m.cluster.issue_width());
+            let rf = model.model().register_file_ps(m.cluster.registers, rd, wr);
+            let ct = model.cycle_time_ps(m);
+            (m.name.clone(), bypass, rf, ct)
         })
         .collect()
 }

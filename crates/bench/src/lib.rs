@@ -179,13 +179,72 @@ pub fn run_corpus(
     algorithm: Algorithm,
     policy: UnrollPolicy,
 ) -> CorpusResult {
+    run_corpus_impl(corpus, machine, algorithm, policy, false)
+}
+
+/// [`run_corpus`], with every produced schedule differentially audited by
+/// [`vliw_sim::check_schedule`] — static validation, cycle-level replay and the
+/// closed-form cycle cross-checks.  Panics with a full description on the first
+/// failing loop — including a loop the scheduler cannot schedule at all, which a
+/// plain run only counts in `failed_loops` — so an execution-validated pipeline is
+/// a hard guarantee, not a best-effort log line.  The audit runs inside the parallel map and replays a
+/// bounded iteration count per loop, so a validated sweep costs only a modest
+/// constant factor over a plain one.
+pub fn run_corpus_verified(
+    corpus: &LoopCorpus,
+    machine: &MachineConfig,
+    algorithm: Algorithm,
+    policy: UnrollPolicy,
+) -> CorpusResult {
+    run_corpus_impl(corpus, machine, algorithm, policy, true)
+}
+
+fn run_corpus_impl(
+    corpus: &LoopCorpus,
+    machine: &MachineConfig,
+    algorithm: Algorithm,
+    policy: UnrollPolicy,
+    verify: bool,
+) -> CorpusResult {
     let code_model = CodeSizeModel::new(machine);
     type PerLoop = (LoopContribution, CodeSizeReport, bool, ScheduleDiagnostics);
     let per_loop: Vec<Option<PerLoop>> = corpus
         .loops
         .par_iter()
         .map(|graph| {
-            let cs: ClusterSchedule = schedule_loop(graph, machine, algorithm, policy).ok()?;
+            let cs: ClusterSchedule = match schedule_loop(graph, machine, algorithm, policy) {
+                Ok(cs) => cs,
+                // A plain run counts the loop in `failed_loops` and moves on; an
+                // execution-validated run must not silently lose coverage — an
+                // unschedulable loop on a figure machine is itself an anomaly.
+                Err(e) if verify => panic!(
+                    "verify_cells: loop {} failed to schedule on {} ({:?}, policy {}): {e}",
+                    graph.name,
+                    machine,
+                    algorithm,
+                    policy.label()
+                ),
+                Err(_) => return None,
+            };
+            if verify {
+                // The schedule to audit is the one actually produced — of the
+                // unrolled body when an unrolling policy kicked in.
+                let report = vliw_sim::check_schedule(
+                    machine,
+                    &cs.scheduled_graph,
+                    &cs.schedule,
+                    vliw_sim::verification_iterations(&cs.scheduled_graph),
+                );
+                assert!(
+                    report.is_clean(),
+                    "verify_cells: loop {} on {} ({:?}, policy {}): {:?}",
+                    cs.scheduled_graph.name,
+                    machine,
+                    algorithm,
+                    policy.label(),
+                    report.findings
+                );
+            }
             let contribution = LoopContribution::new(
                 &cs.schedule,
                 cs.scheduled_graph.iterations,
@@ -248,6 +307,15 @@ pub fn write_json<T: Serialize>(name: &str, value: &T) -> std::io::Result<std::p
     let path = dir.join(format!("{name}.json"));
     std::fs::write(&path, serde_json::to_string_pretty(value)?)?;
     Ok(path)
+}
+
+/// Whether figure pipelines should run execution-validated, from the
+/// `VERIFY_CELLS` environment variable (set it to anything but `0`).  Every figure
+/// pipeline feeds this into [`sweep::Sweep::verify_cells`], so
+/// `VERIFY_CELLS=1 cargo run --release -p vliw-bench --bin fig9` reproduces the
+/// figure with every schedule of every cell audited by the differential oracle.
+pub fn verify_from_env() -> bool {
+    std::env::var("VERIFY_CELLS").is_ok_and(|v| v != "0")
 }
 
 /// The standard corpus used by all experiment binaries, optionally shrunk by the

@@ -1,0 +1,291 @@
+//! Differential checking of one scheduled loop.
+//!
+//! The schedulers, the static validator, the cycle-level simulator and the analytic
+//! cycle model are four independent implementations of the same contract.  This
+//! module cross-checks them on one `(machine, graph, schedule)` triple and reports
+//! every disagreement as a serialisable [`Finding`]:
+//!
+//! 1. **Static audit** — every [`crate::ScheduleValidator`] violation (dependence
+//!    slack, reservation conflicts, missing communications, register overflow);
+//! 2. **Execution audit** — every [`crate::KernelSimulator`] error from replaying the
+//!    pipelined loop cycle by cycle;
+//! 3. **Makespan cross-check** — the simulator derives the execution makespan by
+//!    replaying every event of every iteration; [`analytic_makespan`] derives the
+//!    same quantity in closed form from the schedule and the latency model.  The two
+//!    must agree *exactly* — any drift means the replay and the cycle arithmetic
+//!    have diverged;
+//! 4. **IPC-model consistency** — the analytic `NCYCLES = (NITER + SC − 1)·II` that
+//!    the IPC accounting divides by measures kernel slots, while the simulated
+//!    makespan measures issue-to-completion.  They are provably within a tight
+//!    window of each other: `makespan < NCYCLES + max_latency` and
+//!    `NCYCLES < makespan + 2·II`.  A schedule outside that window would make the
+//!    paper's IPC numbers lie about the executed loop.
+//!
+//! The `vliw-verify` fuzzing campaigns run this check over randomly sampled
+//! machines × loops × policies; `vliw_bench::Sweep` runs it over every figure cell
+//! when the opt-in `verify_cells` mode is enabled.
+
+use crate::executor::KernelSimulator;
+use crate::validate::{ScheduleValidator, Violation};
+use serde::{Deserialize, Serialize};
+use vliw_arch::MachineConfig;
+use vliw_ddg::DepGraph;
+use vliw_sms::ModuloSchedule;
+
+/// Iteration count used by the differential checks when the caller has no opinion:
+/// enough iterations to exercise every loop-carried distance and the whole pipeline
+/// fill/drain, capped so replaying a corpus stays cheap.
+pub fn verification_iterations(graph: &DepGraph) -> u64 {
+    graph.iterations.clamp(4, 40)
+}
+
+/// One disagreement between the oracles (see the module docs for the catalogue).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Finding {
+    /// The static validator rejected the schedule.
+    StaticViolation {
+        /// The violation found.
+        violation: Violation,
+    },
+    /// The cycle-level replay hit an ordering/overlap error.
+    ExecutionError {
+        /// The simulator's description of the error.
+        error: String,
+    },
+    /// The simulated makespan disagrees with the closed-form makespan.
+    MakespanMismatch {
+        /// Cycles measured by the replay.
+        simulated: u64,
+        /// Cycles predicted by [`analytic_makespan`].
+        analytic: u64,
+    },
+    /// `NCYCLES` (the IPC denominator) drifted outside its provable window around
+    /// the simulated makespan.
+    IpcModelDrift {
+        /// Cycles measured by the replay.
+        simulated: u64,
+        /// The analytic `NCYCLES` for the same iteration count.
+        ncycles: u64,
+        /// The schedule's initiation interval.
+        ii: u32,
+        /// The machine's largest operation latency.
+        max_latency: u32,
+    },
+}
+
+/// The outcome of differentially checking one scheduled loop.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DifferentialReport {
+    /// Name of the checked loop.
+    pub loop_name: String,
+    /// Name of the machine the schedule targets.
+    pub machine: String,
+    /// Iterations replayed.
+    pub iterations: u64,
+    /// The schedule's initiation interval.
+    pub ii: u32,
+    /// Simulated makespan in cycles.
+    pub simulated_cycles: u64,
+    /// Analytic `NCYCLES` for the same iteration count.
+    pub ncycles: u64,
+    /// Every disagreement found (empty = all four oracles agree).
+    pub findings: Vec<Finding>,
+}
+
+impl DifferentialReport {
+    /// Whether every oracle agreed.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// The execution makespan of `iterations` iterations, in closed form.
+///
+/// Iteration `i` replays every event of the flat schedule offset by `i·II`, so the
+/// makespan is the per-iteration event span plus `(iterations − 1)·II`: the span runs
+/// from the earliest issue (or transfer start) to the latest completion — an
+/// operation completes `latency` cycles after issue, a transfer occupies its bus
+/// until `start + duration`.  This mirrors [`KernelSimulator::run`]'s event
+/// arithmetic without replaying anything, which is exactly what makes the equality
+/// check in [`check_schedule`] a real cross-validation of the replay loop.
+pub fn analytic_makespan(
+    graph: &DepGraph,
+    sched: &ModuloSchedule,
+    machine: &MachineConfig,
+    iterations: u64,
+) -> u64 {
+    let mut min_event = i64::MAX;
+    let mut max_event = i64::MIN;
+    for p in sched.placements() {
+        let latency = machine.latency(graph.node(p.node).class) as i64;
+        min_event = min_event.min(p.cycle);
+        max_event = max_event.max(p.cycle + latency - 1);
+    }
+    for c in sched.comms() {
+        min_event = min_event.min(c.start_cycle);
+        max_event = max_event.max(c.start_cycle + c.duration as i64 - 1);
+    }
+    if min_event == i64::MAX || iterations == 0 {
+        // No events at all (empty loop body): the simulator reports a 1-cycle run.
+        return 1;
+    }
+    let span = (max_event - min_event + 1) as u64;
+    span + (iterations - 1) * sched.ii() as u64
+}
+
+/// Differentially check one scheduled loop (see the module docs for the four
+/// oracles).  `iterations` must be at least 1; use [`verification_iterations`] for a
+/// sensible default.
+pub fn check_schedule(
+    machine: &MachineConfig,
+    graph: &DepGraph,
+    sched: &ModuloSchedule,
+    iterations: u64,
+) -> DifferentialReport {
+    let mut findings = Vec::new();
+    for violation in ScheduleValidator::new(machine).validate(graph, sched) {
+        findings.push(Finding::StaticViolation { violation });
+    }
+    let report = KernelSimulator::new(machine).run(graph, sched, iterations);
+    for error in &report.errors {
+        findings.push(Finding::ExecutionError {
+            error: error.clone(),
+        });
+    }
+
+    let analytic = analytic_makespan(graph, sched, machine, iterations);
+    // A replay that already failed reports a truncated cycle count; only cross-check
+    // the cycle models when the execution itself was clean.
+    if report.is_clean() {
+        if report.cycles != analytic {
+            findings.push(Finding::MakespanMismatch {
+                simulated: report.cycles,
+                analytic,
+            });
+        }
+        let ii = sched.ii() as i128;
+        let max_latency = machine.latencies.max_latency();
+        let drift = report.analytic_cycles as i128 - report.cycles as i128;
+        if !(-(max_latency as i128) < drift && drift < 2 * ii) {
+            findings.push(Finding::IpcModelDrift {
+                simulated: report.cycles,
+                ncycles: report.analytic_cycles,
+                ii: sched.ii(),
+                max_latency,
+            });
+        }
+    }
+
+    DifferentialReport {
+        loop_name: sched.loop_name.clone(),
+        machine: machine.name.clone(),
+        iterations,
+        ii: sched.ii(),
+        simulated_cycles: report.cycles,
+        ncycles: report.analytic_cycles,
+        findings,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vliw_arch::{FuKind, OpClass, ResourcePool};
+    use vliw_ddg::{DepKind, GraphBuilder};
+    use vliw_sms::{PlacedOp, SmsScheduler};
+
+    fn saxpy() -> DepGraph {
+        GraphBuilder::new("saxpy")
+            .iterations(64)
+            .node("lx", OpClass::Load)
+            .node("ly", OpClass::Load)
+            .node("mul", OpClass::FpMul)
+            .node("add", OpClass::FpAdd)
+            .node("st", OpClass::Store)
+            .flow("lx", "mul")
+            .flow("mul", "add")
+            .flow("ly", "add")
+            .flow("add", "st")
+            .build()
+    }
+
+    #[test]
+    fn a_correct_schedule_checks_clean() {
+        let machine = MachineConfig::unified();
+        let g = saxpy();
+        let sched = SmsScheduler::new(&machine).schedule(&g).unwrap();
+        let report = check_schedule(&machine, &g, &sched, verification_iterations(&g));
+        assert!(report.is_clean(), "{:?}", report.findings);
+        assert_eq!(report.loop_name, "saxpy");
+        assert!(report.simulated_cycles > 0);
+    }
+
+    #[test]
+    fn analytic_makespan_matches_the_replay_across_iteration_counts() {
+        let machine = MachineConfig::unified();
+        let g = saxpy();
+        let sched = SmsScheduler::new(&machine).schedule(&g).unwrap();
+        let sim = KernelSimulator::new(&machine);
+        for iterations in [1u64, 2, 3, 7, 64, 200] {
+            let replayed = sim.run(&g, &sched, iterations);
+            assert!(replayed.is_clean());
+            assert_eq!(
+                replayed.cycles,
+                analytic_makespan(&g, &sched, &machine, iterations),
+                "iterations = {iterations}"
+            );
+        }
+    }
+
+    #[test]
+    fn a_dependence_violation_is_reported_as_both_static_and_execution_findings() {
+        let machine = MachineConfig::unified();
+        let pool = ResourcePool::new(&machine);
+        let mut g = DepGraph::new("broken");
+        let a = g.add_node(OpClass::Load);
+        let b = g.add_node(OpClass::FpAdd);
+        g.add_edge(a, b, 2, 0, DepKind::Flow);
+        let mut sched = vliw_sms::ModuloSchedule::new("broken", 2, 2, 1);
+        sched.place(PlacedOp {
+            node: a,
+            cycle: 0,
+            cluster: 0,
+            fu: pool.fus(0, FuKind::Mem).next().unwrap(),
+        });
+        sched.place(PlacedOp {
+            node: b,
+            cycle: 1, // needs cycle >= 2
+            cluster: 0,
+            fu: pool.fus(0, FuKind::Fp).next().unwrap(),
+        });
+        let report = check_schedule(&machine, &g, &sched, 4);
+        assert!(!report.is_clean());
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| matches!(f, Finding::StaticViolation { .. })));
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| matches!(f, Finding::ExecutionError { .. })));
+    }
+
+    #[test]
+    fn reports_serialize_and_roundtrip() {
+        let machine = MachineConfig::unified();
+        let g = saxpy();
+        let sched = SmsScheduler::new(&machine).schedule(&g).unwrap();
+        let report = check_schedule(&machine, &g, &sched, 8);
+        let json = serde_json::to_string(&report).unwrap();
+        let back: DifferentialReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(report, back);
+    }
+
+    #[test]
+    fn empty_schedules_have_a_one_cycle_makespan() {
+        let machine = MachineConfig::unified();
+        let g = DepGraph::new("empty");
+        let sched = vliw_sms::ModuloSchedule::new("empty", 0, 1, 1);
+        assert_eq!(analytic_makespan(&g, &sched, &machine, 10), 1);
+    }
+}

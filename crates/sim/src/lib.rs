@@ -10,15 +10,24 @@
 //! * [`executor::KernelSimulator`] replays the software-pipelined loop cycle by cycle
 //!   for a configurable number of iterations, verifying at *execution* time that every
 //!   operand has actually been produced (and transported) before it is consumed, and
-//!   reporting cycle counts, functional-unit utilisation and bus traffic.  The measured
-//!   cycle count must equal the analytic `NCYCLES = (NITER + SC − 1)·II` formula used
-//!   by the IPC accounting, which the integration tests assert.
+//!   reporting cycle counts, functional-unit utilisation and bus traffic;
+//! * [`differential::check_schedule`] combines the two with closed-form cycle
+//!   cross-checks into one differential audit of a scheduled loop: the simulated
+//!   makespan must equal [`differential::analytic_makespan`] exactly, and the
+//!   analytic `NCYCLES = (NITER + SC − 1)·II` used by the IPC accounting must sit
+//!   within its provable window of the measured makespan.  The fuzzing campaigns of
+//!   `vliw-verify` and the `verify_cells` mode of `vliw_bench::Sweep` are built on
+//!   this audit.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod differential;
 pub mod executor;
 pub mod validate;
 
+pub use differential::{
+    analytic_makespan, check_schedule, verification_iterations, DifferentialReport, Finding,
+};
 pub use executor::{KernelSimulator, SimulationReport};
 pub use validate::{ScheduleValidator, Violation};

@@ -408,6 +408,26 @@ pub enum LimitingResource {
     Registers,
 }
 
+impl LimitingResource {
+    /// Stable lower-case label, used by coverage counters and reports (the
+    /// `vliw-verify` campaigns key their policy × limiting-resource histograms on
+    /// it).
+    pub fn label(self) -> &'static str {
+        match self {
+            LimitingResource::Recurrence => "recurrence",
+            LimitingResource::FunctionalUnits => "fu",
+            LimitingResource::Bus => "bus",
+            LimitingResource::Registers => "registers",
+        }
+    }
+}
+
+impl std::fmt::Display for LimitingResource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// Structured account of how a schedule came to be, produced by the
 /// [`IiSearchDriver`] alongside every [`ModuloSchedule`] and carried through
 /// `ClusterSchedule` and the experiment results.
@@ -848,6 +868,128 @@ mod tests {
             out.diagnostics.ii,
             out.diagnostics.mii
         );
+    }
+
+    #[test]
+    fn iis_beyond_64_schedule_on_multi_word_reservation_rows() {
+        // A 70-cycle recurrence forces MII = 70 > 64: the engine's reused
+        // reservation table must grow past one word per row (the fuzzing campaigns
+        // hit this regularly; II = 65 is the exact boundary, covered in mrt.rs).
+        let machine = MachineConfig::two_cluster(1, 1);
+        let mut g = GraphBuilder::new("deep-rec")
+            .node("div", OpClass::FpDiv)
+            .node("use", OpClass::FpAdd)
+            .flow("div", "use")
+            .build();
+        g.add_edge(
+            vliw_ddg::NodeId(0),
+            vliw_ddg::NodeId(0),
+            70,
+            1,
+            vliw_ddg::DepKind::Flow,
+        );
+        let mut policy = FixedAssignmentPolicy::new("split", vec![0, 1]);
+        let out = IiSearchDriver::new(&machine)
+            .schedule(&g, &mut policy)
+            .unwrap();
+        assert_eq!(out.diagnostics.rec_mii, 70);
+        assert!(out.schedule.ii() >= 70);
+        assert!(out.schedule.is_complete());
+        assert_eq!(out.diagnostics.limiting, LimitingResource::Recurrence);
+        // The cross-cluster edge still got its transfer at the wide II.
+        assert_eq!(out.diagnostics.n_comms, 1);
+    }
+
+    #[test]
+    fn diagnostics_roundtrip_through_json() {
+        let (machine, g) = fig7();
+        let mut policy = FixedAssignmentPolicy::new("split", vec![0, 1, 0, 1, 0, 1]);
+        let out = IiSearchDriver::new(&machine)
+            .schedule(&g, &mut policy)
+            .unwrap();
+        // A diagnostics value with every interesting field populated: a non-empty
+        // trajectory, bus-limited classification, comms and per-cluster pressure.
+        let d = out.diagnostics;
+        assert!(!d.ii_trajectory.is_empty());
+        let json = serde_json::to_string(&d).unwrap();
+        let back: ScheduleDiagnostics = serde_json::from_str(&json).unwrap();
+        assert_eq!(d, back);
+        assert_eq!(back.limiting, LimitingResource::Bus);
+        assert_eq!(back.ii_trajectory, d.ii_trajectory);
+        // And the pretty form too (the campaign reports use pretty JSON).
+        let pretty = serde_json::to_string_pretty(&d).unwrap();
+        let back2: ScheduleDiagnostics = serde_json::from_str(&pretty).unwrap();
+        assert_eq!(d, back2);
+    }
+
+    #[test]
+    fn limiting_resource_labels_are_stable_and_distinct() {
+        let all = [
+            LimitingResource::Recurrence,
+            LimitingResource::FunctionalUnits,
+            LimitingResource::Bus,
+            LimitingResource::Registers,
+        ];
+        let labels: Vec<_> = all.iter().map(|l| l.label()).collect();
+        assert_eq!(labels, ["recurrence", "fu", "bus", "registers"]);
+        for l in all {
+            assert_eq!(l.to_string(), l.label());
+            let json = serde_json::to_string(&l).unwrap();
+            let back: LimitingResource = serde_json::from_str(&json).unwrap();
+            assert_eq!(l, back);
+        }
+    }
+
+    #[test]
+    fn a_recurrence_fu_tie_at_mii_classifies_as_recurrence() {
+        // rec_mii == res_mii == achieved II: the engine resolves the tie in favour
+        // of the recurrence (`rec >= res`), matching the paper's reading that a
+        // loop at its recurrence bound cannot be helped by more resources.
+        let machine = MachineConfig::unified();
+        // 4 memory ops on 4 mem units -> ResMII 1; RecMII 1 via a unit self-edge.
+        let g = GraphBuilder::new("tie")
+            .node("l0", OpClass::Load)
+            .node("l1", OpClass::Load)
+            .node("l2", OpClass::Load)
+            .node("acc", OpClass::Store)
+            .flow_at("acc", "acc", 1)
+            .build();
+        let mut policy = FixedAssignmentPolicy::new("u", vec![0; 4]);
+        let out = IiSearchDriver::new(&machine)
+            .schedule(&g, &mut policy)
+            .unwrap();
+        assert_eq!(out.diagnostics.res_mii, out.diagnostics.rec_mii);
+        assert_eq!(out.diagnostics.ii, out.diagnostics.mii);
+        assert_eq!(out.diagnostics.limiting, LimitingResource::Recurrence);
+    }
+
+    #[test]
+    fn a_bus_blocked_search_that_ends_at_mii_classifies_by_mii_components() {
+        // Bus-vs-FU disambiguation above MII: when the II had to grow and *any*
+        // failed attempt saw bus saturation, the loop counts as bus-limited even
+        // though the final failing attempt may have been FU-bound — exactly the
+        // accounting behind Figure 6's LimitedByBus predicate.
+        let (machine, g) = fig7();
+        let mut policy = FixedAssignmentPolicy::new("split", vec![0, 1, 0, 1, 0, 1]);
+        let out = IiSearchDriver::new(&machine)
+            .schedule(&g, &mut policy)
+            .unwrap();
+        assert!(out.schedule.ii() > out.diagnostics.mii);
+        assert!(out
+            .diagnostics
+            .ii_trajectory
+            .iter()
+            .any(|step| step.bus_blocked));
+        assert_eq!(out.diagnostics.limiting, LimitingResource::Bus);
+        assert_eq!(out.diagnostics.limiting.label(), "bus");
+        // Whereas the same machine scheduling everything on one cluster never
+        // touches the bus: II at MII, classified by the MII components.
+        let mut local = FixedAssignmentPolicy::new("local", vec![0; 6]);
+        let out_local = IiSearchDriver::new(&machine)
+            .schedule(&g, &mut local)
+            .unwrap();
+        assert_ne!(out_local.diagnostics.limiting, LimitingResource::Bus);
+        assert!(!out_local.diagnostics.limited_by_bus());
     }
 
     #[test]

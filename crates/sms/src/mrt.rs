@@ -380,6 +380,49 @@ mod tests {
         assert_eq!(mrt, ModuloReservationTable::new(&p, 4));
     }
 
+    /// II = 65 is the first width that no longer fits one `u64` per resource row —
+    /// the exact boundary the fuzzing campaigns cross (recurrence-bound loops with
+    /// long-latency divides push the II well past 64).  The table must switch to
+    /// two-word rows transparently: single-cycle probes, multi-cycle transfers that
+    /// wrap column 64 → 0, occupancy accounting and `reset` across the boundary.
+    #[test]
+    fn ii_65_regression_uses_two_word_rows() {
+        let p = pool();
+        let mut mrt = ModuloReservationTable::new(&p, 65);
+        let fu = p.fus(0, FuKind::Int).next().unwrap();
+        // Columns on both sides of the word boundary, via out-of-range cycles.
+        mrt.reserve(fu, 63);
+        mrt.reserve(fu, 64 + 65); // column 64, second word
+        assert!(!mrt.is_free(fu, 63));
+        assert!(!mrt.is_free(fu, 64));
+        assert!(!mrt.is_free(fu, 63 + 130));
+        assert!(mrt.is_free(fu, 0));
+        assert!(mrt.is_free(fu, 62));
+        assert_eq!(mrt.row_occupancy(fu), 2);
+
+        // A transfer wrapping the last column back to 0 spans both words.
+        let bus = p.buses().next().unwrap();
+        assert!(mrt.is_free_for(bus, 64, 3)); // columns 64, 0, 1
+        mrt.reserve_for(bus, 64, 3);
+        for col in [64i64, 0, 1] {
+            assert!(!mrt.is_free(bus, col), "column {col} should be busy");
+        }
+        assert!(mrt.is_free(bus, 2));
+        assert!(mrt.is_free(bus, 63));
+        assert!(!mrt.is_free_for(bus, 63, 2));
+        mrt.unreserve_for(bus, 64, 3);
+        let token = mrt.reserve_for(bus, 64, 3);
+        mrt.release(token); // the token path agrees with the raw release
+        assert_eq!(mrt.row_occupancy(bus), 0);
+
+        // The II search crosses 64 → 65 through `reset` (the engine reuses one
+        // table across retries): the grown table must equal a fresh one.
+        let mut grown = ModuloReservationTable::new(&p, 64);
+        grown.reserve(fu, 10);
+        grown.reset(65);
+        assert_eq!(grown, ModuloReservationTable::new(&p, 65));
+    }
+
     #[test]
     fn wide_ii_multi_word_rows_behave_like_narrow_ones() {
         let p = pool();

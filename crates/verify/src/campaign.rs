@@ -1,0 +1,226 @@
+//! The campaign runner: a seeded, rayon-parallel sweep over fuzz cases.
+
+use crate::case::generate_case;
+use crate::oracle::{check_case, check_policy, CaseOutcome, Policy, PolicyOutcome};
+use crate::report::{CampaignReport, Coverage, ShrunkRepro, ViolationReport};
+use crate::shrink::shrink_case;
+use rayon::prelude::*;
+use std::collections::BTreeSet;
+use vliw_arch::{MachineConfig, MachineSpace};
+
+/// Configuration of one verification campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// The campaign seed; every case derives deterministically from it.
+    pub seed: u64,
+    /// Case budget: how many `(machine, loop)` pairs to generate and audit.
+    pub cases: u64,
+    /// The machine space to sample from.
+    pub space: MachineSpace,
+    /// Failure-predicate evaluations the shrinker may spend per violation.
+    pub shrink_budget: usize,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0xC1B0,
+            cases: 512,
+            space: MachineSpace::default(),
+            shrink_budget: 2_000,
+        }
+    }
+}
+
+/// Structural key of a machine: the configuration with the name stripped, so two
+/// identically shaped machines count as one explored point.
+fn structural_key(machine: &MachineConfig) -> String {
+    serde_json::to_string(&(
+        machine.n_clusters,
+        &machine.cluster,
+        &machine.buses,
+        &machine.latencies,
+    ))
+    .expect("machine structure serializes")
+}
+
+/// Run a campaign: generate and audit `config.cases` cases in parallel, shrink every
+/// violation, and fold everything into a deterministic [`CampaignReport`].
+///
+/// Cases are independent (each derives from the campaign seed and its index alone)
+/// and results are folded in case order, so the report — including the JSON bytes it
+/// serialises to — is identical across runs and thread counts.
+pub fn run_campaign(config: &CampaignConfig) -> CampaignReport {
+    let indices: Vec<u64> = (0..config.cases).collect();
+    let outcomes: Vec<CaseOutcome> = indices
+        .par_iter()
+        .map(|&index| check_case(generate_case(config.seed, index, &config.space)))
+        .collect();
+
+    let mut coverage = Coverage::default();
+    let mut machines = BTreeSet::new();
+    let mut iis = BTreeSet::new();
+    let mut violations = Vec::new();
+
+    for outcome in &outcomes {
+        let case = &outcome.case;
+        machines.insert(structural_key(&case.machine));
+        coverage.loops_generated += 1;
+        *coverage
+            .cluster_counts
+            .entry(format!("{}", case.machine.n_clusters))
+            .or_insert(0) += 1;
+
+        for (policy, result) in &outcome.outcomes {
+            match result {
+                PolicyOutcome::Scheduled {
+                    ii,
+                    mii,
+                    limiting,
+                    findings,
+                } => {
+                    coverage.schedules_checked += 1;
+                    if ii == mii {
+                        coverage.schedules_at_mii += 1;
+                    }
+                    iis.insert(*ii);
+                    coverage.max_ii = coverage.max_ii.max(*ii);
+                    if *ii > 64 {
+                        coverage.ii_over_64 += 1;
+                    }
+                    *coverage
+                        .limiting_by_policy
+                        .entry(format!("{}/{limiting}", policy.label()))
+                        .or_insert(0) += 1;
+                    if !findings.is_empty() {
+                        violations.push(build_violation(config, outcome, *policy, findings));
+                    }
+                }
+                PolicyOutcome::Unschedulable => coverage.unschedulable += 1,
+                PolicyOutcome::Rejected { error } => {
+                    violations.push(ViolationReport {
+                        case_index: case.index,
+                        case_seed: case.seed,
+                        policy: policy.label().to_string(),
+                        machine: case.machine.clone(),
+                        loop_name: case.graph.name.clone(),
+                        findings: Vec::new(),
+                        rejected: Some(error.clone()),
+                        shrunk: ShrunkRepro {
+                            machine: case.machine.clone(),
+                            graph: case.graph.clone(),
+                            n_nodes: case.graph.n_nodes(),
+                            n_edges: case.graph.n_edges(),
+                            shrink_checks: 0,
+                        },
+                    });
+                }
+            }
+        }
+    }
+    coverage.machines_explored = machines.len() as u64;
+    coverage.distinct_iis = iis.len() as u64;
+
+    CampaignReport {
+        campaign_seed: config.seed,
+        cases: config.cases,
+        policies: Policy::ALL.iter().map(|p| p.label().to_string()).collect(),
+        coverage,
+        violations,
+    }
+}
+
+/// Shrink one violating case and package it as a [`ViolationReport`].
+fn build_violation(
+    config: &CampaignConfig,
+    outcome: &CaseOutcome,
+    policy: Policy,
+    findings: &[vliw_sim::Finding],
+) -> ViolationReport {
+    let case = &outcome.case;
+    let still_fails = |machine: &MachineConfig, graph: &vliw_ddg::DepGraph| {
+        graph.validate().is_ok() && check_policy(policy, machine, graph).is_violation()
+    };
+    let shrunk = shrink_case(
+        &case.machine,
+        &case.graph,
+        still_fails,
+        config.shrink_budget,
+    );
+    ViolationReport {
+        case_index: case.index,
+        case_seed: case.seed,
+        policy: policy.label().to_string(),
+        machine: case.machine.clone(),
+        loop_name: case.graph.name.clone(),
+        findings: findings.to_vec(),
+        rejected: None,
+        shrunk: ShrunkRepro {
+            n_nodes: shrunk.graph.n_nodes(),
+            n_edges: shrunk.graph.n_edges(),
+            machine: shrunk.machine,
+            graph: shrunk.graph,
+            shrink_checks: shrunk.checks,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> CampaignConfig {
+        CampaignConfig {
+            seed: 2026,
+            cases: 24,
+            space: MachineSpace::default(),
+            shrink_budget: 200,
+        }
+    }
+
+    #[test]
+    fn a_small_campaign_passes_and_counts_consistently() {
+        let report = run_campaign(&small_config());
+        assert!(
+            report.passed(),
+            "violations on a stock build: {:?}",
+            report.violations
+        );
+        let c = &report.coverage;
+        assert_eq!(c.loops_generated, 24);
+        assert_eq!(
+            c.schedules_checked + c.unschedulable,
+            24 * Policy::ALL.len() as u64
+        );
+        assert!(c.schedules_at_mii >= 1);
+        assert!(c.schedules_at_mii <= c.schedules_checked);
+        assert!(c.machines_explored >= 10, "{c:?}");
+        assert!(c.distinct_iis >= 3, "{c:?}");
+        assert!(c.max_ii >= 1);
+        let limiting_total: u64 = c.limiting_by_policy.values().sum();
+        assert_eq!(limiting_total, c.schedules_checked);
+        let cluster_total: u64 = c.cluster_counts.values().sum();
+        assert_eq!(cluster_total, 24);
+    }
+
+    #[test]
+    fn campaigns_are_bitwise_deterministic() {
+        let a = run_campaign(&small_config());
+        let b = run_campaign(&small_config());
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
+    }
+
+    #[test]
+    fn reports_roundtrip_through_json() {
+        let report = run_campaign(&CampaignConfig {
+            cases: 6,
+            ..small_config()
+        });
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        let back: CampaignReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(report, back);
+    }
+}

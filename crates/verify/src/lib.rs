@@ -1,0 +1,43 @@
+//! # vliw-verify — coverage-directed differential verification
+//!
+//! The paper's conclusions rest on the schedulers being *correct* across a wide
+//! space of clustered machine descriptions, yet the figure pipelines only ever
+//! schedule — they never execute.  This crate closes that gap with fuzz campaigns:
+//!
+//! 1. [`case`] draws a seeded random `(machine, loop)` pair per case — machine
+//!    configurations from [`vliw_arch::MachineSampler`], loop bodies from
+//!    [`vliw_workloads::LoopGenerator`] under a fuzzed
+//!    [`vliw_workloads::GeneratorProfile`], with the loop's edge latencies matching
+//!    the sampled machine's (possibly perturbed) latency model;
+//! 2. [`oracle`] runs every one of the five scheduling policies (unified SMS, BSA,
+//!    N&E, round-robin, load-balanced) on each pair through the shared engine and
+//!    audits every produced schedule with [`vliw_sim::check_schedule`] — static
+//!    validation, cycle-level replay, and the closed-form cycle cross-checks;
+//! 3. [`shrink`] reduces any failing pair to a minimal reproducer by deleting nodes
+//!    and edges, clamping iteration counts and simplifying the machine, re-checking
+//!    the failure after every candidate step;
+//! 4. [`campaign`] runs a case budget rayon-parallel from a single campaign seed,
+//!    folds per-case results into coverage counters (machines explored, IIs hit,
+//!    policy × limiting-resource histogram) and emits a deterministic JSON
+//!    [`report::CampaignReport`] — same seed, same bytes.
+//!
+//! The `verify` binary drives a campaign from the command line and writes
+//! `results/verify_campaign.json`; CI runs a small fixed-seed campaign on every PR
+//! (the `verify-smoke` job).  The same oracle backs the opt-in `verify_cells` mode
+//! of `vliw_bench::Sweep`, which execution-validates every cell of a figure
+//! pipeline.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod campaign;
+pub mod case;
+pub mod oracle;
+pub mod report;
+pub mod shrink;
+
+pub use campaign::{run_campaign, CampaignConfig};
+pub use case::{generate_case, FuzzCase};
+pub use oracle::{check_case, check_policy, CaseOutcome, Policy, PolicyOutcome};
+pub use report::{CampaignReport, Coverage, ShrunkRepro, ViolationReport};
+pub use shrink::{induced_subgraph, shrink_case, ShrinkResult};

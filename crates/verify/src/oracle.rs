@@ -1,0 +1,207 @@
+//! The differential oracle: run every policy on a fuzz case, audit every schedule.
+
+use crate::case::FuzzCase;
+use cvliw_core::{
+    BsaScheduler, LoadBalancedScheduler, LoopScheduler, NeScheduler, RoundRobinScheduler,
+};
+use serde::{Deserialize, Serialize};
+use vliw_arch::MachineConfig;
+use vliw_ddg::DepGraph;
+use vliw_sim::{check_schedule, verification_iterations, Finding};
+use vliw_sms::{ScheduleError, ScheduledLoop, SmsScheduler};
+
+/// The five scheduling policies of the repository, all thin strategies on the shared
+/// `IiSearchDriver` engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Policy {
+    /// The unified-machine SMS reference (scheduled on the case machine's unified
+    /// counterpart — SMS is a single-cluster scheduler).
+    UnifiedSms,
+    /// The paper's single-pass cluster scheduler (Figure 5).
+    Bsa,
+    /// The two-phase Nystrom & Eichenberger-style baseline.
+    NystromEichenberger,
+    /// Ablation: fixed round-robin cluster assignment.
+    RoundRobin,
+    /// Ablation: fixed load-balanced cluster assignment.
+    LoadBalanced,
+}
+
+impl Policy {
+    /// Every policy, in reporting order.
+    pub const ALL: [Policy; 5] = [
+        Policy::UnifiedSms,
+        Policy::Bsa,
+        Policy::NystromEichenberger,
+        Policy::RoundRobin,
+        Policy::LoadBalanced,
+    ];
+
+    /// Short label used in reports and coverage counters.
+    pub fn label(self) -> &'static str {
+        match self {
+            Policy::UnifiedSms => "unified-sms",
+            Policy::Bsa => "bsa",
+            Policy::NystromEichenberger => "ne",
+            Policy::RoundRobin => "round-robin",
+            Policy::LoadBalanced => "load-balanced",
+        }
+    }
+
+    /// The machine this policy actually schedules `machine`'s loops for: the machine
+    /// itself for the cluster schedulers, its unified counterpart for the SMS
+    /// reference.
+    pub fn target_machine(self, machine: &MachineConfig) -> MachineConfig {
+        match self {
+            Policy::UnifiedSms if machine.is_clustered() => machine.unified_counterpart(),
+            _ => machine.clone(),
+        }
+    }
+
+    /// Schedule `graph` for `machine` under this policy (on its
+    /// [`Policy::target_machine`]).
+    pub fn schedule(
+        self,
+        machine: &MachineConfig,
+        graph: &DepGraph,
+    ) -> Result<ScheduledLoop, ScheduleError> {
+        let target = self.target_machine(machine);
+        match self {
+            Policy::UnifiedSms => SmsScheduler::new(&target).schedule_diag(graph),
+            Policy::Bsa => BsaScheduler::new(&target).schedule_loop(graph),
+            Policy::NystromEichenberger => NeScheduler::new(&target).schedule_loop(graph),
+            Policy::RoundRobin => RoundRobinScheduler::new(&target).schedule_loop(graph),
+            Policy::LoadBalanced => LoadBalancedScheduler::new(&target).schedule_loop(graph),
+        }
+    }
+}
+
+/// What happened when one policy met one fuzz case.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PolicyOutcome {
+    /// A schedule was produced and audited.
+    Scheduled {
+        /// The achieved initiation interval.
+        ii: u32,
+        /// The minimum II of the loop on the target machine.
+        mii: u32,
+        /// What bounded the II (the engine's diagnosis, as a label).
+        limiting: String,
+        /// Every oracle disagreement (empty = verified).
+        findings: Vec<Finding>,
+    },
+    /// The II search exhausted its budget — a legitimate outcome on harsh random
+    /// machines (tiny register files, saturated buses), counted by the coverage but
+    /// not a correctness violation.
+    Unschedulable,
+    /// The scheduler rejected the graph before searching — never expected for
+    /// generated loops, so this *is* a violation (of the generator or the
+    /// validation pipeline).
+    Rejected {
+        /// The scheduler's error message.
+        error: String,
+    },
+}
+
+impl PolicyOutcome {
+    /// Whether this outcome demonstrates a correctness violation.
+    pub fn is_violation(&self) -> bool {
+        match self {
+            PolicyOutcome::Scheduled { findings, .. } => !findings.is_empty(),
+            PolicyOutcome::Unschedulable => false,
+            PolicyOutcome::Rejected { .. } => true,
+        }
+    }
+}
+
+/// The audited outcome of one case across all five policies.
+#[derive(Debug, Clone)]
+pub struct CaseOutcome {
+    /// The case that was checked.
+    pub case: FuzzCase,
+    /// One outcome per [`Policy::ALL`] entry, in that order.
+    pub outcomes: Vec<(Policy, PolicyOutcome)>,
+}
+
+impl CaseOutcome {
+    /// The policies whose outcome demonstrates a violation.
+    pub fn violating_policies(&self) -> impl Iterator<Item = Policy> + '_ {
+        self.outcomes
+            .iter()
+            .filter(|(_, o)| o.is_violation())
+            .map(|&(p, _)| p)
+    }
+}
+
+/// Run `policy` on one `(machine, graph)` pair and audit the result.
+pub fn check_policy(policy: Policy, machine: &MachineConfig, graph: &DepGraph) -> PolicyOutcome {
+    match policy.schedule(machine, graph) {
+        Ok(out) => {
+            let target = policy.target_machine(machine);
+            let report = check_schedule(
+                &target,
+                graph,
+                &out.schedule,
+                verification_iterations(graph),
+            );
+            PolicyOutcome::Scheduled {
+                ii: out.diagnostics.ii,
+                mii: out.diagnostics.mii,
+                limiting: out.diagnostics.limiting.to_string(),
+                findings: report.findings,
+            }
+        }
+        Err(ScheduleError::MaxIiExceeded { .. }) => PolicyOutcome::Unschedulable,
+        Err(e @ ScheduleError::InvalidGraph(_)) => PolicyOutcome::Rejected {
+            error: e.to_string(),
+        },
+    }
+}
+
+/// Run all five policies on `case` and audit every produced schedule.
+pub fn check_case(case: FuzzCase) -> CaseOutcome {
+    let outcomes = Policy::ALL
+        .iter()
+        .map(|&policy| (policy, check_policy(policy, &case.machine, &case.graph)))
+        .collect();
+    CaseOutcome { case, outcomes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::case::generate_case;
+    use vliw_arch::MachineSpace;
+
+    #[test]
+    fn every_policy_on_a_paper_machine_verifies_clean() {
+        let case = generate_case(1234, 0, &MachineSpace::table1());
+        let outcome = check_case(case);
+        assert_eq!(outcome.outcomes.len(), Policy::ALL.len());
+        for (policy, o) in &outcome.outcomes {
+            assert!(
+                !o.is_violation(),
+                "{}: unexpected violation {:?}",
+                policy.label(),
+                o
+            );
+        }
+    }
+
+    #[test]
+    fn unified_sms_targets_the_counterpart_machine() {
+        let clustered = vliw_arch::MachineConfig::four_cluster(1, 2);
+        let target = Policy::UnifiedSms.target_machine(&clustered);
+        assert_eq!(target.n_clusters, 1);
+        assert_eq!(target.total_issue_width(), clustered.total_issue_width());
+        for p in [Policy::Bsa, Policy::RoundRobin] {
+            assert_eq!(p.target_machine(&clustered), clustered);
+        }
+    }
+
+    #[test]
+    fn policy_labels_are_distinct() {
+        let labels: std::collections::BTreeSet<_> = Policy::ALL.iter().map(|p| p.label()).collect();
+        assert_eq!(labels.len(), Policy::ALL.len());
+    }
+}

@@ -21,6 +21,9 @@
 //!   the three presets evaluated in the paper (*unified*, *2-cluster*, *4-cluster*);
 //! * [`ResourcePool`] — the enumeration of schedulable resources (functional-unit
 //!   instances and buses) that reservation tables index;
+//! * [`MachineSpace`] / [`MachineSampler`] — seeded random sampling of *valid*
+//!   machine configurations (see [`MachineConfig::validate`]), the configuration
+//!   space explored by the `vliw-verify` fuzzing campaigns;
 //! * the VLIW instruction format ([`VliwInstruction`], [`ClusterInstruction`],
 //!   [`FuSlot`], [`InBusField`], [`OutBusField`]) used by the simulator and by the
 //!   code-size model.
@@ -33,9 +36,11 @@ pub mod latency;
 pub mod machine;
 pub mod op;
 pub mod resources;
+pub mod sampler;
 
 pub use isa::{ClusterInstruction, FuSlot, InBusField, OutBusField, VliwInstruction, VliwProgram};
 pub use latency::LatencyModel;
 pub use machine::{BusConfig, ClusterConfig, ClusterId, MachineConfig};
 pub use op::{FuKind, OpClass, Operation};
 pub use resources::{ResourceIndex, ResourceKind, ResourcePool};
+pub use sampler::{MachineSampler, MachineSpace};

@@ -183,6 +183,47 @@ impl MachineConfig {
         self.n_clusters > 1
     }
 
+    /// Check that the configuration describes a machine every scheduler in the
+    /// workspace can target.  Returns the first problem found, or `Ok(())`.
+    ///
+    /// The invariants are exactly the assumptions baked into the scheduling stack:
+    ///
+    /// * at least one cluster;
+    /// * at least one functional unit of **every** kind per cluster (`ResMII` is
+    ///   undefined for a machine that cannot execute an operation class at all, and
+    ///   the corpora exercise all three kinds);
+    /// * at least one register per cluster (the `MaxLive` check would reject every
+    ///   placement otherwise);
+    /// * clustered machines need at least one bus (a value could never cross
+    ///   clusters without one), and every bus a latency of at least one cycle.
+    ///
+    /// Hand-written configurations are free to break these rules for targeted tests
+    /// (e.g. the Figure-7 machine has no FP units); generated configurations — the
+    /// fuzzing campaigns of `vliw-verify` sample this space — must satisfy them.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n_clusters == 0 {
+            return Err("machine has no clusters".to_string());
+        }
+        for kind in crate::op::FuKind::ALL {
+            if self.cluster.fu_count(kind) == 0 {
+                return Err(format!("cluster has no {kind} functional units"));
+            }
+        }
+        if self.cluster.registers == 0 {
+            return Err("cluster has an empty register file".to_string());
+        }
+        if self.is_clustered() && self.buses.count == 0 {
+            return Err(format!(
+                "{} clusters but no inter-cluster bus",
+                self.n_clusters
+            ));
+        }
+        if self.buses.count > 0 && self.buses.latency == 0 {
+            return Err("bus latency of zero cycles".to_string());
+        }
+        Ok(())
+    }
+
     /// Total number of functional units of `kind` across all clusters.
     #[inline]
     pub fn total_fus(&self, kind: FuKind) -> usize {

@@ -1,0 +1,244 @@
+//! Seeded random sampling of machine configurations.
+//!
+//! The paper evaluates a fixed table of machines (Table 1 plus bus variants); the
+//! verification campaigns of `vliw-verify` instead explore a *space* of clustered
+//! VLIW machines — cluster counts, functional-unit mixes, register-file sizes, bus
+//! counts and latencies, and (optionally) perturbed operation latencies.  This module
+//! defines that space ([`MachineSpace`]) and a deterministic sampler over it
+//! ([`MachineSampler`]): the same seed always yields the same sequence of
+//! configurations, so any failing fuzz case can be reproduced from its seed alone.
+//!
+//! Every sampled configuration satisfies [`MachineConfig::validate`] by
+//! construction — the sampler only draws from the valid region (at least one
+//! functional unit of each kind per cluster, at least one bus on clustered
+//! machines, non-empty register files).
+
+use crate::latency::LatencyModel;
+use crate::machine::{BusConfig, ClusterConfig, MachineConfig};
+use crate::op::OpClass;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// The space of machine configurations a [`MachineSampler`] draws from.
+///
+/// All bounds are inclusive.  The default space brackets the paper's Table 1 (which
+/// sits at 1–4 clusters × 1–4 FUs of each kind × 16–64 registers × 1–2 buses of
+/// latency 1–4) and extends it moderately in every direction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineSpace {
+    /// Candidate cluster counts.
+    pub clusters: Vec<usize>,
+    /// Per-cluster functional units of each kind, `min..=max` (min must be ≥ 1).
+    pub fus_per_kind: (usize, usize),
+    /// Candidate per-cluster register-file sizes.
+    pub registers: Vec<usize>,
+    /// Bus count on clustered machines, `min..=max` (min must be ≥ 1).
+    pub buses: (usize, usize),
+    /// Bus latency in cycles, `min..=max` (min must be ≥ 1).
+    pub bus_latency: (u32, u32),
+    /// Probability of perturbing the Table-1 latency model (longer loads, slower FP)
+    /// instead of using it verbatim; 0 disables latency fuzzing.
+    pub latency_fuzz_prob: f64,
+}
+
+impl Default for MachineSpace {
+    fn default() -> Self {
+        Self {
+            clusters: vec![1, 2, 3, 4, 6],
+            fus_per_kind: (1, 4),
+            registers: vec![12, 16, 24, 32, 48, 64],
+            buses: (1, 3),
+            bus_latency: (1, 4),
+            latency_fuzz_prob: 0.25,
+        }
+    }
+}
+
+impl MachineSpace {
+    /// A narrow space containing only the paper's Table-1 presets and their bus
+    /// variants (useful for quick smoke campaigns).
+    pub fn table1() -> Self {
+        Self {
+            clusters: vec![1, 2, 4],
+            fus_per_kind: (1, 4),
+            registers: vec![16, 32, 64],
+            buses: (1, 2),
+            bus_latency: (1, 4),
+            latency_fuzz_prob: 0.0,
+        }
+    }
+}
+
+/// Deterministic generator of valid [`MachineConfig`]s from a [`MachineSpace`].
+#[derive(Debug, Clone)]
+pub struct MachineSampler {
+    space: MachineSpace,
+    rng: ChaCha8Rng,
+}
+
+impl MachineSampler {
+    /// A sampler over `space`, seeded with `seed`.
+    pub fn new(space: MachineSpace, seed: u64) -> Self {
+        assert!(!space.clusters.is_empty(), "empty cluster-count space");
+        assert!(!space.registers.is_empty(), "empty register-size space");
+        assert!(
+            space.fus_per_kind.0 >= 1,
+            "clusters need at least one FU of each kind"
+        );
+        assert!(
+            space.buses.0 >= 1,
+            "clustered machines need at least one bus"
+        );
+        assert!(space.bus_latency.0 >= 1, "bus latency must be at least 1");
+        Self {
+            space,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+
+    /// The space this sampler draws from.
+    pub fn space(&self) -> &MachineSpace {
+        &self.space
+    }
+
+    /// Draw the next machine configuration.  The result always passes
+    /// [`MachineConfig::validate`].
+    pub fn sample(&mut self, name: impl Into<String>) -> MachineConfig {
+        let s = &self.space;
+        let n_clusters = s.clusters[self.rng.gen_range(0..s.clusters.len())];
+        let fus = |rng: &mut ChaCha8Rng| rng.gen_range(s.fus_per_kind.0..=s.fus_per_kind.1);
+        let cluster = ClusterConfig::new(
+            fus(&mut self.rng),
+            fus(&mut self.rng),
+            fus(&mut self.rng),
+            s.registers[self.rng.gen_range(0..s.registers.len())],
+        );
+        let buses = if n_clusters > 1 {
+            BusConfig::new(
+                self.rng.gen_range(s.buses.0..=s.buses.1),
+                self.rng.gen_range(s.bus_latency.0..=s.bus_latency.1),
+            )
+        } else {
+            BusConfig::none()
+        };
+        let latencies = if s.latency_fuzz_prob > 0.0 && self.rng.gen_bool(s.latency_fuzz_prob) {
+            self.sample_latencies()
+        } else {
+            LatencyModel::table1()
+        };
+        let machine = MachineConfig::new(name, n_clusters, cluster, buses, latencies);
+        debug_assert!(machine.validate().is_ok(), "sampler left the valid region");
+        machine
+    }
+
+    /// A perturbed latency model: a handful of classes get their Table-1 latency
+    /// scaled up (slower memory, slower FP) or clamped down to 1 (aggressive
+    /// forwarding), which shifts RecMII/ResMII balances without leaving the regime
+    /// the schedulers support.
+    fn sample_latencies(&mut self) -> LatencyModel {
+        let mut model = LatencyModel::table1();
+        for class in [
+            OpClass::Load,
+            OpClass::FpAdd,
+            OpClass::FpMul,
+            OpClass::FpDiv,
+            OpClass::IntAlu,
+        ] {
+            if self.rng.gen_bool(0.4) {
+                let base = model.latency(class);
+                let scaled = match self.rng.gen_range(0u32..3) {
+                    0 => 1,
+                    1 => base + self.rng.gen_range(1u32..=3),
+                    _ => base * 2,
+                };
+                model.set(class, scaled.min(40));
+            }
+        }
+        model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let mut a = MachineSampler::new(MachineSpace::default(), 99);
+        let mut b = MachineSampler::new(MachineSpace::default(), 99);
+        for i in 0..20 {
+            assert_eq!(a.sample(format!("m{i}")), b.sample(format!("m{i}")));
+        }
+        let mut c = MachineSampler::new(MachineSpace::default(), 100);
+        let differs = (0..20).any(|i| {
+            MachineSampler::new(MachineSpace::default(), 99).sample(format!("m{i}"))
+                != c.sample(format!("m{i}"))
+        });
+        assert!(differs, "different seeds produced identical streams");
+    }
+
+    #[test]
+    fn every_sampled_machine_is_valid() {
+        let mut sampler = MachineSampler::new(MachineSpace::default(), 7);
+        for i in 0..200 {
+            let m = sampler.sample(format!("fuzz{i}"));
+            m.validate().unwrap_or_else(|e| panic!("{m}: {e}"));
+            if m.is_clustered() {
+                assert!(m.buses.count >= 1);
+            } else {
+                assert_eq!(m.buses.count, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn the_space_is_actually_explored() {
+        let mut sampler = MachineSampler::new(MachineSpace::default(), 3);
+        let mut clusters = BTreeSet::new();
+        let mut regs = BTreeSet::new();
+        let mut latencies = BTreeSet::new();
+        for i in 0..300 {
+            let m = sampler.sample(format!("m{i}"));
+            clusters.insert(m.n_clusters);
+            regs.insert(m.cluster.registers);
+            latencies.insert(m.latency(OpClass::Load));
+        }
+        assert_eq!(
+            clusters.into_iter().collect::<Vec<_>>(),
+            vec![1, 2, 3, 4, 6]
+        );
+        assert!(regs.len() >= 5, "register sizes under-covered");
+        assert!(latencies.len() > 1, "latency fuzzing never triggered");
+    }
+
+    #[test]
+    fn table1_space_stays_on_paper_presets() {
+        let mut sampler = MachineSampler::new(MachineSpace::table1(), 11);
+        for i in 0..100 {
+            let m = sampler.sample(format!("m{i}"));
+            assert!([1usize, 2, 4].contains(&m.n_clusters));
+            assert_eq!(m.latencies, LatencyModel::table1());
+        }
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_configs() {
+        let ok = MachineConfig::two_cluster(1, 1);
+        assert!(ok.validate().is_ok());
+        assert!(MachineConfig::unified().validate().is_ok());
+
+        let mut no_bus = MachineConfig::two_cluster(1, 1);
+        no_bus.buses = BusConfig::none();
+        assert!(no_bus.validate().unwrap_err().contains("bus"));
+
+        let mut no_fp = MachineConfig::unified();
+        no_fp.cluster = ClusterConfig::new(4, 0, 4, 64);
+        assert!(no_fp.validate().unwrap_err().contains("FP"));
+
+        let mut no_regs = MachineConfig::unified();
+        no_regs.cluster = ClusterConfig::new(4, 4, 4, 0);
+        assert!(no_regs.validate().unwrap_err().contains("register"));
+    }
+}

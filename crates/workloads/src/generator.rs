@@ -65,6 +65,38 @@ impl Default for GeneratorProfile {
     }
 }
 
+impl GeneratorProfile {
+    /// Draw a randomized profile from `rng` — the profile space explored by the
+    /// `vliw-verify` fuzzing campaigns.
+    ///
+    /// Where the per-benchmark SPECfp95 profiles each pin the structural statistics of
+    /// one program, a fuzzed profile varies *all* of them at once: body sizes from
+    /// 1-statement micro-loops to fpppp-sized straight-line bodies, recurrence
+    /// densities from fully parallel to heavily carried, and occasional divide-heavy
+    /// bodies that push RecMII far above ResMII.  Iteration counts are kept small
+    /// (the verifier replays every iteration in the simulator) and invocation counts
+    /// at 1 (invocation weighting is IPC bookkeeping, irrelevant to correctness).
+    pub fn fuzz<R: Rng>(rng: &mut R) -> Self {
+        let min_statements = rng.gen_range(1usize..=4);
+        let max_statements = min_statements + rng.gen_range(0usize..=5);
+        let min_loads = rng.gen_range(1usize..=3);
+        let max_loads = min_loads + rng.gen_range(0usize..=5);
+        let min_iter = rng.gen_range(5u64..=20);
+        Self {
+            min_statements,
+            max_statements,
+            min_loads_per_stmt: min_loads,
+            max_loads_per_stmt: max_loads,
+            reduction_prob: rng.gen_range(0.0..0.5),
+            carried_dep_prob: rng.gen_range(0.0..0.6),
+            fp_mul_prob: rng.gen_range(0.2..0.8),
+            div_prob: rng.gen_range(0.0..0.15),
+            iterations: (min_iter, min_iter + rng.gen_range(0u64..=40)),
+            invocations: (1, 1),
+        }
+    }
+}
+
 /// Seeded generator of synthetic loop dependence graphs.
 #[derive(Debug, Clone)]
 pub struct LoopGenerator {
@@ -81,6 +113,15 @@ impl LoopGenerator {
             latencies: LatencyModel::table1(),
             rng: ChaCha8Rng::seed_from_u64(seed),
         }
+    }
+
+    /// Use `latencies` for the generated dependence edges instead of the Table-1
+    /// defaults.  Edge latencies must match the latency model of the machine the
+    /// loop is scheduled for — the fuzzing campaigns sample perturbed models, so
+    /// their loops are generated with this builder.
+    pub fn with_latencies(mut self, latencies: LatencyModel) -> Self {
+        self.latencies = latencies;
+        self
     }
 
     /// The profile used by this generator.
@@ -248,6 +289,50 @@ mod tests {
         for g in &loops {
             assert!(mii(g, &machine) >= 1);
         }
+    }
+
+    #[test]
+    fn custom_latency_models_flow_into_the_edges() {
+        use vliw_ddg::DepKind;
+        let slow_loads = LatencyModel::with_overrides(&[(vliw_arch::OpClass::Load, 9)]);
+        let mut gen =
+            LoopGenerator::new(GeneratorProfile::default(), 21).with_latencies(slow_loads);
+        let g = gen.generate("lat");
+        let mut saw_load_edge = false;
+        for e in g.edges().filter(|e| e.kind == DepKind::Flow) {
+            if g.node(e.src).class == vliw_arch::OpClass::Load {
+                assert_eq!(e.latency, 9, "load edge kept the default latency");
+                saw_load_edge = true;
+            }
+        }
+        assert!(saw_load_edge, "generated loop has no load edges");
+    }
+
+    #[test]
+    fn fuzzed_profiles_are_wellformed_and_their_loops_valid() {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(17);
+        for i in 0..50 {
+            let profile = GeneratorProfile::fuzz(&mut rng);
+            assert!(profile.min_statements <= profile.max_statements);
+            assert!(profile.min_loads_per_stmt <= profile.max_loads_per_stmt);
+            assert!(profile.iterations.0 <= profile.iterations.1);
+            assert!(profile.iterations.0 >= 5);
+            let mut gen = LoopGenerator::new(profile, 1000 + i);
+            for g in gen.generate_many("fuzz", 3) {
+                assert!(g.validate().is_ok());
+                assert!(g.n_nodes() >= 2);
+            }
+        }
+    }
+
+    #[test]
+    fn fuzzed_profiles_vary_between_draws() {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+        let a = GeneratorProfile::fuzz(&mut rng);
+        let b = GeneratorProfile::fuzz(&mut rng);
+        assert_ne!(a, b);
     }
 
     #[test]

@@ -26,6 +26,7 @@ pub use vliw_metrics as metrics;
 pub use vliw_sim as sim;
 pub use vliw_sms as sms;
 pub use vliw_timing as timing;
+pub use vliw_verify as verify;
 pub use vliw_workloads as workloads;
 
 /// Commonly used items, re-exported for convenience.

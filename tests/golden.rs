@@ -1,8 +1,10 @@
-//! Golden-output regression tests: regenerate the committed figure artifacts with the
-//! current engine + sweep runner at **full scale** and assert they match the files
-//! under `results/` bit-for-bit.  This is the behaviour-preservation guard of the
-//! engine refactor: the five schedulers route through the shared `IiSearchDriver`,
-//! the figures through the memoized sweep — and not a single byte of output moved.
+//! Golden-output regression tests: regenerate the committed figure/table artifacts
+//! with the current engine + sweep runner at **full scale** and assert they match
+//! the files under `results/` bit-for-bit — fig4, fig8, fig9, fig10, table1 and
+//! table2, i.e. every committed experiment artifact.  This is the
+//! behaviour-preservation guard of the engine refactor: the five schedulers route
+//! through the shared `IiSearchDriver`, the figures through the memoized sweep —
+//! and not a single byte of output moved.
 //!
 //! The tests are `#[ignore]`d by default because the full-scale Figure 8 sweep takes
 //! ~1.5 minutes in release mode (and far longer in debug).  Run them with
@@ -54,4 +56,23 @@ fn fig8_regenerates_byte_identical() {
 fn fig9_regenerates_byte_identical() {
     let corpora = LoopCorpus::all();
     assert_matches_committed(&figures::fig9(&corpora), "fig9");
+}
+
+#[test]
+#[ignore = "full-scale regeneration (~1.5 min in release); CI golden job runs it"]
+fn fig10_regenerates_byte_identical() {
+    let corpora = LoopCorpus::all();
+    assert_matches_committed(&figures::fig10(&corpora), "fig10");
+}
+
+#[test]
+#[ignore = "cheap, but grouped with the other golden regenerations in the CI golden job"]
+fn table1_regenerates_byte_identical() {
+    assert_matches_committed(&figures::table1(), "table1");
+}
+
+#[test]
+#[ignore = "cheap, but grouped with the other golden regenerations in the CI golden job"]
+fn table2_regenerates_byte_identical() {
+    assert_matches_committed(&figures::table2(), "table2");
 }

@@ -157,6 +157,42 @@ proptest! {
         }
     }
 
+    // The executor oracle, property-style: whatever schedule any of the five
+    // policies produces on a random graph must replay cleanly in the cycle-level
+    // simulator, its simulated makespan must equal the closed-form makespan
+    // exactly, and the analytic NCYCLES used by the IPC accounting must sit inside
+    // its provable window of the measured makespan — i.e. the full differential
+    // audit of `vliw_sim::check_schedule` finds nothing.
+    #[test]
+    fn all_five_policies_replay_cleanly_with_consistent_cycle_models(graph in arb_loop()) {
+        prop_assume!(graph.validate().is_ok());
+        let machine = MachineConfig::two_cluster(1, 2);
+        let schedulers: Vec<Box<dyn LoopScheduler>> = vec![
+            Box::new(BsaScheduler::new(&machine)),
+            Box::new(NeScheduler::new(&machine)),
+            Box::new(RoundRobinScheduler::new(&machine)),
+            Box::new(LoadBalancedScheduler::new(&machine)),
+            Box::new(SmsScheduler::new(&machine.unified_counterpart())),
+        ];
+        for scheduler in &schedulers {
+            let out = scheduler
+                .schedule_loop(&graph)
+                .unwrap_or_else(|e| panic!("{} failed on {}: {e}", scheduler.name(), graph.name));
+            let target = scheduler.machine();
+            let iterations = vliw_sim::verification_iterations(&graph);
+            let sim = KernelSimulator::new(target).run(&graph, &out.schedule, iterations);
+            prop_assert!(sim.is_clean(), "{}: {:?}", scheduler.name(), sim.errors);
+            prop_assert_eq!(
+                sim.cycles,
+                vliw_sim::analytic_makespan(&graph, &out.schedule, target, iterations),
+                "{}: replayed and closed-form makespans diverge", scheduler.name()
+            );
+            prop_assert_eq!(sim.analytic_cycles, out.schedule.cycles_for(iterations));
+            let report = vliw_sim::check_schedule(target, &graph, &out.schedule, iterations);
+            prop_assert!(report.is_clean(), "{}: {:?}", scheduler.name(), report.findings);
+        }
+    }
+
     #[test]
     fn unrolling_preserves_structure(graph in arb_loop(), factor in 2u32..5) {
         prop_assume!(graph.validate().is_ok());
