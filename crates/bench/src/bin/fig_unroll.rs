@@ -1,0 +1,47 @@
+//! The unroll-factor exploration sweep — beyond the paper's Figure 8, which only
+//! ever evaluates unrolling at the single point `U = n_clusters`: IPC and static
+//! code size across `U ∈ 1..=8` (exact remainder accounting) on the Table-1
+//! clustered machines, plus the `Explore` policy's code-size-budgeted winner.
+//!
+//! The data comes from [`vliw_bench::figures::fig_unroll`], which drives the
+//! declarative sweep runner.
+
+use vliw_bench::{figures, standard_corpora, write_json};
+use vliw_metrics::TextTable;
+
+fn main() {
+    let corpora = standard_corpora();
+    let points = figures::fig_unroll(&corpora);
+
+    for &clusters in &[2usize, 4] {
+        println!(
+            "Unroll-factor exploration ({clusters}-cluster configuration) — aggregate over all benchmarks"
+        );
+        let mut table = TextTable::new([
+            "policy",
+            "IPC",
+            "vs U=1",
+            "code (norm.)",
+            "unrolled",
+            "reg-limited",
+            "bus-limited",
+            "MaxLive",
+        ]);
+        for p in points.iter().filter(|p| p.clusters == clusters) {
+            table.row([
+                p.policy.clone(),
+                format!("{:.3}", p.ipc),
+                format!("{:.3}", p.ipc_vs_no_unrolling),
+                format!("{:.2}", p.code_size_vs_no_unrolling),
+                p.unrolled_loops.to_string(),
+                p.register_limited_loops.to_string(),
+                p.bus_limited_loops.to_string(),
+                p.max_register_pressure.to_string(),
+            ]);
+        }
+        println!("{table}");
+    }
+    if let Ok(path) = write_json("fig_unroll", &points) {
+        println!("JSON written to {}", path.display());
+    }
+}

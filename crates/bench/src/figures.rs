@@ -2,12 +2,17 @@
 //! benchmark corpora to the serialisable rows its binary prints and writes to
 //! `results/<name>.json`.
 //!
-//! All four pipelines declare their cells on the [`Sweep`] runner, so the expensive
+//! All pipelines declare their cells on the [`Sweep`] runner, so the expensive
 //! unified-machine baselines are scheduled once per (corpus, machine structure,
 //! policy) instead of once per cell, and the whole cross-product runs rayon-parallel.
-//! The row orders and numeric values are byte-identical to the historical per-binary
-//! loops (guarded by `tests/golden.rs`): scheduling is deterministic and the means
-//! are taken over the same values in the same order.
+//! The row orders and numeric values of the paper figures are byte-identical to the
+//! historical per-binary loops (guarded by `tests/golden.rs`): scheduling is
+//! deterministic and the means are taken over the same values in the same order.
+//!
+//! [`fig_unroll`] goes beyond the paper: where Figure 8 evaluates unrolling only at
+//! the single point `U = n_clusters`, the factor-exploration pipeline sweeps
+//! `U ∈ 1..=8` (exact remainder accounting) on the Table-1 clustered machines and
+//! adds an `Explore` row — the code-size-budgeted winner across all factors.
 
 use crate::sweep::{Baseline, Sweep};
 use crate::{mean, Algorithm, CellId};
@@ -198,7 +203,7 @@ pub fn fig8(corpora: &[LoopCorpus]) -> Vec<Fig8Bar> {
                         bars.push(Fig8Bar {
                             benchmark: corpus.benchmark.name().to_string(),
                             clusters,
-                            policy: policy.label().to_string(),
+                            policy: policy.label(),
                             buses,
                             latency: lat,
                             ipc: outcome.result.ipc,
@@ -337,7 +342,7 @@ pub fn fig10(corpora: &[LoopCorpus]) -> Vec<Fig10Bar> {
             });
             Fig10Bar {
                 clusters,
-                policy: policy.label().to_string(),
+                policy: policy.label(),
                 buses,
                 latency,
                 normalized_total: total as f64 / base_total as f64,
@@ -449,6 +454,169 @@ pub fn table2() -> Vec<Table2Row> {
         .collect()
 }
 
+/// One point of the unroll-factor exploration sweep (`fig_unroll`): one machine,
+/// one unrolling policy (an explicit factor or the `Explore` winner), aggregated
+/// over every benchmark corpus.
+#[derive(Debug, Serialize)]
+pub struct FigUnrollPoint {
+    /// Machine name.
+    pub machine: String,
+    /// Number of clusters.
+    pub clusters: usize,
+    /// Number of buses.
+    pub buses: usize,
+    /// Bus latency in cycles.
+    pub latency: u32,
+    /// Unrolling-policy label (`Unroll xU` or `Explore <=xU`).
+    pub policy: String,
+    /// The swept unroll factor (for the `Explore` row: its `max_factor`).
+    pub factor: u32,
+    /// Aggregate IPC over all benchmarks (total useful ops / total cycles).
+    pub ipc: f64,
+    /// `ipc` relative to the same machine's factor-1 point.
+    pub ipc_vs_no_unrolling: f64,
+    /// Loops the policy actually unrolled.
+    pub unrolled_loops: usize,
+    /// Loops that could not be scheduled at all.
+    pub failed_loops: usize,
+    /// Loops whose II was pushed above MII by register pressure — the binding
+    /// constraint as the factor grows.
+    pub register_limited_loops: usize,
+    /// Loops whose II was pushed above MII by bus saturation.
+    pub bus_limited_loops: usize,
+    /// The largest per-cluster `MaxLive` seen in any schedule.
+    pub max_register_pressure: u32,
+    /// Useful operation slots (kernel + remainder loops), summed over all loops.
+    pub useful_ops: u64,
+    /// Total operation slots including NOPs.
+    pub total_slots: u64,
+    /// `total_slots` relative to the same machine's factor-1 point.
+    pub code_size_vs_no_unrolling: f64,
+}
+
+/// Aggregates of one `fig_unroll` cell over every corpus.
+struct UnrollCellAggregate {
+    ops: u64,
+    cycles: u64,
+    unrolled: usize,
+    failed: usize,
+    register_limited: usize,
+    bus_limited: usize,
+    max_pressure: u32,
+    useful_ops: u64,
+    total_slots: u64,
+}
+
+impl UnrollCellAggregate {
+    fn of(outcomes: &[crate::CellOutcome]) -> Self {
+        let mut agg = UnrollCellAggregate {
+            ops: 0,
+            cycles: 0,
+            unrolled: 0,
+            failed: 0,
+            register_limited: 0,
+            bus_limited: 0,
+            max_pressure: 0,
+            useful_ops: 0,
+            total_slots: 0,
+        };
+        for o in outcomes {
+            let r = &o.result;
+            agg.ops += r.ipc_view().total_ops();
+            agg.cycles += r.ipc_view().total_cycles();
+            agg.unrolled += r.unrolled_loops;
+            agg.failed += r.failed_loops;
+            agg.register_limited += r.diagnostics.register_limited;
+            agg.bus_limited += r.diagnostics.bus_limited;
+            agg.max_pressure = agg.max_pressure.max(r.diagnostics.max_register_pressure);
+            agg.useful_ops += r.code_size.useful_ops;
+            agg.total_slots += r.code_size.total_slots;
+        }
+        agg
+    }
+
+    fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.ops as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// The factor-exploration figure — IPC and code size as a function of the unroll
+/// factor `U ∈ 1..=8` on the Table-1 clustered machines (exact remainder
+/// accounting, BSA), plus one `Explore` row per machine: the best factor under the
+/// default code-size budget.  The paper's Figure 8 only ever evaluates
+/// `U = n_clusters`; this sweep exposes the structure across the whole factor axis
+/// (register pressure taking over as the binding constraint as `U` grows).
+pub fn fig_unroll(corpora: &[LoopCorpus]) -> Vec<FigUnrollPoint> {
+    const MAX_FACTOR: u32 = 8;
+    let machines = [
+        MachineConfig::two_cluster(1, 1),
+        MachineConfig::four_cluster(1, 1),
+    ];
+
+    let mut sweep = Sweep::new();
+    sweep.verify_cells(crate::verify_from_env());
+    let mut cells: Vec<(MachineConfig, UnrollPolicy, u32, CellId)> = Vec::new();
+    for machine in &machines {
+        for factor in 1..=MAX_FACTOR {
+            let policy = UnrollPolicy::Fixed(factor);
+            let id = sweep.cell(machine.clone(), Algorithm::Bsa, policy);
+            cells.push((machine.clone(), policy, factor, id));
+        }
+        let policy = UnrollPolicy::Explore {
+            max_factor: MAX_FACTOR,
+        };
+        let id = sweep.cell(machine.clone(), Algorithm::Bsa, policy);
+        cells.push((machine.clone(), policy, MAX_FACTOR, id));
+    }
+    let results = sweep.run(corpora);
+
+    // Per-machine baseline: the factor-1 cell (identical to no unrolling).
+    let mut points = Vec::with_capacity(cells.len());
+    let mut baseline: Option<(String, f64, u64)> = None;
+    for (machine, policy, factor, id) in cells {
+        let agg = UnrollCellAggregate::of(results.cell(id));
+        if baseline
+            .as_ref()
+            .is_none_or(|(name, _, _)| *name != machine.name)
+        {
+            debug_assert_eq!(factor, 1, "the first cell of every machine is factor 1");
+            baseline = Some((machine.name.clone(), agg.ipc(), agg.total_slots));
+        }
+        let (_, base_ipc, base_slots) = baseline.as_ref().expect("baseline set above");
+        points.push(FigUnrollPoint {
+            machine: machine.name.clone(),
+            clusters: machine.n_clusters,
+            buses: machine.buses.count,
+            latency: machine.buses.latency,
+            policy: policy.label(),
+            factor,
+            ipc: agg.ipc(),
+            ipc_vs_no_unrolling: if *base_ipc > 0.0 {
+                agg.ipc() / base_ipc
+            } else {
+                0.0
+            },
+            unrolled_loops: agg.unrolled,
+            failed_loops: agg.failed,
+            register_limited_loops: agg.register_limited,
+            bus_limited_loops: agg.bus_limited,
+            max_register_pressure: agg.max_pressure,
+            useful_ops: agg.useful_ops,
+            total_slots: agg.total_slots,
+            code_size_vs_no_unrolling: if *base_slots > 0 {
+                agg.total_slots as f64 / *base_slots as f64
+            } else {
+                0.0
+            },
+        });
+    }
+    points
+}
+
 /// Average relative IPC per `(policy, buses, latency)` over the bars of one cluster
 /// count — the AVERAGE panel of Figure 8 (used by the `fig8` binary's report).
 pub fn fig8_averages(bars: &[Fig8Bar], clusters: usize) -> Vec<(String, usize, u32, f64)> {
@@ -466,7 +634,7 @@ pub fn fig8_averages(bars: &[Fig8Bar], clusters: usize) -> Vec<(String, usize, u
                     })
                     .map(|b| b.relative_ipc)
                     .collect();
-                rows.push((policy.label().to_string(), buses, lat, mean(&rels)));
+                rows.push((policy.label(), buses, lat, mean(&rels)));
             }
         }
     }

@@ -10,6 +10,7 @@
 //! | `table2` | Table 2 — cycle times from the Palacharla model |
 //! | `fig9`   | Figure 9 — cycle-time-aware speed-up over the unified machine |
 //! | `fig10`  | Figure 10 — code-size impact of unrolling |
+//! | `fig_unroll` | beyond the paper: IPC and code size across unroll factors `U ∈ 1..=8` |
 //!
 //! plus the Criterion micro-benchmarks (`cargo bench -p vliw-bench`) measuring
 //! scheduler throughput.
@@ -244,6 +245,25 @@ fn run_corpus_impl(
                     policy.label(),
                     report.findings
                 );
+                // An exact-model unroll also emits a remainder loop (the original
+                // body's schedule); audit that code too.
+                if let Some(rem) = &cs.remainder {
+                    let report = vliw_sim::check_schedule(
+                        machine,
+                        graph,
+                        &rem.schedule,
+                        vliw_sim::verification_iterations(graph),
+                    );
+                    assert!(
+                        report.is_clean(),
+                        "verify_cells: remainder epilogue of loop {} on {} ({:?}, policy {}): {:?}",
+                        graph.name,
+                        machine,
+                        algorithm,
+                        policy.label(),
+                        report.findings
+                    );
+                }
             }
             let contribution = LoopContribution::new(
                 &cs.schedule,
@@ -252,8 +272,9 @@ fn run_corpus_impl(
                 cs.original_iterations,
                 cs.invocations,
                 cs.unroll_factor,
-            );
-            let size = code_model.loop_size(&cs.schedule, cs.scheduled_graph.n_nodes());
+            )
+            .with_epilogue_cycles(cs.epilogue_cycles_per_invocation());
+            let size = cs.code_size(&code_model);
             Some((contribution, size, cs.unroll_factor > 1, cs.diagnostics))
         })
         .collect();
@@ -280,7 +301,7 @@ fn run_corpus_impl(
         benchmark: corpus.benchmark.name().to_string(),
         machine: machine.name.clone(),
         algorithm,
-        policy: policy.label().to_string(),
+        policy: policy.label(),
         ipc: acc.ipc(),
         unrolled_loops,
         failed_loops,
@@ -398,10 +419,10 @@ mod tests {
     fn unrolling_policy_is_tracked() {
         let corpus = small_corpus();
         let machine = MachineConfig::four_cluster(1, 1);
-        let all = run_corpus(&corpus, &machine, Algorithm::Bsa, UnrollPolicy::All);
-        // The All policy unrolls every loop it can still schedule afterwards (the
-        // 16-register clusters reject a few very wide unrolled bodies, which then fall
-        // back to their original schedule).
+        let all = run_corpus(&corpus, &machine, Algorithm::Bsa, UnrollPolicy::ByClusters);
+        // The ByClusters policy unrolls every loop it can still schedule afterwards
+        // (the 16-register clusters reject a few very wide unrolled bodies, which then
+        // fall back to their original schedule).
         assert!(all.unrolled_loops >= 1);
         assert_eq!(all.failed_loops, 0);
         let none = run_corpus(&corpus, &machine, Algorithm::Bsa, UnrollPolicy::None);

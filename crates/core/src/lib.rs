@@ -11,7 +11,10 @@
 //! * [`SelectiveUnroller`] / [`UnrollPolicy`] — the loop-unrolling policies of
 //!   Section 5.2, including the **selective unrolling** heuristic of Figure 6 that
 //!   unrolls (by the number of clusters) only the loops whose schedule is limited by
-//!   the communication buses;
+//!   the communication buses, generalized to a factor-parameterized space
+//!   (`Fixed(u)` with exact remainder accounting, and `Explore { max_factor }`,
+//!   which schedules candidate factors and keeps the best one under a code-size
+//!   budget);
 //! * [`NeScheduler`] — the two-phase (cluster assignment, then scheduling) baseline in
 //!   the style of Nystrom & Eichenberger used for the comparison in Figure 4;
 //! * [`ClusterSchedule`] / [`LoopScheduler`] — result type and scheduler abstraction
@@ -61,5 +64,5 @@ pub use ablation::{LoadBalancedScheduler, RoundRobinScheduler};
 pub use bsa::BsaScheduler;
 pub use comm::{allocate_comms, required_comms, CommAllocation, CommRequest};
 pub use ne::NeScheduler;
-pub use result::{ClusterSchedule, LoopScheduler};
-pub use unroll_policy::{SelectiveUnroller, UnrollPolicy};
+pub use result::{ClusterSchedule, LoopScheduler, RemainderEpilogue};
+pub use unroll_policy::{SelectiveUnroller, UnrollPolicy, DEFAULT_EXPLORE_CODE_GROWTH};

@@ -3,7 +3,27 @@
 use serde::{Deserialize, Serialize};
 use vliw_arch::MachineConfig;
 use vliw_ddg::DepGraph;
+use vliw_metrics::{CodeSizeModel, CodeSizeReport};
 use vliw_sms::{ModuloSchedule, ScheduleDiagnostics, ScheduleError, ScheduledLoop, SmsScheduler};
+
+/// The epilogue that drains the `NITER mod U` iterations an exactly-unrolled kernel
+/// does not cover: one invocation of the *original* body's modulo schedule, run
+/// `iterations` times (see [`vliw_ddg::unroll_exact`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RemainderEpilogue {
+    /// The original (non-unrolled) body's schedule.
+    pub schedule: ModuloSchedule,
+    /// `NITER mod U` — how many iterations the epilogue executes.
+    pub iterations: u64,
+}
+
+impl RemainderEpilogue {
+    /// Cycles the epilogue invocation takes: `(r + SC − 1) · II` of the original
+    /// body's schedule.
+    pub fn cycles(&self) -> u64 {
+        self.schedule.cycles_for(self.iterations)
+    }
+}
 
 /// The outcome of scheduling one loop (possibly after unrolling).
 ///
@@ -28,6 +48,12 @@ pub struct ClusterSchedule {
     pub original_iterations: u64,
     /// Number of invocations of the loop per program run.
     pub invocations: u64,
+    /// Exact-model remainder epilogue: present only when the loop was unrolled under
+    /// the exact iteration model (`UnrollPolicy::Fixed` / `UnrollPolicy::Explore`)
+    /// and the factor does not divide `NITER`.  The paper-model policies
+    /// (`ByClusters` / `Selective`) charge the kernel for the overshoot instead and
+    /// leave this `None`.
+    pub remainder: Option<RemainderEpilogue>,
 }
 
 impl ClusterSchedule {
@@ -41,10 +67,13 @@ impl ClusterSchedule {
             original_ops: graph.n_nodes(),
             original_iterations: graph.iterations,
             invocations: graph.invocations,
+            remainder: None,
         }
     }
 
-    /// Wrap a schedule of an unrolled copy of `original`.
+    /// Wrap a schedule of an unrolled copy of `original` under the paper's
+    /// iteration model (`⌈NITER/U⌉` kernel iterations, overshoot charged to the
+    /// kernel; see [`vliw_ddg::unroll`](fn@vliw_ddg::unroll)).
     pub fn from_unrolled(
         original: &DepGraph,
         unrolled: DepGraph,
@@ -59,13 +88,60 @@ impl ClusterSchedule {
             original_ops: original.n_nodes(),
             original_iterations: original.iterations,
             invocations: original.invocations,
+            remainder: None,
         }
     }
 
-    /// Cycles for one invocation of the loop, `NCYCLES = (NITER + SC − 1)·II`, where
-    /// `NITER` is the iteration count of the *scheduled* (possibly unrolled) graph.
+    /// Wrap a schedule of an exactly-unrolled kernel of `original`
+    /// ([`vliw_ddg::unroll_exact`]): the kernel covers `⌊NITER/U⌋` iterations and
+    /// `remainder` (the original body's schedule, `NITER mod U` iterations) drains
+    /// the leftover — `None` when the factor divides `NITER`.
+    pub fn from_unrolled_exact(
+        original: &DepGraph,
+        kernel: DepGraph,
+        scheduled: ScheduledLoop,
+        factor: u32,
+        remainder: Option<RemainderEpilogue>,
+    ) -> Self {
+        debug_assert_eq!(
+            kernel.iterations * factor as u64 + remainder.as_ref().map_or(0, |r| r.iterations),
+            original.iterations,
+            "exact unrolling must cover NITER exactly"
+        );
+        Self {
+            schedule: scheduled.schedule,
+            diagnostics: scheduled.diagnostics,
+            scheduled_graph: kernel,
+            unroll_factor: factor,
+            original_ops: original.n_nodes(),
+            original_iterations: original.iterations,
+            invocations: original.invocations,
+            remainder,
+        }
+    }
+
+    /// Cycles for one invocation of the loop: `NCYCLES = (NITER + SC − 1)·II` of the
+    /// *scheduled* (possibly unrolled) graph, plus the remainder epilogue's cycles
+    /// when the exact unrolling model left one.
     pub fn cycles_per_invocation(&self) -> u64 {
         self.schedule.cycles_for(self.scheduled_graph.iterations)
+            + self.epilogue_cycles_per_invocation()
+    }
+
+    /// Cycles per invocation spent in the remainder epilogue (0 without one).
+    pub fn epilogue_cycles_per_invocation(&self) -> u64 {
+        self.remainder.as_ref().map_or(0, RemainderEpilogue::cycles)
+    }
+
+    /// Static code size of this loop's generated code: the pipelined kernel code
+    /// plus, under the exact unrolling model, the remainder loop's own pipelined
+    /// code (prologue + kernel + epilogue of the original body's schedule).
+    pub fn code_size(&self, model: &CodeSizeModel) -> CodeSizeReport {
+        let mut size = model.loop_size(&self.schedule, self.scheduled_graph.n_nodes());
+        if let Some(rem) = &self.remainder {
+            size.accumulate(model.loop_size(&rem.schedule, self.original_ops));
+        }
+        size
     }
 
     /// Total cycles over all invocations.

@@ -1,13 +1,37 @@
-//! Loop-unrolling policies (Section 5.2 and Figure 6 of the paper).
+//! Loop-unrolling policies (Section 5.2 and Figure 6 of the paper), generalized to a
+//! factor-parameterized policy space.
 //!
 //! Three policies are evaluated in the paper's Figure 8:
 //!
-//! * **No unrolling** — schedule the loop body as-is;
-//! * **Unrolling** — unroll *every* loop by the number of clusters before scheduling;
-//! * **Selective unrolling** — schedule the original body first and unroll (by the
-//!   number of clusters) only when (a) the schedule was limited by the communication
-//!   buses and (b) a quick analytical estimate says the communications of the unrolled
-//!   body fit inside its initiation interval (Figure 6).
+//! * **No unrolling** ([`UnrollPolicy::None`]) — schedule the loop body as-is;
+//! * **Unrolling** ([`UnrollPolicy::ByClusters`]) — unroll *every* loop by the number
+//!   of clusters before scheduling;
+//! * **Selective unrolling** ([`UnrollPolicy::Selective`]) — schedule the original
+//!   body first and unroll (by the number of clusters) only when (a) the schedule was
+//!   limited by the communication buses and (b) a quick analytical estimate says the
+//!   communications of the unrolled body fit inside its initiation interval
+//!   (Figure 6).
+//!
+//! The paper only ever answers its titular question at the single point
+//! `U = n_clusters`.  Two additional policies open the factor dimension:
+//!
+//! * [`UnrollPolicy::Fixed`]`(u)` — unroll every loop by an explicit factor `u`,
+//!   under the **exact** iteration model ([`vliw_ddg::unroll_exact`]): the kernel
+//!   covers `⌊NITER/u⌋` iterations and the leftover `NITER mod u` iterations run as
+//!   a remainder epilogue (the original body's schedule).  This is the sweep axis of
+//!   the `fig_unroll` experiment.
+//! * [`UnrollPolicy::Explore`]`{ max_factor }` — schedule every candidate factor
+//!   `1..=max_factor` and keep the best IPC whose static code size stays within a
+//!   budget (a multiple of the non-unrolled loop's code, see
+//!   [`SelectiveUnroller::with_explore_code_growth`]).  The engine's
+//!   [`ScheduleDiagnostics`](vliw_sms::ScheduleDiagnostics) prune the search: once a
+//!   candidate is register-limited and fails to win, larger factors are not tried —
+//!   `MaxLive` pressure only grows with the factor.
+//!
+//! `ByClusters` and `Selective` deliberately keep the paper's iteration model
+//! ([`vliw_ddg::unroll`](fn@vliw_ddg::unroll), `⌈NITER/U⌉` kernel iterations with the overshoot charged
+//! to the kernel): the committed figure artifacts reproduce the paper's published
+//! accounting byte-for-byte.  The factor-exploration policies use the exact model.
 //!
 //! The estimate of Figure 6 works as follows.  Unrolling by `U = n_clusters` and
 //! scheduling one copy of the body per cluster leaves only the loop-carried
@@ -16,64 +40,96 @@
 //! transfers are needed per unrolled iteration, taking
 //! `cycneeded = ⌈comneeded / nbuses⌉ × latbus` bus cycles.  If `cycneeded` is below
 //! the initiation interval of the (non-unrolled) schedule, unrolling is worthwhile.
+//! The predicate is **strict** (`cycneeded < II`): at equality the transfers exactly
+//! fill the window and unrolling buys nothing, so the original schedule is kept
+//! (pinned by a boundary test below).
 
-use crate::result::{ClusterSchedule, LoopScheduler};
+use crate::result::{ClusterSchedule, LoopScheduler, RemainderEpilogue};
 use serde::{Deserialize, Serialize};
-use vliw_ddg::{unroll, DepGraph};
-use vliw_sms::ScheduleError;
+use vliw_ddg::{unroll, unroll_exact, DepGraph};
+use vliw_metrics::CodeSizeModel;
+use vliw_sms::{LimitingResource, ScheduleError};
 
 /// Which unrolling policy to apply before scheduling a loop.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum UnrollPolicy {
     /// Schedule the original loop body.
     None,
-    /// Unroll every loop by the number of clusters.
-    All,
-    /// Unroll only bus-limited loops (Figure 6).
+    /// Unroll every loop by an explicit factor, with exact remainder accounting.
+    Fixed(u32),
+    /// Unroll every loop by the number of clusters (the paper's "Unrolling" bars).
+    ByClusters,
+    /// Unroll only bus-limited loops, by the number of clusters (Figure 6).
     Selective,
+    /// Schedule candidate factors `1..=max_factor` and keep the best admissible one.
+    Explore {
+        /// The largest unroll factor to try.
+        max_factor: u32,
+    },
 }
 
 impl UnrollPolicy {
-    /// All policies, in the order the paper's Figure 8 presents them.
+    /// The paper's three policies, in the order Figure 8 presents them.
     pub const ALL: [UnrollPolicy; 3] = [
         UnrollPolicy::None,
-        UnrollPolicy::All,
+        UnrollPolicy::ByClusters,
         UnrollPolicy::Selective,
     ];
 
-    /// Human-readable label matching the paper's figures.
-    pub fn label(self) -> &'static str {
+    /// Human-readable label; the paper policies keep the labels of the paper's
+    /// figures (the committed artifacts key on them).
+    pub fn label(self) -> String {
         match self {
-            UnrollPolicy::None => "No unrolling",
-            UnrollPolicy::All => "Unrolling",
-            UnrollPolicy::Selective => "Selective unrolling",
+            UnrollPolicy::None => "No unrolling".to_string(),
+            UnrollPolicy::Fixed(factor) => format!("Unroll x{factor}"),
+            UnrollPolicy::ByClusters => "Unrolling".to_string(),
+            UnrollPolicy::Selective => "Selective unrolling".to_string(),
+            UnrollPolicy::Explore { max_factor } => format!("Explore <=x{max_factor}"),
         }
     }
 }
 
 impl std::fmt::Display for UnrollPolicy {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(self.label())
+        f.write_str(&self.label())
     }
 }
 
-/// The selective unrolling driver of Figure 6, generic over the underlying scheduler
-/// (BSA in the paper; the N&E baseline and the unified scheduler are also accepted so
-/// ablations can be run).
+/// Default [`SelectiveUnroller::with_explore_code_growth`] budget: an explored
+/// winner may spend at most this multiple of the non-unrolled loop's static code.
+pub const DEFAULT_EXPLORE_CODE_GROWTH: f64 = 4.0;
+
+/// The unrolling driver: the selective algorithm of Figure 6 plus the generalized
+/// factor policies, generic over the underlying scheduler (BSA in the paper; the
+/// N&E baseline and the unified scheduler are also accepted so ablations can be
+/// run).
 #[derive(Debug, Clone)]
 pub struct SelectiveUnroller<S> {
     scheduler: S,
+    explore_code_growth: f64,
 }
 
 impl<S: LoopScheduler> SelectiveUnroller<S> {
-    /// Wrap `scheduler` with the selective unrolling policy.
+    /// Wrap `scheduler` with the unrolling policies.
     pub fn new(scheduler: S) -> Self {
-        Self { scheduler }
+        Self {
+            scheduler,
+            explore_code_growth: DEFAULT_EXPLORE_CODE_GROWTH,
+        }
     }
 
     /// The wrapped scheduler.
     pub fn scheduler(&self) -> &S {
         &self.scheduler
+    }
+
+    /// Set the [`UnrollPolicy::Explore`] code-size budget: a candidate factor is
+    /// admissible only while its static code (kernel + remainder loop) stays within
+    /// `ratio ×` the non-unrolled loop's code.  Defaults to
+    /// [`DEFAULT_EXPLORE_CODE_GROWTH`].
+    pub fn with_explore_code_growth(mut self, ratio: f64) -> Self {
+        self.explore_code_growth = ratio;
+        self
     }
 
     /// Schedule `graph` with the given policy.
@@ -84,8 +140,10 @@ impl<S: LoopScheduler> SelectiveUnroller<S> {
     ) -> Result<ClusterSchedule, ScheduleError> {
         match policy {
             UnrollPolicy::None => self.schedule_original(graph),
-            UnrollPolicy::All => self.schedule_unrolled(graph),
+            UnrollPolicy::Fixed(factor) => self.schedule_fixed(graph, factor),
+            UnrollPolicy::ByClusters => self.schedule_unrolled(graph),
             UnrollPolicy::Selective => self.schedule_selective(graph),
+            UnrollPolicy::Explore { max_factor } => self.schedule_explore(graph, max_factor),
         }
     }
 
@@ -95,7 +153,8 @@ impl<S: LoopScheduler> SelectiveUnroller<S> {
         Ok(ClusterSchedule::from_original(graph, scheduled))
     }
 
-    /// Unroll by the number of clusters unconditionally, then schedule.
+    /// Unroll by the number of clusters unconditionally, then schedule (the paper's
+    /// iteration model).
     ///
     /// If the unrolled body cannot be scheduled at all (e.g. the per-cluster register
     /// file cannot hold its live values at any initiation interval), the original body
@@ -115,6 +174,106 @@ impl<S: LoopScheduler> SelectiveUnroller<S> {
         }
     }
 
+    /// Unroll by an explicit `factor` under the exact iteration model: the kernel
+    /// covers `⌊NITER/factor⌋` iterations; the leftover `NITER mod factor`
+    /// iterations are drained by a remainder epilogue running the *original* body's
+    /// schedule.
+    ///
+    /// Falls back to the original body when the factor is trivial, exceeds the trip
+    /// count (the kernel would never run), or the unrolled kernel cannot be
+    /// scheduled.
+    ///
+    /// When the factor does not divide the trip count, producing the epilogue costs
+    /// one scheduling of the original body on top of the kernel's.  A sweep over
+    /// many factors of the same loop pays that per factor — sweep cells are
+    /// independent by design; [`Self::schedule_explore`] is the entry point that
+    /// shares the original-body schedule across all candidate factors.
+    pub fn schedule_fixed(
+        &self,
+        graph: &DepGraph,
+        factor: u32,
+    ) -> Result<ClusterSchedule, ScheduleError> {
+        if factor <= 1 || factor as u64 > graph.iterations {
+            return self.schedule_original(graph);
+        }
+        let unrolled = unroll_exact(graph, factor);
+        match self.scheduler.schedule_loop(&unrolled.kernel) {
+            Ok(scheduled) => {
+                let remainder = self.remainder_epilogue(graph, unrolled.remainder_iterations)?;
+                Ok(ClusterSchedule::from_unrolled_exact(
+                    graph,
+                    unrolled.kernel,
+                    scheduled,
+                    factor,
+                    remainder,
+                ))
+            }
+            Err(_) => self.schedule_original(graph),
+        }
+    }
+
+    /// Schedule every candidate factor `1..=max_factor` and keep the best one.
+    ///
+    /// The winner maximizes IPC (exact remainder accounting included) among the
+    /// candidates whose static code size — kernel plus remainder loop, from the
+    /// machine's [`CodeSizeModel`] — stays within the
+    /// [`SelectiveUnroller::with_explore_code_growth`] budget.  The factor-1
+    /// schedule is always a candidate, so `Explore` never returns a schedule worse
+    /// than [`UnrollPolicy::None`]; it is computed once and reused both as the
+    /// fallback winner and as every candidate's remainder epilogue.  Candidate
+    /// factors that cannot be scheduled are skipped; the engine's diagnostics cut
+    /// the search short once a register-limited candidate fails to win (register
+    /// pressure only grows with the factor).
+    pub fn schedule_explore(
+        &self,
+        graph: &DepGraph,
+        max_factor: u32,
+    ) -> Result<ClusterSchedule, ScheduleError> {
+        let base = self.schedule_original(graph)?;
+        if max_factor <= 1 {
+            return Ok(base);
+        }
+        let model = CodeSizeModel::new(self.scheduler.machine());
+        let budget = base.code_size(&model).total_slots as f64 * self.explore_code_growth;
+        // The factor-1 schedule doubles as every candidate's remainder epilogue.
+        let base_schedule = base.schedule.clone();
+        let mut best_ipc = base.ipc();
+        let mut best = base;
+        for factor in 2..=max_factor {
+            if factor as u64 > graph.iterations {
+                break;
+            }
+            let unrolled = unroll_exact(graph, factor);
+            let Ok(scheduled) = self.scheduler.schedule_loop(&unrolled.kernel) else {
+                // Unschedulable at this factor (typically the register file); larger
+                // factors may still differ, so keep scanning within the budget.
+                continue;
+            };
+            let remainder = (unrolled.remainder_iterations > 0).then(|| RemainderEpilogue {
+                schedule: base_schedule.clone(),
+                iterations: unrolled.remainder_iterations,
+            });
+            let candidate = ClusterSchedule::from_unrolled_exact(
+                graph,
+                unrolled.kernel,
+                scheduled,
+                factor,
+                remainder,
+            );
+            let register_limited =
+                matches!(candidate.diagnostics.limiting, LimitingResource::Registers);
+            let within_budget = candidate.code_size(&model).total_slots as f64 <= budget;
+            let ipc = candidate.ipc();
+            if within_budget && ipc > best_ipc {
+                best_ipc = ipc;
+                best = candidate;
+            } else if register_limited {
+                break;
+            }
+        }
+        Ok(best)
+    }
+
     /// The selective-unrolling algorithm of Figure 6.
     pub fn schedule_selective(&self, graph: &DepGraph) -> Result<ClusterSchedule, ScheduleError> {
         // (1) Compute the schedule of the original graph.
@@ -130,13 +289,12 @@ impl<S: LoopScheduler> SelectiveUnroller<S> {
         if ufactor <= 1 || machine.buses.count == 0 {
             return Ok(ClusterSchedule::from_original(graph, scheduled));
         }
-        // (4) comneeded = NDepsNotMult(G) * ufactor
-        let comneeded = graph.deps_not_multiple_of(ufactor) as u64 * ufactor as u64;
-        // (5) cycneeded = ceil(comneeded / nbuses) * latbus
-        let cycneeded =
-            comneeded.div_ceil(machine.buses.count as u64) * machine.buses.latency as u64;
-        // (6) Unroll only if the communications fit under the current II.  Keep the
-        // original schedule when the unrolled body turns out to be unschedulable.
+        // (4)-(5) The analytical estimate of the unrolled body's bus traffic.
+        let cycneeded = self.fig6_cycneeded(graph, ufactor);
+        // (6) Unroll only if the communications fit *strictly* under the current II
+        // (at equality the transfers exactly fill the window — nothing is gained).
+        // Keep the original schedule when the unrolled body turns out to be
+        // unschedulable.
         if cycneeded < scheduled.schedule.ii() as u64 {
             let unrolled = unroll(graph, ufactor);
             if let Ok(unrolled_sched) = self.scheduler.schedule_loop(&unrolled) {
@@ -151,10 +309,36 @@ impl<S: LoopScheduler> SelectiveUnroller<S> {
         Ok(ClusterSchedule::from_original(graph, scheduled))
     }
 
-    /// The unroll factor used by the policies: the number of clusters (Figure 6,
-    /// line 3).
+    /// The Figure-6 estimate of the bus cycles one unrolled iteration needs:
+    /// `comneeded = NDepsNotMult(G, U) × U` transfers over the machine's buses,
+    /// `cycneeded = ⌈comneeded / nbuses⌉ × latbus`.
+    pub fn fig6_cycneeded(&self, graph: &DepGraph, ufactor: u32) -> u64 {
+        let machine = self.scheduler.machine();
+        let comneeded = graph.deps_not_multiple_of(ufactor) as u64 * ufactor as u64;
+        comneeded.div_ceil(machine.buses.count as u64) * machine.buses.latency as u64
+    }
+
+    /// The unroll factor used by the cluster-count policies: the number of clusters
+    /// (Figure 6, line 3).
     pub fn unroll_factor(&self) -> u32 {
         self.scheduler.machine().n_clusters as u32
+    }
+
+    /// Schedule the remainder epilogue (the original body, `r` iterations), or
+    /// `None` when there is nothing left over.
+    fn remainder_epilogue(
+        &self,
+        graph: &DepGraph,
+        r: u64,
+    ) -> Result<Option<RemainderEpilogue>, ScheduleError> {
+        if r == 0 {
+            return Ok(None);
+        }
+        let original = self.scheduler.schedule_loop(graph)?;
+        Ok(Some(RemainderEpilogue {
+            schedule: original.schedule,
+            iterations: r,
+        }))
     }
 }
 
@@ -164,6 +348,7 @@ mod tests {
     use crate::bsa::BsaScheduler;
     use vliw_arch::{MachineConfig, OpClass};
     use vliw_ddg::GraphBuilder;
+    use vliw_sms::{ModuloSchedule, ScheduleDiagnostics, ScheduledLoop};
 
     /// A loop body with plenty of intra-iteration value traffic but no loop-carried
     /// dependences: the classic case where unrolling lets each cluster run its own
@@ -189,8 +374,13 @@ mod tests {
     #[test]
     fn policy_labels_match_the_paper() {
         assert_eq!(UnrollPolicy::None.label(), "No unrolling");
-        assert_eq!(UnrollPolicy::All.label(), "Unrolling");
+        assert_eq!(UnrollPolicy::ByClusters.label(), "Unrolling");
         assert_eq!(UnrollPolicy::Selective.label(), "Selective unrolling");
+        assert_eq!(UnrollPolicy::Fixed(3).label(), "Unroll x3");
+        assert_eq!(
+            UnrollPolicy::Explore { max_factor: 8 }.label(),
+            "Explore <=x8"
+        );
         assert_eq!(UnrollPolicy::ALL.len(), 3);
     }
 
@@ -202,14 +392,17 @@ mod tests {
         let r = driver.schedule_with_policy(&g, UnrollPolicy::None).unwrap();
         assert_eq!(r.unroll_factor, 1);
         assert_eq!(r.scheduled_graph.n_nodes(), g.n_nodes());
+        assert!(r.remainder.is_none());
     }
 
     #[test]
-    fn all_policy_unrolls_by_cluster_count() {
+    fn by_clusters_policy_unrolls_by_cluster_count() {
         let machine = MachineConfig::four_cluster(1, 1);
         let driver = SelectiveUnroller::new(BsaScheduler::new(&machine));
         let g = parallel_loop();
-        let r = driver.schedule_with_policy(&g, UnrollPolicy::All).unwrap();
+        let r = driver
+            .schedule_with_policy(&g, UnrollPolicy::ByClusters)
+            .unwrap();
         assert_eq!(r.unroll_factor, 4);
         assert_eq!(r.scheduled_graph.n_nodes(), g.n_nodes() * 4);
         // Accounting still refers to the original loop.
@@ -218,11 +411,13 @@ mod tests {
     }
 
     #[test]
-    fn all_policy_on_unified_machine_is_a_no_op() {
+    fn by_clusters_policy_on_unified_machine_is_a_no_op() {
         let machine = MachineConfig::unified();
         let driver = SelectiveUnroller::new(vliw_sms::SmsScheduler::new(&machine));
         let g = parallel_loop();
-        let r = driver.schedule_with_policy(&g, UnrollPolicy::All).unwrap();
+        let r = driver
+            .schedule_with_policy(&g, UnrollPolicy::ByClusters)
+            .unwrap();
         assert_eq!(r.unroll_factor, 1);
     }
 
@@ -265,5 +460,188 @@ mod tests {
             let driver = SelectiveUnroller::new(BsaScheduler::new(&machine));
             assert_eq!(driver.unroll_factor(), n as u32);
         }
+    }
+
+    /// The remainder-accounting bugfix, pinned: `NITER = 100`, `U = 3` must execute
+    /// 33 kernel iterations of the unrolled body plus exactly one epilogue iteration
+    /// of the original body — not 34 kernel iterations charging a phantom
+    /// 2-iteration overshoot.
+    #[test]
+    fn fixed_policy_models_the_remainder_exactly() {
+        let machine = MachineConfig::two_cluster(2, 1);
+        let driver = SelectiveUnroller::new(BsaScheduler::new(&machine));
+        let g = parallel_loop().with_iterations(100);
+        let r = driver
+            .schedule_with_policy(&g, UnrollPolicy::Fixed(3))
+            .unwrap();
+        assert_eq!(r.unroll_factor, 3);
+        assert_eq!(r.scheduled_graph.iterations, 33);
+        let rem = r.remainder.as_ref().expect("3 does not divide 100");
+        assert_eq!(rem.iterations, 1);
+
+        // Cross-check the pinned accounting against independently produced
+        // schedules of the kernel and the original body (scheduling is
+        // deterministic): cycles = (33 + SC_k − 1)·II_k + (1 + SC_o − 1)·II_o,
+        // useful ops = the original 6 ops × 100 iterations.
+        let scheduler = BsaScheduler::new(&machine);
+        let kernel = scheduler
+            .schedule_loop(&vliw_ddg::unroll_exact(&g, 3).kernel)
+            .unwrap();
+        let original = scheduler.schedule_loop(&g).unwrap();
+        let expected_cycles = kernel.schedule.cycles_for(33) + original.schedule.cycles_for(1);
+        assert_eq!(r.cycles_per_invocation(), expected_cycles);
+        assert_eq!(
+            r.epilogue_cycles_per_invocation(),
+            original.schedule.cycles_for(1)
+        );
+        assert_eq!(r.total_useful_ops(), 6 * 100);
+        let expected_ipc = 600.0 / expected_cycles as f64;
+        assert!((r.ipc() - expected_ipc).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fixed_policy_with_a_dividing_factor_has_no_epilogue() {
+        let machine = MachineConfig::two_cluster(2, 1);
+        let driver = SelectiveUnroller::new(BsaScheduler::new(&machine));
+        let g = parallel_loop(); // 400 iterations
+        let r = driver
+            .schedule_with_policy(&g, UnrollPolicy::Fixed(4))
+            .unwrap();
+        assert_eq!(r.unroll_factor, 4);
+        assert_eq!(r.scheduled_graph.iterations, 100);
+        assert!(r.remainder.is_none());
+    }
+
+    #[test]
+    fn fixed_policy_degenerate_factors_fall_back_to_the_original() {
+        let machine = MachineConfig::two_cluster(2, 1);
+        let driver = SelectiveUnroller::new(BsaScheduler::new(&machine));
+        let g = parallel_loop().with_iterations(5);
+        for factor in [0u32, 1, 6, 100] {
+            let r = driver
+                .schedule_with_policy(&g, UnrollPolicy::Fixed(factor))
+                .unwrap();
+            assert_eq!(r.unroll_factor, 1, "factor {factor}");
+            assert!(r.remainder.is_none());
+        }
+    }
+
+    #[test]
+    fn explore_picks_a_factor_no_worse_than_none() {
+        for machine in [
+            MachineConfig::two_cluster(1, 1),
+            MachineConfig::four_cluster(1, 2),
+        ] {
+            let driver = SelectiveUnroller::new(BsaScheduler::new(&machine));
+            let g = parallel_loop();
+            let none = driver.schedule_with_policy(&g, UnrollPolicy::None).unwrap();
+            let explored = driver
+                .schedule_with_policy(&g, UnrollPolicy::Explore { max_factor: 6 })
+                .unwrap();
+            assert!(
+                explored.ipc() >= none.ipc(),
+                "{}: explore {} < none {}",
+                machine.name,
+                explored.ipc(),
+                none.ipc()
+            );
+            assert!(explored.unroll_factor >= 1);
+            assert!(explored.unroll_factor <= 6);
+        }
+    }
+
+    #[test]
+    fn explore_respects_the_code_size_budget() {
+        // A zero budget rules every unrolled candidate out: the winner must be the
+        // factor-1 schedule no matter how profitable unrolling would be.
+        let machine = MachineConfig::four_cluster(1, 1);
+        let driver =
+            SelectiveUnroller::new(BsaScheduler::new(&machine)).with_explore_code_growth(0.0);
+        let g = parallel_loop();
+        let r = driver
+            .schedule_with_policy(&g, UnrollPolicy::Explore { max_factor: 8 })
+            .unwrap();
+        assert_eq!(r.unroll_factor, 1);
+    }
+
+    #[test]
+    fn explore_with_trivial_max_factor_is_none() {
+        let machine = MachineConfig::two_cluster(1, 1);
+        let driver = SelectiveUnroller::new(BsaScheduler::new(&machine));
+        let g = parallel_loop();
+        let none = driver.schedule_with_policy(&g, UnrollPolicy::None).unwrap();
+        let r = driver
+            .schedule_with_policy(&g, UnrollPolicy::Explore { max_factor: 1 })
+            .unwrap();
+        assert_eq!(r.unroll_factor, 1);
+        assert_eq!(r.ipc(), none.ipc());
+    }
+
+    /// A canned scheduler that reports a fixed II with bus-limited diagnostics, so
+    /// the Figure-6 decision can be pinned at the exact boundary `cycneeded == II`.
+    struct StubScheduler {
+        machine: MachineConfig,
+        ii: u32,
+    }
+
+    impl LoopScheduler for StubScheduler {
+        fn machine(&self) -> &MachineConfig {
+            &self.machine
+        }
+
+        fn schedule_loop(&self, graph: &DepGraph) -> Result<ScheduledLoop, ScheduleError> {
+            Ok(ScheduledLoop {
+                schedule: ModuloSchedule::new(&graph.name, graph.n_nodes(), self.ii, 1),
+                diagnostics: ScheduleDiagnostics {
+                    ii: self.ii,
+                    mii: 1,
+                    res_mii: 1,
+                    rec_mii: 1,
+                    limiting: LimitingResource::Bus,
+                    ii_trajectory: Vec::new(),
+                    n_comms: 0,
+                    max_live_per_cluster: vec![0; self.machine.n_clusters],
+                },
+            })
+        }
+
+        fn name(&self) -> &'static str {
+            "stub"
+        }
+    }
+
+    /// One loop-carried flow dependence at odd distance on a 2-cluster, 1-bus,
+    /// latency-1 machine: `comneeded = 1 × 2`, `cycneeded = ⌈2/1⌉ × 1 = 2`.
+    fn boundary_graph() -> DepGraph {
+        let mut g = DepGraph::new("boundary");
+        let a = g.add_named_node(OpClass::FpAdd, Some("a"));
+        let b = g.add_named_node(OpClass::FpMul, Some("b"));
+        g.add_edge(a, b, 1, 0, vliw_ddg::DepKind::Flow);
+        g.add_edge(b, a, 1, 1, vliw_ddg::DepKind::Flow);
+        g.with_iterations(64)
+    }
+
+    /// Figure-6 boundary: the predicate is strictly `cycneeded < II`, so a
+    /// bus-limited schedule whose II *equals* the estimated bus cycles must NOT be
+    /// unrolled — and one cycle of headroom must flip the decision.
+    #[test]
+    fn selective_predicate_is_strict_at_the_boundary() {
+        let machine = MachineConfig::two_cluster(1, 1);
+        let g = boundary_graph();
+        let at_boundary = SelectiveUnroller::new(StubScheduler {
+            machine: machine.clone(),
+            ii: 2,
+        });
+        assert_eq!(at_boundary.fig6_cycneeded(&g, 2), 2);
+        let r = at_boundary
+            .schedule_with_policy(&g, UnrollPolicy::Selective)
+            .unwrap();
+        assert_eq!(r.unroll_factor, 1, "cycneeded == II must keep the original");
+
+        let above_boundary = SelectiveUnroller::new(StubScheduler { machine, ii: 3 });
+        let r = above_boundary
+            .schedule_with_policy(&g, UnrollPolicy::Selective)
+            .unwrap();
+        assert_eq!(r.unroll_factor, 2, "cycneeded < II must unroll");
     }
 }

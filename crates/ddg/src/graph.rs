@@ -157,16 +157,32 @@ impl DepGraph {
         id
     }
 
-    /// Add a node copied from `node` (used by the unroller), preserving class and name
-    /// but recording the copy index and original id.
+    /// Add a node copied from `node` (used by the unroller), preserving class and
+    /// recording provenance **relative to the root graph**: `copy` is the flat
+    /// root-relative copy index and `original` composes through `node.original`, so
+    /// unrolling an already-unrolled graph keeps attributing every node to the
+    /// pre-unrolling loop body (useful-op accounting depends on this).
+    ///
+    /// The display name is derived from the node's *base* name (its own copy suffix,
+    /// which this function produced, is stripped first), so copy 3 of `a` is named
+    /// `a'3` no matter how many unrolling steps created it.
     pub fn add_copy_of(&mut self, node: &Node, copy: u32) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
+        let base_name = node.name.as_deref().map(|n| {
+            if node.copy == 0 {
+                n
+            } else {
+                // Copies are only ever named by this function, so the suffix is
+                // exactly `'<copy>`.
+                n.strip_suffix(&format!("'{}", node.copy)).unwrap_or(n)
+            }
+        });
         self.nodes.push(Node {
             id,
             class: node.class,
-            name: node.name.as_ref().map(|n| {
+            name: base_name.map(|n| {
                 if copy == 0 {
-                    n.clone()
+                    n.to_string()
                 } else {
                     format!("{n}'{copy}")
                 }
@@ -177,6 +193,13 @@ impl DepGraph {
         self.succs.push(Vec::new());
         self.preds.push(Vec::new());
         id
+    }
+
+    /// How many copies of the original loop body this graph holds: 1 for a graph that
+    /// was never unrolled, the cumulative unroll factor otherwise.  Unrolling copies
+    /// every node uniformly, so the largest flat copy index determines the count.
+    pub fn copies_per_original(&self) -> u32 {
+        self.nodes.iter().map(|n| n.copy).max().unwrap_or(0) + 1
     }
 
     /// Add a dependence edge.  Panics if either endpoint does not exist.

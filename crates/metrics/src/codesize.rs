@@ -81,8 +81,18 @@ impl CodeSizeModel {
         // replay each operation SC-1 times (stage k of the body appears in prologue
         // copies k+1..SC and epilogue copies 1..=k, totalling SC-1).
         let useful_ops = scheduled_ops as u64 * sc;
+        // Useful slots can never exceed the total: the kernel holds at most
+        // `II·width` operations, so `ops·SC ≤ II·width·SC ≤ (2(SC−1)+1)·II·width`
+        // for any SC ≥ 1.  (A clamp here would only ever mask a caller passing an
+        // op count that was never scheduled into the kernel.)
+        debug_assert!(
+            useful_ops <= total_slots,
+            "useful_ops {useful_ops} > total_slots {total_slots}: \
+             scheduled_ops {scheduled_ops} exceeds the kernel capacity II·width = {}",
+            ii * width
+        );
         CodeSizeReport {
-            useful_ops: useful_ops.min(total_slots),
+            useful_ops,
             total_slots,
         }
     }
@@ -183,6 +193,43 @@ mod tests {
             unrolled.n_nodes() as u64 * sched.stage_count() as u64
         );
         assert!(report.useful_ops >= g.n_nodes() as u64 * 2);
+    }
+
+    /// The invariant behind dropping the historical `useful_ops.min(total_slots)`
+    /// clamp: a kernel of `II` instructions on a `width`-wide machine holds at most
+    /// `II·width` operations, so `ops·SC ≤ II·width·SC ≤ (2(SC−1)+1)·II·width` for
+    /// every SC ≥ 1 — useful slots can never exceed total slots for any real
+    /// schedule, at any unroll factor.
+    #[test]
+    fn useful_ops_never_exceed_total_slots() {
+        for machine in [
+            MachineConfig::unified(),
+            MachineConfig::two_cluster(1, 1),
+            MachineConfig::four_cluster(1, 2),
+        ] {
+            let model = CodeSizeModel::new(&machine);
+            let scheduler = SmsScheduler::new(&machine.unified_counterpart());
+            for factor in 1..=6u32 {
+                let unrolled = vliw_ddg::unroll(&saxpy(), factor);
+                let sched = scheduler.schedule(&unrolled).unwrap();
+                let report = model.loop_size(&sched, unrolled.n_nodes());
+                assert!(
+                    report.useful_ops <= report.total_slots,
+                    "{} x{}: {} > {}",
+                    machine.name,
+                    factor,
+                    report.useful_ops,
+                    report.total_slots
+                );
+                // The algebraic chain, term by term.
+                let ii = sched.ii() as u64;
+                let sc = sched.stage_count() as u64;
+                let width = machine.total_issue_width() as u64;
+                assert!(unrolled.n_nodes() as u64 <= ii * width);
+                assert!(report.useful_ops <= ii * width * sc);
+                assert!(ii * width * sc <= (2 * (sc - 1) + 1) * ii * width);
+            }
+        }
     }
 
     #[test]

@@ -21,6 +21,10 @@ pub struct LoopContribution {
     pub invocations: u64,
     /// Unroll factor that was applied (1 = none).
     pub unroll_factor: u32,
+    /// Cycles per invocation spent in the remainder epilogue (0 unless the loop was
+    /// unrolled under the exact iteration model by a factor that does not divide
+    /// `NITER`; see `ClusterSchedule::remainder` in `cvliw_core`).
+    pub epilogue_cycles: u64,
 }
 
 impl LoopContribution {
@@ -41,12 +45,21 @@ impl LoopContribution {
             useful_ops_per_invocation: original_ops as u64 * original_iterations,
             invocations,
             unroll_factor,
+            epilogue_cycles: 0,
         }
     }
 
-    /// Cycles per invocation: `(NITER + SC − 1) · II`.
+    /// Attach the remainder-epilogue cycles of an exactly-unrolled loop.
+    pub fn with_epilogue_cycles(mut self, epilogue_cycles: u64) -> Self {
+        self.epilogue_cycles = epilogue_cycles;
+        self
+    }
+
+    /// Cycles per invocation: `(NITER + SC − 1) · II` of the scheduled kernel, plus
+    /// the remainder epilogue's cycles when the exact unrolling model left one.
     pub fn cycles_per_invocation(&self) -> u64 {
         (self.scheduled_iterations + self.stage_count as u64 - 1) * self.ii as u64
+            + self.epilogue_cycles
     }
 
     /// Total cycles across all invocations.
@@ -193,6 +206,7 @@ mod tests {
             useful_ops_per_invocation: ops * iters,
             invocations,
             unroll_factor: 1,
+            epilogue_cycles: 0,
         }
     }
 
@@ -206,6 +220,18 @@ mod tests {
         assert_eq!(acc.total_cycles(), cycles);
         assert_eq!(acc.total_ops(), ops);
         assert!((acc.ipc() - ops as f64 / cycles as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn epilogue_cycles_are_charged_per_invocation() {
+        let plain = contribution(2, 3, 100, 6, 10);
+        let with_epilogue = contribution(2, 3, 100, 6, 10).with_epilogue_cycles(7);
+        assert_eq!(
+            with_epilogue.cycles_per_invocation(),
+            plain.cycles_per_invocation() + 7
+        );
+        assert_eq!(with_epilogue.total_cycles(), plain.total_cycles() + 7 * 10);
+        assert_eq!(with_epilogue.total_ops(), plain.total_ops());
     }
 
     #[test]
@@ -279,6 +305,7 @@ mod tests {
             useful_ops_per_invocation: 600,
             invocations: 1,
             unroll_factor: 1,
+            epilogue_cycles: 0,
         };
         let unrolled = LoopContribution {
             name: "x".into(),
@@ -288,6 +315,7 @@ mod tests {
             useful_ops_per_invocation: 600,
             invocations: 1,
             unroll_factor: 2,
+            epilogue_cycles: 0,
         };
         assert_eq!(plain.total_ops(), unrolled.total_ops());
         // Cycles are also nearly identical (same work per original iteration).

@@ -66,6 +66,12 @@ fn main() {
         "          {} distinct IIs (max {}), {} schedules above II 64",
         c.distinct_iis, c.max_ii, c.ii_over_64
     );
+    println!(
+        "          {} unrolled kernels audited ({} unschedulable), factors {:?}",
+        c.unrolled_schedules_checked,
+        c.unrolled_unschedulable,
+        c.unroll_factors.keys().collect::<Vec<_>>()
+    );
     println!("limiting-resource histogram (policy/resource):");
     for (key, count) in &c.limiting_by_policy {
         println!("  {key:<28} {count}");

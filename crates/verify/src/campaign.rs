@@ -1,7 +1,7 @@
 //! The campaign runner: a seeded, rayon-parallel sweep over fuzz cases.
 
 use crate::case::generate_case;
-use crate::oracle::{check_case, check_policy, CaseOutcome, Policy, PolicyOutcome};
+use crate::oracle::{check_case, check_policy, check_unrolled, CaseOutcome, Policy, PolicyOutcome};
 use crate::report::{CampaignReport, Coverage, ShrunkRepro, ViolationReport};
 use crate::shrink::shrink_case;
 use rayon::prelude::*;
@@ -98,22 +98,35 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignReport {
                 }
                 PolicyOutcome::Unschedulable => coverage.unschedulable += 1,
                 PolicyOutcome::Rejected { error } => {
-                    violations.push(ViolationReport {
-                        case_index: case.index,
-                        case_seed: case.seed,
-                        policy: policy.label().to_string(),
-                        machine: case.machine.clone(),
-                        loop_name: case.graph.name.clone(),
-                        findings: Vec::new(),
-                        rejected: Some(error.clone()),
-                        shrunk: ShrunkRepro {
-                            machine: case.machine.clone(),
-                            graph: case.graph.clone(),
-                            n_nodes: case.graph.n_nodes(),
-                            n_edges: case.graph.n_edges(),
-                            shrink_checks: 0,
-                        },
-                    });
+                    violations.push(rejection_report(outcome, policy.label().to_string(), error));
+                }
+            }
+        }
+
+        // The per-case unroll audit: the sampled factor's exactly-unrolled kernel
+        // through BSA and the same four oracles.
+        if let Some(audit) = &outcome.unrolled {
+            let label = format!("bsa/unroll-x{}", audit.factor);
+            match &audit.outcome {
+                PolicyOutcome::Scheduled { findings, .. } => {
+                    coverage.unrolled_schedules_checked += 1;
+                    *coverage
+                        .unroll_factors
+                        .entry(format!("x{}", audit.factor))
+                        .or_insert(0) += 1;
+                    if !findings.is_empty() {
+                        violations.push(build_unroll_violation(
+                            config,
+                            outcome,
+                            audit.factor,
+                            label,
+                            findings,
+                        ));
+                    }
+                }
+                PolicyOutcome::Unschedulable => coverage.unrolled_unschedulable += 1,
+                PolicyOutcome::Rejected { error } => {
+                    violations.push(rejection_report(outcome, label, error));
                 }
             }
         }
@@ -130,17 +143,37 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignReport {
     }
 }
 
-/// Shrink one violating case and package it as a [`ViolationReport`].
-fn build_violation(
+/// A pre-scheduling rejection, packaged without shrinking (there is no schedule to
+/// re-check against).
+fn rejection_report(outcome: &CaseOutcome, policy_label: String, error: &str) -> ViolationReport {
+    let case = &outcome.case;
+    ViolationReport {
+        case_index: case.index,
+        case_seed: case.seed,
+        policy: policy_label,
+        machine: case.machine.clone(),
+        loop_name: case.graph.name.clone(),
+        findings: Vec::new(),
+        rejected: Some(error.to_string()),
+        shrunk: ShrunkRepro {
+            machine: case.machine.clone(),
+            graph: case.graph.clone(),
+            n_nodes: case.graph.n_nodes(),
+            n_edges: case.graph.n_edges(),
+            shrink_checks: 0,
+        },
+    }
+}
+
+/// Shrink one violating case against `still_fails` and package it.
+fn shrunk_violation(
     config: &CampaignConfig,
     outcome: &CaseOutcome,
-    policy: Policy,
+    policy_label: String,
     findings: &[vliw_sim::Finding],
+    still_fails: impl Fn(&MachineConfig, &vliw_ddg::DepGraph) -> bool,
 ) -> ViolationReport {
     let case = &outcome.case;
-    let still_fails = |machine: &MachineConfig, graph: &vliw_ddg::DepGraph| {
-        graph.validate().is_ok() && check_policy(policy, machine, graph).is_violation()
-    };
     let shrunk = shrink_case(
         &case.machine,
         &case.graph,
@@ -150,7 +183,7 @@ fn build_violation(
     ViolationReport {
         case_index: case.index,
         case_seed: case.seed,
-        policy: policy.label().to_string(),
+        policy: policy_label,
         machine: case.machine.clone(),
         loop_name: case.graph.name.clone(),
         findings: findings.to_vec(),
@@ -163,6 +196,50 @@ fn build_violation(
             shrink_checks: shrunk.checks,
         },
     }
+}
+
+/// Shrink one violating policy case and package it as a [`ViolationReport`].
+fn build_violation(
+    config: &CampaignConfig,
+    outcome: &CaseOutcome,
+    policy: Policy,
+    findings: &[vliw_sim::Finding],
+) -> ViolationReport {
+    shrunk_violation(
+        config,
+        outcome,
+        policy.label().to_string(),
+        findings,
+        |machine, graph| {
+            graph.validate().is_ok() && check_policy(policy, machine, graph).is_violation()
+        },
+    )
+}
+
+/// Shrink one violating unroll audit.  The shrinker mutates the *original* loop; the
+/// failure predicate re-unrolls every candidate at the **same** factor the report
+/// names before re-checking, so the reproducer stays expressed in pre-unrolling
+/// terms and still fails at exactly the labeled factor.  (`check_unrolled` returns
+/// `None` — candidate rejected — when a shrink step clamps the trip count below
+/// the factor, so iteration clamping can never silently re-target the repro to a
+/// different factor.)
+fn build_unroll_violation(
+    config: &CampaignConfig,
+    outcome: &CaseOutcome,
+    factor: u32,
+    policy_label: String,
+    findings: &[vliw_sim::Finding],
+) -> ViolationReport {
+    shrunk_violation(
+        config,
+        outcome,
+        policy_label,
+        findings,
+        move |machine, graph| {
+            graph.validate().is_ok()
+                && check_unrolled(machine, graph, factor).is_some_and(|a| a.outcome.is_violation())
+        },
+    )
 }
 
 #[cfg(test)]
@@ -201,6 +278,11 @@ mod tests {
         assert_eq!(limiting_total, c.schedules_checked);
         let cluster_total: u64 = c.cluster_counts.values().sum();
         assert_eq!(cluster_total, 24);
+        // Every case also attempts one sampled-factor unroll audit.
+        assert_eq!(c.unrolled_schedules_checked + c.unrolled_unschedulable, 24);
+        assert!(c.unrolled_schedules_checked >= 1, "{c:?}");
+        let factor_total: u64 = c.unroll_factors.values().sum();
+        assert_eq!(factor_total, c.unrolled_schedules_checked);
     }
 
     #[test]

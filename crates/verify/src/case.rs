@@ -18,6 +18,10 @@ pub struct FuzzCase {
     pub machine: MachineConfig,
     /// The generated loop body; its edge latencies follow `machine`'s latency model.
     pub graph: DepGraph,
+    /// The sampled unroll factor (2–8, clamped to the loop's trip count) whose
+    /// exactly-unrolled kernel the oracle additionally audits; a value below 2
+    /// (degenerate trip count) opts the case out of the unroll audit.
+    pub unroll_factor: u32,
 }
 
 /// SplitMix64 — the standard seed mixer; keeps per-case streams statistically
@@ -41,11 +45,23 @@ pub fn generate_case(campaign_seed: u64, index: u64, space: &MachineSpace) -> Fu
     let graph = LoopGenerator::new(profile, seed ^ 0x100F)
         .with_latencies(machine.latencies.clone())
         .generate(&format!("fuzz{index}"));
+    // Every case also carries a sampled unroll factor so the oracle can audit one
+    // exactly-unrolled kernel per case.  Two clamps keep the audit sound and cheap:
+    // a factor above NITER would leave the kernel with zero iterations (nothing to
+    // audit), and a factor that blows a large body past ~96 kernel nodes buys no
+    // coverage the small bodies don't already provide while making the II search
+    // and replay disproportionately expensive — big bodies are audited at small
+    // factors, small bodies across the whole 2..=8 axis.
+    const MAX_UNROLLED_KERNEL_NODES: usize = 96;
+    let sampled = 2 + (mix(seed ^ 0x006_FAC7) % 7) as u32;
+    let size_cap = (MAX_UNROLLED_KERNEL_NODES / graph.n_nodes().max(1)).max(2) as u32;
+    let unroll_factor = sampled.min(size_cap).min(graph.iterations as u32);
     FuzzCase {
         index,
         seed,
         machine,
         graph,
+        unroll_factor,
     }
 }
 
@@ -61,9 +77,24 @@ mod tests {
             let b = generate_case(42, index, &space);
             assert_eq!(a.machine, b.machine);
             assert_eq!(a.graph, b.graph);
+            assert_eq!(a.unroll_factor, b.unroll_factor);
             a.machine.validate().expect("sampled machine is valid");
             a.graph.validate().expect("generated loop is valid");
         }
+    }
+
+    #[test]
+    fn unroll_factors_are_in_range_and_cover_the_axis() {
+        let space = MachineSpace::default();
+        let mut seen = std::collections::BTreeSet::new();
+        for index in 0..60 {
+            let case = generate_case(42, index, &space);
+            assert!(case.unroll_factor as u64 <= case.graph.iterations);
+            assert!(case.unroll_factor <= 8);
+            seen.insert(case.unroll_factor);
+        }
+        // The sampler must exercise most of the 2..=8 axis over 60 cases.
+        assert!(seen.len() >= 5, "factors seen: {seen:?}");
     }
 
     #[test]

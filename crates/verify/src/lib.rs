@@ -12,7 +12,10 @@
 //! 2. [`oracle`] runs every one of the five scheduling policies (unified SMS, BSA,
 //!    N&E, round-robin, load-balanced) on each pair through the shared engine and
 //!    audits every produced schedule with [`vliw_sim::check_schedule`] — static
-//!    validation, cycle-level replay, and the closed-form cycle cross-checks;
+//!    validation, cycle-level replay, and the closed-form cycle cross-checks; every
+//!    case additionally draws a sampled unroll factor (2–8) and pushes its
+//!    exactly-unrolled kernel ([`vliw_ddg::unroll_exact`], scheduled with BSA)
+//!    through the same four oracles, so the unroll path is execution-validated too;
 //! 3. [`shrink`] reduces any failing pair to a minimal reproducer by deleting nodes
 //!    and edges, clamping iteration counts and simplifying the machine, re-checking
 //!    the failure after every candidate step;
@@ -38,6 +41,8 @@ pub mod shrink;
 
 pub use campaign::{run_campaign, CampaignConfig};
 pub use case::{generate_case, FuzzCase};
-pub use oracle::{check_case, check_policy, CaseOutcome, Policy, PolicyOutcome};
+pub use oracle::{
+    check_case, check_policy, check_unrolled, CaseOutcome, Policy, PolicyOutcome, UnrollAudit,
+};
 pub use report::{CampaignReport, Coverage, ShrunkRepro, ViolationReport};
 pub use shrink::{induced_subgraph, shrink_case, ShrinkResult};

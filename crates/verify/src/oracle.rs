@@ -114,13 +114,27 @@ impl PolicyOutcome {
     }
 }
 
-/// The audited outcome of one case across all five policies.
+/// The audited outcome of the per-case unroll audit: the case's sampled factor was
+/// applied with [`vliw_ddg::unroll_exact`] and the kernel scheduled with BSA, then
+/// run through the same four oracles as every other schedule.
+#[derive(Debug, Clone)]
+pub struct UnrollAudit {
+    /// The unroll factor that was applied.
+    pub factor: u32,
+    /// What happened when BSA met the unrolled kernel.
+    pub outcome: PolicyOutcome,
+}
+
+/// The audited outcome of one case across all five policies, plus the sampled
+/// unroll-factor audit.
 #[derive(Debug, Clone)]
 pub struct CaseOutcome {
     /// The case that was checked.
     pub case: FuzzCase,
     /// One outcome per [`Policy::ALL`] entry, in that order.
     pub outcomes: Vec<(Policy, PolicyOutcome)>,
+    /// The unroll audit (`None` when the case's trip count is too small to unroll).
+    pub unrolled: Option<UnrollAudit>,
 }
 
 impl CaseOutcome {
@@ -158,13 +172,38 @@ pub fn check_policy(policy: Policy, machine: &MachineConfig, graph: &DepGraph) -
     }
 }
 
-/// Run all five policies on `case` and audit every produced schedule.
+/// Audit the exactly-unrolled kernel of `graph` at `factor` under BSA: unroll with
+/// [`vliw_ddg::unroll_exact`], schedule, and run the result through the four
+/// oracles.  Returns `None` for factors below 2 or above the trip count (the
+/// kernel would cover no iterations).
+pub fn check_unrolled(
+    machine: &MachineConfig,
+    graph: &DepGraph,
+    factor: u32,
+) -> Option<UnrollAudit> {
+    if factor < 2 || factor as u64 > graph.iterations {
+        return None;
+    }
+    let kernel = vliw_ddg::unroll_exact(graph, factor).kernel;
+    Some(UnrollAudit {
+        factor,
+        outcome: check_policy(Policy::Bsa, machine, &kernel),
+    })
+}
+
+/// Run all five policies on `case` and audit every produced schedule, plus the
+/// case's sampled unroll factor through BSA.
 pub fn check_case(case: FuzzCase) -> CaseOutcome {
     let outcomes = Policy::ALL
         .iter()
         .map(|&policy| (policy, check_policy(policy, &case.machine, &case.graph)))
         .collect();
-    CaseOutcome { case, outcomes }
+    let unrolled = check_unrolled(&case.machine, &case.graph, case.unroll_factor);
+    CaseOutcome {
+        case,
+        outcomes,
+        unrolled,
+    }
 }
 
 #[cfg(test)]
@@ -186,6 +225,44 @@ mod tests {
                 o
             );
         }
+        let unrolled = outcome
+            .unrolled
+            .expect("generated trip counts allow unrolling");
+        assert!(unrolled.factor >= 2);
+        assert!(
+            !unrolled.outcome.is_violation(),
+            "unroll x{}: unexpected violation {:?}",
+            unrolled.factor,
+            unrolled.outcome
+        );
+    }
+
+    #[test]
+    fn unroll_audits_run_clean_across_sampled_cases() {
+        let space = MachineSpace::default();
+        let mut audited = 0;
+        for index in 0..24 {
+            let case = generate_case(77, index, &space);
+            if let Some(audit) = check_unrolled(&case.machine, &case.graph, case.unroll_factor) {
+                assert!(
+                    !audit.outcome.is_violation(),
+                    "case {index} x{}: {:?}",
+                    audit.factor,
+                    audit.outcome
+                );
+                audited += 1;
+            }
+        }
+        assert!(audited >= 12, "only {audited}/24 cases were unroll-audited");
+    }
+
+    #[test]
+    fn degenerate_unroll_factors_are_skipped() {
+        let case = generate_case(1234, 0, &MachineSpace::table1());
+        assert!(check_unrolled(&case.machine, &case.graph, 1).is_none());
+        assert!(
+            check_unrolled(&case.machine, &case.graph, case.graph.iterations as u32 + 1).is_none()
+        );
     }
 
     #[test]

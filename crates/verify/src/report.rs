@@ -27,6 +27,15 @@ pub struct Coverage {
     /// Schedules whose II exceeded 64 — exercising the reservation table's
     /// multi-word rows.
     pub ii_over_64: u64,
+    /// Exactly-unrolled kernels (one sampled factor per case, scheduled with BSA)
+    /// produced and differentially audited.
+    pub unrolled_schedules_checked: u64,
+    /// Unroll audits whose II search exhausted its budget (coverage, not failure —
+    /// unrolled bodies are the fastest way to overflow a tiny register file).
+    pub unrolled_unschedulable: u64,
+    /// Histogram over the sampled unroll factors of every audited kernel
+    /// (`"x<factor>"` keys).
+    pub unroll_factors: BTreeMap<String, u64>,
     /// Histogram over `"<policy>/<limiting-resource>"` of the engine's diagnosis for
     /// every produced schedule.
     pub limiting_by_policy: BTreeMap<String, u64>,

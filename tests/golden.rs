@@ -1,7 +1,7 @@
 //! Golden-output regression tests: regenerate the committed figure/table artifacts
 //! with the current engine + sweep runner at **full scale** and assert they match
-//! the files under `results/` bit-for-bit — fig4, fig8, fig9, fig10, table1 and
-//! table2, i.e. every committed experiment artifact.  This is the
+//! the files under `results/` bit-for-bit — fig4, fig8, fig9, fig10, fig_unroll,
+//! table1 and table2, i.e. every committed experiment artifact.  This is the
 //! behaviour-preservation guard of the engine refactor: the five schedulers route
 //! through the shared `IiSearchDriver`, the figures through the memoized sweep —
 //! and not a single byte of output moved.
@@ -63,6 +63,13 @@ fn fig9_regenerates_byte_identical() {
 fn fig10_regenerates_byte_identical() {
     let corpora = LoopCorpus::all();
     assert_matches_committed(&figures::fig10(&corpora), "fig10");
+}
+
+#[test]
+#[ignore = "full-scale regeneration (~1 min in release); CI golden job runs it"]
+fn fig_unroll_regenerates_byte_identical() {
+    let corpora = LoopCorpus::all();
+    assert_matches_committed(&figures::fig_unroll(&corpora), "fig_unroll");
 }
 
 #[test]

@@ -5,6 +5,7 @@
 
 use clustered_vliw::core::{
     BsaScheduler, LoadBalancedScheduler, LoopScheduler, NeScheduler, RoundRobinScheduler,
+    SelectiveUnroller, UnrollPolicy,
 };
 use clustered_vliw::prelude::*;
 use clustered_vliw::sim::ScheduleValidator;
@@ -332,5 +333,60 @@ proptest! {
     ) {
         prop_assume!(graph.validate().is_ok());
         check_transaction_roundtrip(&graph, seed);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // The factor-exploration policy's contract: the factor-1 schedule is always a
+    // candidate and the winner must beat it to be selected, so `Explore` can never
+    // return a schedule with lower IPC than `UnrollPolicy::None` on the same
+    // machine — for any loop, including trip counts the factors do not divide
+    // (exact remainder accounting).
+    #[test]
+    fn explore_never_loses_to_no_unrolling(graph in arb_loop()) {
+        prop_assume!(graph.validate().is_ok());
+        for machine in [MachineConfig::two_cluster(1, 1), MachineConfig::four_cluster(1, 2)] {
+            let driver = SelectiveUnroller::new(BsaScheduler::new(&machine));
+            let none = driver.schedule_with_policy(&graph, UnrollPolicy::None).unwrap();
+            let explored = driver
+                .schedule_with_policy(&graph, UnrollPolicy::Explore { max_factor: 4 })
+                .unwrap();
+            prop_assert!(
+                explored.ipc() >= none.ipc(),
+                "{}: explore {} < none {} (factor {})",
+                machine.name,
+                explored.ipc(),
+                none.ipc(),
+                explored.unroll_factor
+            );
+            // Exact accounting: kernel iterations + epilogue iterations cover NITER.
+            let covered = explored.scheduled_graph.iterations * explored.unroll_factor as u64
+                + explored.remainder.as_ref().map_or(0, |r| r.iterations);
+            prop_assert_eq!(covered, graph.iterations);
+        }
+    }
+
+    // Unrolling composes: unroll(unroll(g, 2), 2) must be structurally identical to
+    // unroll(g, 4) — root-relative provenance (original, flat copy index) and the
+    // remapped edges alike.  (The flat copy index is what keeps useful-op
+    // accounting honest when Explore revisits factors.)
+    #[test]
+    fn double_unrolling_equals_unrolling_by_the_product(graph in arb_loop()) {
+        prop_assume!(graph.validate().is_ok());
+        let composed = unroll(&unroll(&graph, 2), 2);
+        let direct = unroll(&graph, 4);
+        prop_assert_eq!(composed.iterations, direct.iterations);
+        prop_assert_eq!(composed.n_nodes(), direct.n_nodes());
+        for (a, b) in composed.nodes().zip(direct.nodes()) {
+            prop_assert_eq!(a.original, b.original);
+            prop_assert_eq!(a.copy, b.copy);
+            prop_assert_eq!(a.class, b.class);
+        }
+        for (a, b) in composed.edges().zip(direct.edges()) {
+            prop_assert_eq!((a.src, a.dst, a.latency, a.distance, a.kind),
+                            (b.src, b.dst, b.latency, b.distance, b.kind));
+        }
     }
 }

@@ -134,7 +134,7 @@ fn selective_unrolling_tracks_full_unrolling_ipc_on_bus_starved_machines() {
     let mut cycles_none = 0u64;
     for graph in corpus.loops.iter().take(12) {
         let all = driver
-            .schedule_with_policy(graph, UnrollPolicy::All)
+            .schedule_with_policy(graph, UnrollPolicy::ByClusters)
             .unwrap();
         let sel = driver
             .schedule_with_policy(graph, UnrollPolicy::Selective)
