@@ -42,7 +42,7 @@ fn fig4_point(c: &mut Criterion) {
                         sweep
                             .run(std::slice::from_ref(&corpus))
                             .mean_relative_ipc(id)
-                    })
+                    });
                 },
             );
         }
@@ -57,7 +57,7 @@ fn fig8_point(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig8-point");
     for policy in UnrollPolicy::ALL {
         group.bench_function(policy.label(), |b| {
-            b.iter(|| run_corpus(&corpus, &machine, Algorithm::Bsa, policy))
+            b.iter(|| run_corpus(&corpus, &machine, Algorithm::Bsa, policy));
         });
     }
     group.finish();
@@ -73,7 +73,7 @@ fn table2_point(c: &mut Criterion) {
         MachineConfig::four_cluster(2, 1),
     ];
     c.bench_function("table2-cycle-times", |b| {
-        b.iter(|| configs.iter().map(|m| model.cycle_time_ps(m)).sum::<f64>())
+        b.iter(|| configs.iter().map(|m| model.cycle_time_ps(m)).sum::<f64>());
     });
 }
 
@@ -85,7 +85,7 @@ fn fig10_point(c: &mut Criterion) {
         b.iter(|| {
             let r = run_corpus(&corpus, &machine, Algorithm::Bsa, UnrollPolicy::Selective);
             (r.code_size.useful_ops, r.code_size.total_slots)
-        })
+        });
     });
 }
 

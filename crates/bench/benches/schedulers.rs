@@ -26,19 +26,19 @@ fn scheduler_throughput(c: &mut Criterion) {
     for (name, graph) in &loops {
         group.bench_with_input(BenchmarkId::new("unified-sms", name), graph, |b, g| {
             let s = SmsScheduler::new(&unified);
-            b.iter(|| s.schedule(g).unwrap())
+            b.iter(|| s.schedule(g).unwrap());
         });
         group.bench_with_input(BenchmarkId::new("bsa-2cluster", name), graph, |b, g| {
             let s = BsaScheduler::new(&machine2);
-            b.iter(|| s.schedule(g).unwrap())
+            b.iter(|| s.schedule(g).unwrap());
         });
         group.bench_with_input(BenchmarkId::new("bsa-4cluster", name), graph, |b, g| {
             let s = BsaScheduler::new(&machine4);
-            b.iter(|| s.schedule(g).unwrap())
+            b.iter(|| s.schedule(g).unwrap());
         });
         group.bench_with_input(BenchmarkId::new("ne-4cluster", name), graph, |b, g| {
             let s = NeScheduler::new(&machine4);
-            b.iter(|| s.schedule(g).unwrap())
+            b.iter(|| s.schedule(g).unwrap());
         });
     }
     group.finish();
@@ -51,7 +51,7 @@ fn unrolling_policies(c: &mut Criterion) {
     for policy in UnrollPolicy::ALL {
         group.bench_function(policy.label(), |b| {
             let driver = SelectiveUnroller::new(BsaScheduler::new(&machine));
-            b.iter(|| driver.schedule_with_policy(&graph, policy).unwrap())
+            b.iter(|| driver.schedule_with_policy(&graph, policy).unwrap());
         });
     }
     group.finish();
@@ -71,7 +71,7 @@ fn corpus_scheduling(c: &mut Criterion) {
                 vliw_bench::Algorithm::Bsa,
                 UnrollPolicy::Selective,
             )
-        })
+        });
     });
 }
 
@@ -85,19 +85,19 @@ fn ablation_assignment_policies(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation-assignment");
     group.bench_function("bsa-profit", |b| {
         let s = BsaScheduler::new(&machine);
-        b.iter(|| s.schedule(&graph).unwrap())
+        b.iter(|| s.schedule(&graph).unwrap());
     });
     group.bench_function("two-phase-ne", |b| {
         let s = NeScheduler::new(&machine);
-        b.iter(|| s.schedule(&graph).unwrap())
+        b.iter(|| s.schedule(&graph).unwrap());
     });
     group.bench_function("round-robin", |b| {
         let s = RoundRobinScheduler::new(&machine);
-        b.iter(|| s.schedule(&graph).unwrap())
+        b.iter(|| s.schedule(&graph).unwrap());
     });
     group.bench_function("load-balanced", |b| {
         let s = LoadBalancedScheduler::new(&machine);
-        b.iter(|| s.schedule(&graph).unwrap())
+        b.iter(|| s.schedule(&graph).unwrap());
     });
     group.finish();
 }

@@ -1,0 +1,77 @@
+//! The `lint` gate binary: statically certify every schedule behind the committed
+//! figure artifacts.
+//!
+//! ```text
+//! cargo run --release -p vliw-bench --bin lint
+//! ```
+//!
+//! Enumerates every deduplicated scheduling job of the five figure pipelines
+//! ([`vliw_bench::lint_audit::figure_jobs`]), schedules every corpus loop under
+//! each, and runs `vliw_lint`'s certifier over every produced schedule — kernels
+//! and exact-unroll remainder epilogues alike.  Writes the deterministic
+//! `results/lint_report.json` (part of the golden byte-identity suite) and exits
+//! non-zero when any schedule has a deny-level diagnostic, so CI can gate on it.
+
+use vliw_bench::{lint_audit, standard_corpora};
+use vliw_metrics::TextTable;
+
+fn main() {
+    let corpora = standard_corpora();
+    let jobs = lint_audit::figure_jobs();
+    println!(
+        "lint: certifying the schedules of {} figure jobs over {} corpora",
+        jobs.len(),
+        corpora.len()
+    );
+
+    let report = lint_audit::audit_jobs(&jobs, &corpora);
+
+    let mut table = TextTable::new([
+        "machine",
+        "algorithm",
+        "policy",
+        "schedules",
+        "certified",
+        "warns",
+    ]);
+    for j in &report.jobs {
+        let warns: u64 = j.warnings.values().sum();
+        table.row([
+            j.machine.clone(),
+            j.algorithm.clone(),
+            j.policy.clone(),
+            format!("{}", j.schedules),
+            format!("{}", j.certified),
+            format!("{warns}"),
+        ]);
+    }
+    println!("{table}");
+    println!("warn-lint histogram:");
+    for (id, count) in &report.warnings {
+        println!("  {id:<20} {count}");
+    }
+    println!(
+        "{} schedules audited, {} certified, {} denied",
+        report.schedules_audited, report.certified, report.deny_schedules
+    );
+    for job in &report.jobs {
+        for deny in &job.deny_reports {
+            println!(
+                "  DENY {} on {} (II {}): {:?}",
+                deny.loop_name, deny.machine, deny.ii, deny.diagnostics
+            );
+        }
+    }
+
+    let path =
+        vliw_lint::reportio::write_results_json("lint_report", &report).expect("write report");
+    vliw_lint::reportio::exit_on_violations(
+        &path,
+        report.deny_schedules as usize,
+        &format!(
+            "all {} schedules statically certified",
+            report.schedules_audited
+        ),
+        &format!("{} uncertified schedule(s)", report.deny_schedules),
+    );
+}

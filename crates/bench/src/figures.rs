@@ -60,18 +60,29 @@ pub struct Fig4Output {
     pub motivation: Vec<Fig4Motivation>,
 }
 
-/// Figure 4 — relative performance (IPC of the clustered machine / IPC of the unified
-/// machine with the same resources) as a function of the number of buses, for the
-/// paper's single-pass scheduler (BSA) and the two-phase baseline (N&E), with bus
-/// latencies of 1 and 2 cycles, on the 2-cluster and 4-cluster configurations.
-/// No unrolling is applied (this figure motivates the unrolling technique).
-pub fn fig4(corpora: &[LoopCorpus]) -> Fig4Output {
+/// A [`Sweep`] with both opt-in audit modes wired to their environment variables
+/// (`VERIFY_CELLS` → execution validation, `LINT_CELLS` → static certification) —
+/// the starting point of every figure pipeline.
+fn audited_sweep() -> Sweep {
+    let mut sweep = Sweep::new();
+    sweep.verify_cells(crate::verify_from_env());
+    sweep.lint_cells(crate::lint_from_env());
+    sweep
+}
+
+/// Figure 4 grid cell: `(clusters, buses, latency, algorithm, cell)`.
+type Fig4Cell = (usize, usize, u32, Algorithm, CellId);
+/// Figure 4 motivation pair: `(clusters, buses, no-unroll cell, unrolled cell)`.
+type Fig4MotivationCell = (usize, usize, CellId, CellId);
+
+/// Declare Figure 4's cells on `sweep`, returning the grid cells and the
+/// motivation-check cells.  Shared between [`fig4`] and
+/// [`crate::lint_audit::figure_jobs`].
+pub(crate) fn declare_fig4(sweep: &mut Sweep) -> (Vec<Fig4Cell>, Vec<Fig4MotivationCell>) {
     let bus_counts = [1usize, 2, 3, 4, 6, 8, 12];
     let latencies = [1u32, 2];
     let algorithms = [Algorithm::Bsa, Algorithm::NystromEichenberger];
 
-    let mut sweep = Sweep::new();
-    sweep.verify_cells(crate::verify_from_env());
     let mut point_cells: Vec<(usize, usize, u32, Algorithm, CellId)> = Vec::new();
     for &clusters in &[2usize, 4] {
         for &alg in &algorithms {
@@ -109,7 +120,17 @@ pub fn fig4(corpora: &[LoopCorpus]) -> Fig4Output {
         );
         motivation_cells.push((clusters, buses, bsa, ne));
     }
+    (point_cells, motivation_cells)
+}
 
+/// Figure 4 — relative performance (IPC of the clustered machine / IPC of the unified
+/// machine with the same resources) as a function of the number of buses, for the
+/// paper's single-pass scheduler (BSA) and the two-phase baseline (N&E), with bus
+/// latencies of 1 and 2 cycles, on the 2-cluster and 4-cluster configurations.
+/// No unrolling is applied (this figure motivates the unrolling technique).
+pub fn fig4(corpora: &[LoopCorpus]) -> Fig4Output {
+    let mut sweep = audited_sweep();
+    let (point_cells, motivation_cells) = declare_fig4(&mut sweep);
     let results = sweep.run(corpora);
     let points = point_cells
         .into_iter()
@@ -157,16 +178,13 @@ pub struct Fig8Bar {
     pub unrolled_loops: usize,
 }
 
-/// Figure 8 — IPC of every SPECfp95 benchmark on the unified and clustered
-/// configurations, for the three unrolling policies (No unrolling / Unrolling /
-/// Selective unrolling), with 1 or 2 buses and bus latencies of 1, 2 and 4 cycles.
-pub fn fig8(corpora: &[LoopCorpus]) -> Vec<Fig8Bar> {
+/// Declare Figure 8's cells on `sweep`.  Shared between [`fig8`] and
+/// [`crate::lint_audit::figure_jobs`].
+pub(crate) fn declare_fig8(sweep: &mut Sweep) -> Vec<(usize, UnrollPolicy, usize, u32, CellId)> {
     let bus_latencies = [1u32, 2, 4];
     let bus_counts = [1usize, 2];
     let unified = MachineConfig::unified();
 
-    let mut sweep = Sweep::new();
-    sweep.verify_cells(crate::verify_from_env());
     let mut cells: Vec<(usize, UnrollPolicy, usize, u32, CellId)> = Vec::new();
     for &clusters in &[2usize, 4] {
         for policy in UnrollPolicy::ALL {
@@ -184,6 +202,17 @@ pub fn fig8(corpora: &[LoopCorpus]) -> Vec<Fig8Bar> {
             }
         }
     }
+    cells
+}
+
+/// Figure 8 — IPC of every SPECfp95 benchmark on the unified and clustered
+/// configurations, for the three unrolling policies (No unrolling / Unrolling /
+/// Selective unrolling), with 1 or 2 buses and bus latencies of 1, 2 and 4 cycles.
+pub fn fig8(corpora: &[LoopCorpus]) -> Vec<Fig8Bar> {
+    let bus_latencies = [1u32, 2, 4];
+    let bus_counts = [1usize, 2];
+    let mut sweep = audited_sweep();
+    let cells = declare_fig8(&mut sweep);
     let results = sweep.run(corpora);
 
     // Historical bar order: clusters → benchmark → policy → buses → latency.
@@ -237,15 +266,12 @@ pub struct Fig9Bar {
     pub speedup: f64,
 }
 
-/// Figure 9 — speed-up of the clustered configurations over the unified one when the
-/// cycle time (Table 2 / Palacharla model) is taken into account, for the No-unrolling
-/// (NU) and Selective-unrolling (SU) policies with 1 or 2 buses (bus latency 1).
-pub fn fig9(corpora: &[LoopCorpus]) -> Vec<Fig9Bar> {
-    let model = CycleTimeModel::new();
+/// Declare Figure 9's cells on `sweep`.  Shared between [`fig9`] and
+/// [`crate::lint_audit::figure_jobs`].
+pub(crate) fn declare_fig9(
+    sweep: &mut Sweep,
+) -> Vec<(usize, usize, &'static str, MachineConfig, CellId)> {
     let unified = MachineConfig::unified();
-
-    let mut sweep = Sweep::new();
-    sweep.verify_cells(crate::verify_from_env());
     let mut cells: Vec<(usize, usize, &'static str, MachineConfig, CellId)> = Vec::new();
     for &clusters in &[2usize, 4] {
         for &buses in &[1usize, 2] {
@@ -261,6 +287,18 @@ pub fn fig9(corpora: &[LoopCorpus]) -> Vec<Fig9Bar> {
             }
         }
     }
+    cells
+}
+
+/// Figure 9 — speed-up of the clustered configurations over the unified one when the
+/// cycle time (Table 2 / Palacharla model) is taken into account, for the No-unrolling
+/// (NU) and Selective-unrolling (SU) policies with 1 or 2 buses (bus latency 1).
+pub fn fig9(corpora: &[LoopCorpus]) -> Vec<Fig9Bar> {
+    let model = CycleTimeModel::new();
+    let unified = MachineConfig::unified();
+
+    let mut sweep = audited_sweep();
+    let cells = declare_fig9(&mut sweep);
     let results = sweep.run(corpora);
 
     cells
@@ -301,13 +339,14 @@ pub struct Fig10Bar {
     pub normalized_useful: f64,
 }
 
-/// Figure 10 — impact of loop unrolling on code size: total operation slots (useful +
-/// NOP) and useful operations only, normalised to the unified configuration without
-/// unrolling, for the same scenarios as Figure 8.
-pub fn fig10(corpora: &[LoopCorpus]) -> Vec<Fig10Bar> {
+/// Declare Figure 10's cells on `sweep`, returning the unified baseline cell and
+/// the grid cells.  Shared between [`fig10`] and
+/// [`crate::lint_audit::figure_jobs`].
+/// Figure 10 grid cell: `(clusters, policy, buses, latency, cell)`.
+type Fig10Cell = (usize, UnrollPolicy, usize, u32, CellId);
+
+pub(crate) fn declare_fig10(sweep: &mut Sweep) -> (CellId, Vec<Fig10Cell>) {
     let unified = MachineConfig::unified();
-    let mut sweep = Sweep::new();
-    sweep.verify_cells(crate::verify_from_env());
     let base_id = sweep.cell(unified, Algorithm::UnifiedSms, UnrollPolicy::None);
     let mut cells: Vec<(usize, UnrollPolicy, usize, u32, CellId)> = Vec::new();
     for &clusters in &[2usize, 4] {
@@ -321,6 +360,15 @@ pub fn fig10(corpora: &[LoopCorpus]) -> Vec<Fig10Bar> {
             }
         }
     }
+    (base_id, cells)
+}
+
+/// Figure 10 — impact of loop unrolling on code size: total operation slots (useful +
+/// NOP) and useful operations only, normalised to the unified configuration without
+/// unrolling, for the same scenarios as Figure 8.
+pub fn fig10(corpora: &[LoopCorpus]) -> Vec<Fig10Bar> {
+    let mut sweep = audited_sweep();
+    let (base_id, cells) = declare_fig10(&mut sweep);
     let results = sweep.run(corpora);
 
     // Baseline: unified configuration, no unrolling, summed over all benchmarks.
@@ -544,21 +592,17 @@ impl UnrollCellAggregate {
     }
 }
 
-/// The factor-exploration figure — IPC and code size as a function of the unroll
-/// factor `U ∈ 1..=8` on the Table-1 clustered machines (exact remainder
-/// accounting, BSA), plus one `Explore` row per machine: the best factor under the
-/// default code-size budget.  The paper's Figure 8 only ever evaluates
-/// `U = n_clusters`; this sweep exposes the structure across the whole factor axis
-/// (register pressure taking over as the binding constraint as `U` grows).
-pub fn fig_unroll(corpora: &[LoopCorpus]) -> Vec<FigUnrollPoint> {
+/// Declare the factor-exploration sweep's cells on `sweep`.  Shared between
+/// [`fig_unroll`] and [`crate::lint_audit::figure_jobs`].
+pub(crate) fn declare_fig_unroll(
+    sweep: &mut Sweep,
+) -> Vec<(MachineConfig, UnrollPolicy, u32, CellId)> {
     const MAX_FACTOR: u32 = 8;
     let machines = [
         MachineConfig::two_cluster(1, 1),
         MachineConfig::four_cluster(1, 1),
     ];
 
-    let mut sweep = Sweep::new();
-    sweep.verify_cells(crate::verify_from_env());
     let mut cells: Vec<(MachineConfig, UnrollPolicy, u32, CellId)> = Vec::new();
     for machine in &machines {
         for factor in 1..=MAX_FACTOR {
@@ -572,6 +616,18 @@ pub fn fig_unroll(corpora: &[LoopCorpus]) -> Vec<FigUnrollPoint> {
         let id = sweep.cell(machine.clone(), Algorithm::Bsa, policy);
         cells.push((machine.clone(), policy, MAX_FACTOR, id));
     }
+    cells
+}
+
+/// The factor-exploration figure — IPC and code size as a function of the unroll
+/// factor `U ∈ 1..=8` on the Table-1 clustered machines (exact remainder
+/// accounting, BSA), plus one `Explore` row per machine: the best factor under the
+/// default code-size budget.  The paper's Figure 8 only ever evaluates
+/// `U = n_clusters`; this sweep exposes the structure across the whole factor axis
+/// (register pressure taking over as the binding constraint as `U` grows).
+pub fn fig_unroll(corpora: &[LoopCorpus]) -> Vec<FigUnrollPoint> {
+    let mut sweep = audited_sweep();
+    let cells = declare_fig_unroll(&mut sweep);
     let results = sweep.run(corpora);
 
     // Per-machine baseline: the factor-1 cell (identical to no unrolling).

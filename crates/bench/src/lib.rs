@@ -29,10 +29,12 @@
 //!   `fig10`) as plain functions from corpora to the serialisable rows the binaries
 //!   print and write, which is also what the golden-output regression test calls.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod figures;
+pub mod lint_audit;
 pub mod sweep;
 
 use cvliw_core::{BsaScheduler, ClusterSchedule, NeScheduler, SelectiveUnroller, UnrollPolicy};
@@ -44,7 +46,7 @@ use vliw_metrics::{CodeSizeModel, CodeSizeReport, IpcAccountant, IpcView, LoopCo
 use vliw_sms::{LimitingResource, ScheduleDiagnostics, ScheduleError, SmsScheduler};
 use vliw_workloads::LoopCorpus;
 
-pub use sweep::{Baseline, CellId, CellOutcome, Sweep, SweepResults};
+pub use sweep::{Baseline, CellId, CellOutcome, Sweep, SweepJob, SweepResults};
 
 /// Which scheduling algorithm to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -180,7 +182,7 @@ pub fn run_corpus(
     algorithm: Algorithm,
     policy: UnrollPolicy,
 ) -> CorpusResult {
-    run_corpus_impl(corpus, machine, algorithm, policy, false)
+    run_corpus_impl(corpus, machine, algorithm, policy, false, false)
 }
 
 /// [`run_corpus`], with every produced schedule differentially audited by
@@ -197,7 +199,24 @@ pub fn run_corpus_verified(
     algorithm: Algorithm,
     policy: UnrollPolicy,
 ) -> CorpusResult {
-    run_corpus_impl(corpus, machine, algorithm, policy, true)
+    run_corpus_impl(corpus, machine, algorithm, policy, true, false)
+}
+
+/// [`run_corpus`] with the audit modes selected by flags: `verify` replays every
+/// schedule through `vliw_sim`'s differential oracle ([`run_corpus_verified`]);
+/// `lint` certifies every schedule with `vliw_lint`'s static certifier and panics
+/// on the first deny-level diagnostic.  Both audits only observe, so the corpus
+/// result is identical in every mode; [`sweep::Sweep`] routes its `VERIFY_CELLS` /
+/// `LINT_CELLS` opt-ins through here.
+pub fn run_corpus_audited(
+    corpus: &LoopCorpus,
+    machine: &MachineConfig,
+    algorithm: Algorithm,
+    policy: UnrollPolicy,
+    verify: bool,
+    lint: bool,
+) -> CorpusResult {
+    run_corpus_impl(corpus, machine, algorithm, policy, verify, lint)
 }
 
 fn run_corpus_impl(
@@ -206,6 +225,7 @@ fn run_corpus_impl(
     algorithm: Algorithm,
     policy: UnrollPolicy,
     verify: bool,
+    lint: bool,
 ) -> CorpusResult {
     let code_model = CodeSizeModel::new(machine);
     type PerLoop = (LoopContribution, CodeSizeReport, bool, ScheduleDiagnostics);
@@ -265,6 +285,41 @@ fn run_corpus_impl(
                     );
                 }
             }
+            if lint {
+                // The static counterpart of the execution audit above: certify the
+                // produced kernel (and the exact-unroll remainder) with the lint
+                // framework's deny-level invariants, no replay involved.
+                let report = vliw_lint::Certifier::new(machine).check(
+                    &cs.scheduled_graph,
+                    &cs.schedule,
+                    vliw_sim::verification_iterations(&cs.scheduled_graph),
+                );
+                assert!(
+                    report.is_certified(),
+                    "lint_cells: loop {} on {} ({:?}, policy {}): {:?}",
+                    cs.scheduled_graph.name,
+                    machine,
+                    algorithm,
+                    policy.label(),
+                    report.diagnostics
+                );
+                if let Some(rem) = &cs.remainder {
+                    let report = vliw_lint::Certifier::new(machine).check(
+                        graph,
+                        &rem.schedule,
+                        vliw_sim::verification_iterations(graph),
+                    );
+                    assert!(
+                        report.is_certified(),
+                        "lint_cells: remainder epilogue of loop {} on {} ({:?}, policy {}): {:?}",
+                        graph.name,
+                        machine,
+                        algorithm,
+                        policy.label(),
+                        report.diagnostics
+                    );
+                }
+            }
             let contribution = LoopContribution::new(
                 &cs.schedule,
                 cs.scheduled_graph.iterations,
@@ -321,13 +376,11 @@ pub fn mean(values: &[f64]) -> f64 {
 
 /// Write a serialisable experiment result as pretty JSON under `results/<name>.json`
 /// (creating the directory), returning the path.  Experiment binaries call this so
-/// every figure has a machine-readable artifact next to the printed table.
+/// every figure has a machine-readable artifact next to the printed table.  One
+/// report-writing policy for the whole workspace: this delegates to
+/// [`vliw_lint::reportio`], which the `verify` and `lint` gate bins also use.
 pub fn write_json<T: Serialize>(name: &str, value: &T) -> std::io::Result<std::path::PathBuf> {
-    let dir = std::path::Path::new("results");
-    std::fs::create_dir_all(dir)?;
-    let path = dir.join(format!("{name}.json"));
-    std::fs::write(&path, serde_json::to_string_pretty(value)?)?;
-    Ok(path)
+    vliw_lint::reportio::write_results_json(name, value)
 }
 
 /// Whether figure pipelines should run execution-validated, from the
@@ -337,6 +390,16 @@ pub fn write_json<T: Serialize>(name: &str, value: &T) -> std::io::Result<std::p
 /// figure with every schedule of every cell audited by the differential oracle.
 pub fn verify_from_env() -> bool {
     std::env::var("VERIFY_CELLS").is_ok_and(|v| v != "0")
+}
+
+/// Whether figure pipelines should run statically certified, from the `LINT_CELLS`
+/// environment variable (set it to anything but `0`) — the static mirror of
+/// [`verify_from_env`].  Every figure pipeline feeds this into
+/// [`sweep::Sweep::lint_cells`], so `LINT_CELLS=1 cargo run --release -p vliw-bench
+/// --bin fig9` reproduces the figure with every schedule of every cell certified by
+/// `vliw_lint` — no replay, just the dataflow proofs.
+pub fn lint_from_env() -> bool {
+    std::env::var("LINT_CELLS").is_ok_and(|v| v != "0")
 }
 
 /// The standard corpus used by all experiment binaries, optionally shrunk by the

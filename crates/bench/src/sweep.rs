@@ -14,7 +14,7 @@
 //!    *structure*, not name, so the unified counterparts of `2-cluster/1-bus` and
 //!    `2-cluster/2-bus` (identical total resources) collapse into one baseline job;
 //! 2. executes the unique `(job, corpus)` pairs rayon-parallel (the nested per-loop
-//!    parallelism inside [`run_corpus`] automatically degrades to sequential on pool
+//!    parallelism inside [`crate::run_corpus`] automatically degrades to sequential on pool
 //!    workers, so the machine is never oversubscribed);
 //! 3. reassembles per-cell outcomes in declaration order, attaching the memoized
 //!    baseline and the relative IPC.
@@ -30,7 +30,7 @@
 //! a bounded per-loop replay.  The audit only observes, so validated outputs remain
 //! byte-identical; a violation aborts the run with the offending loop and machine.
 
-use crate::{run_corpus, Algorithm, CorpusResult};
+use crate::{Algorithm, CorpusResult};
 use cvliw_core::UnrollPolicy;
 use rayon::prelude::*;
 use std::collections::HashMap;
@@ -82,11 +82,16 @@ pub struct CellOutcome {
     pub relative_ipc: f64,
 }
 
+/// One deduplicated scheduling job of a sweep: a machine structure, an algorithm
+/// and an unrolling policy, evaluated over every corpus.
+pub type SweepJob = (MachineConfig, Algorithm, UnrollPolicy);
+
 /// A declarative `machines × algorithms × policies` sweep (see module docs).
 #[derive(Debug, Clone, Default)]
 pub struct Sweep {
     cells: Vec<CellSpec>,
     verify: bool,
+    lint: bool,
 }
 
 impl Sweep {
@@ -110,6 +115,24 @@ impl Sweep {
     /// Whether execution validation is enabled.
     pub fn is_verified(&self) -> bool {
         self.verify
+    }
+
+    /// Opt this sweep into **static certification** — the static mirror of
+    /// [`Sweep::verify_cells`]: every schedule of every `(job, corpus)` pair is
+    /// checked by `vliw_lint`'s deny-level certifier (dependences, resource
+    /// conflicts, register pressure, the `NCYCLES` window and the code-size clamp,
+    /// all proven without replaying a cycle) and the run panics on the first
+    /// uncertified schedule.  Off by default; the figure pipelines wire this to the
+    /// `LINT_CELLS` environment variable via [`crate::lint_from_env`].  The audit
+    /// only observes, so outputs stay byte-identical.
+    pub fn lint_cells(&mut self, on: bool) -> &mut Self {
+        self.lint = on;
+        self
+    }
+
+    /// Whether static certification is enabled.
+    pub fn is_linted(&self) -> bool {
+        self.lint
     }
 
     /// Declare a cell with no baseline.
@@ -144,14 +167,12 @@ impl Sweep {
         &self.cells
     }
 
-    /// Execute every `(cell, corpus)` job (rayon-parallel over the deduplicated job
-    /// list) and assemble the outcomes.
-    pub fn run(&self, corpora: &[LoopCorpus]) -> SweepResults {
-        // 1. Deduplicate (machine, algorithm, policy) jobs structurally.  Job order —
-        // and therefore execution order — follows first declaration, keeping runs
-        // deterministic.
+    /// Deduplicate the declared cells into the unique `(machine, algorithm, policy)`
+    /// jobs (structural machine identity, first-declaration order, baseline jobs
+    /// included) plus each cell's `(main, baseline)` job indices.
+    fn dedup_jobs(&self) -> (Vec<SweepJob>, Vec<(usize, Option<usize>)>) {
         let mut job_index: HashMap<String, usize> = HashMap::new();
-        let mut jobs: Vec<(MachineConfig, Algorithm, UnrollPolicy)> = Vec::new();
+        let mut jobs: Vec<SweepJob> = Vec::new();
         let mut intern = |machine: &MachineConfig, algorithm: Algorithm, policy: UnrollPolicy| {
             let key = job_key(machine, algorithm, policy);
             *job_index.entry(key).or_insert_with(|| {
@@ -175,22 +196,43 @@ impl Sweep {
             };
             cell_jobs.push((main, base));
         }
+        (jobs, cell_jobs)
+    }
+
+    /// The deduplicated jobs behind the declared cells, in first-declaration order
+    /// and including every baseline job — the exact scheduling work [`Sweep::run`]
+    /// would execute.  [`crate::lint_audit`] uses this to enumerate every schedule
+    /// behind the committed figure artifacts without running the figures.
+    pub fn jobs(&self) -> Vec<SweepJob> {
+        self.dedup_jobs().0
+    }
+
+    /// Execute every `(cell, corpus)` job (rayon-parallel over the deduplicated job
+    /// list) and assemble the outcomes.
+    pub fn run(&self, corpora: &[LoopCorpus]) -> SweepResults {
+        // 1. Deduplicate (machine, algorithm, policy) jobs structurally.  Job order —
+        // and therefore execution order — follows first declaration, keeping runs
+        // deterministic.
+        let (jobs, cell_jobs) = self.dedup_jobs();
 
         // 2. Run the unique (job, corpus) pairs in parallel.  One flat list gives the
         // chunked scheduler enough cells to balance the very uneven job costs.
         let pairs: Vec<(usize, usize)> = (0..jobs.len())
             .flat_map(|j| (0..corpora.len()).map(move |c| (j, c)))
             .collect();
-        let runner = if self.verify {
-            crate::run_corpus_verified
-        } else {
-            run_corpus
-        };
+        let (verify, lint) = (self.verify, self.lint);
         let flat: Vec<Arc<CorpusResult>> = pairs
             .par_iter()
             .map(|&(j, c)| {
                 let (machine, algorithm, policy) = &jobs[j];
-                Arc::new(runner(&corpora[c], machine, *algorithm, *policy))
+                Arc::new(crate::run_corpus_audited(
+                    &corpora[c],
+                    machine,
+                    *algorithm,
+                    *policy,
+                    verify,
+                    lint,
+                ))
             })
             .collect();
         let result_of = |job: usize, corpus: usize| flat[job * corpora.len() + corpus].clone();
@@ -284,6 +326,7 @@ impl SweepResults {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::run_corpus;
     use vliw_workloads::SpecFp95;
 
     fn small_corpora() -> Vec<LoopCorpus> {
@@ -397,6 +440,58 @@ mod tests {
             assert_eq!(x.result.ipc, y.result.ipc);
             assert_eq!(x.relative_ipc, y.relative_ipc);
         }
+    }
+
+    #[test]
+    fn linted_sweeps_produce_identical_outcomes() {
+        let corpora = small_corpora();
+        let declare = |sweep: &mut Sweep| {
+            sweep.cell_vs(
+                MachineConfig::two_cluster(1, 1),
+                Algorithm::Bsa,
+                UnrollPolicy::Selective,
+                Baseline::UnifiedCounterpart,
+            )
+        };
+        let mut plain = Sweep::new();
+        let id = declare(&mut plain);
+        let mut linted = Sweep::new();
+        linted.lint_cells(true);
+        assert!(linted.is_linted());
+        let lid = declare(&mut linted);
+        // The static certifier only observes: a linted run must neither change a
+        // number nor panic on schedules the engine actually produces.
+        let a = plain.run(&corpora);
+        let b = linted.run(&corpora);
+        for (x, y) in a.cell(id).iter().zip(b.cell(lid)) {
+            assert_eq!(x.result.ipc, y.result.ipc);
+            assert_eq!(x.relative_ipc, y.relative_ipc);
+        }
+    }
+
+    #[test]
+    fn jobs_enumerates_the_deduplicated_work_list() {
+        let mut sweep = Sweep::new();
+        sweep.cell_vs(
+            MachineConfig::two_cluster(1, 1),
+            Algorithm::Bsa,
+            UnrollPolicy::None,
+            Baseline::UnifiedCounterpart,
+        );
+        sweep.cell_vs(
+            MachineConfig::two_cluster(2, 4),
+            Algorithm::Bsa,
+            UnrollPolicy::None,
+            Baseline::UnifiedCounterpart,
+        );
+        let jobs = sweep.jobs();
+        // Two mains plus ONE shared baseline (the unified counterparts of the two
+        // bus variants are structurally identical).  First-declaration order: the
+        // first cell interns its main, then its baseline.
+        assert_eq!(jobs.len(), 3);
+        assert_eq!(jobs[0].1, Algorithm::Bsa);
+        assert_eq!(jobs[1].1, Algorithm::UnifiedSms);
+        assert_eq!(jobs[2].1, Algorithm::Bsa);
     }
 
     #[test]

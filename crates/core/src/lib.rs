@@ -50,6 +50,7 @@
 //! assert!(result.ipc() > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

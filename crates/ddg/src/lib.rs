@@ -23,6 +23,7 @@
 //!   ([`unroll()`]);
 //! * Graphviz export for debugging ([`dot`]).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

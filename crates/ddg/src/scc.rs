@@ -46,7 +46,7 @@ pub fn sccs(graph: &DepGraph) -> Vec<Vec<NodeId>> {
             }
             let succs: Vec<usize> = graph
                 .successors(NodeId(v as u32))
-                .map(|s| s.index())
+                .map(super::graph::NodeId::index)
                 .collect();
             if *succ_pos < succs.len() {
                 let w = succs[*succ_pos];

@@ -339,12 +339,12 @@ mod tests {
     fn names_of_copies_get_a_suffix() {
         let g = simple_loop();
         let u = unroll(&g, 2);
-        let names: Vec<String> = u.nodes().map(|n| n.label()).collect();
+        let names: Vec<String> = u.nodes().map(super::super::graph::Node::label).collect();
         assert!(names.contains(&"a".to_string()));
         assert!(names.contains(&"a'1".to_string()));
         // Composed unrolling suffixes from the root base name, not the intermediate.
         let uu = unroll(&u, 2);
-        let names: Vec<String> = uu.nodes().map(|n| n.label()).collect();
+        let names: Vec<String> = uu.nodes().map(super::super::graph::Node::label).collect();
         for expected in ["a", "a'1", "a'2", "a'3"] {
             assert!(names.contains(&expected.to_string()), "missing {expected}");
         }

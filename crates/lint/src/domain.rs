@@ -1,0 +1,138 @@
+//! The dataflow domain: dense bit lattices.
+//!
+//! Every analysis in this crate works over the powerset lattice of a small, dense
+//! universe (the value-defining nodes of one loop), ordered by inclusion with union
+//! as join.  [`BitSet`] is that lattice element: a fixed-width bit vector whose
+//! mutating operations report whether they changed anything, which is exactly the
+//! signal the fixpoint driver in [`crate::engine`] needs to detect convergence.
+
+use std::fmt;
+
+/// A fixed-universe bit set (one lattice element).
+#[derive(Clone, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    bits: usize,
+}
+
+impl BitSet {
+    /// The empty set over a universe of `bits` elements (the lattice bottom).
+    pub fn new(bits: usize) -> Self {
+        Self {
+            words: vec![0; bits.div_ceil(64)],
+            bits,
+        }
+    }
+
+    /// Size of the universe (not the number of members).
+    #[inline]
+    pub fn universe(&self) -> usize {
+        self.bits
+    }
+
+    /// Insert `bit`; returns `true` if the set changed.
+    #[inline]
+    pub fn insert(&mut self, bit: usize) -> bool {
+        debug_assert!(bit < self.bits, "bit {bit} outside universe {}", self.bits);
+        let word = &mut self.words[bit / 64];
+        let mask = 1u64 << (bit % 64);
+        let changed = *word & mask == 0;
+        *word |= mask;
+        changed
+    }
+
+    /// Remove `bit`; returns `true` if the set changed.
+    #[inline]
+    pub fn remove(&mut self, bit: usize) -> bool {
+        debug_assert!(bit < self.bits, "bit {bit} outside universe {}", self.bits);
+        let word = &mut self.words[bit / 64];
+        let mask = 1u64 << (bit % 64);
+        let changed = *word & mask != 0;
+        *word &= !mask;
+        changed
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, bit: usize) -> bool {
+        debug_assert!(bit < self.bits, "bit {bit} outside universe {}", self.bits);
+        self.words[bit / 64] & (1u64 << (bit % 64)) != 0
+    }
+
+    /// Join: `self ∪= other`; returns `true` if `self` grew.  This is the lattice
+    /// merge at row boundaries, and its change signal drives fixpoint detection.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        debug_assert_eq!(self.bits, other.bits, "universe mismatch");
+        let mut changed = false;
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            let merged = *w | o;
+            changed |= merged != *w;
+            *w = merged;
+        }
+        changed
+    }
+
+    /// Number of members.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set has no members.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Members in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.bits).filter(|&b| self.contains(b))
+    }
+
+    /// Remove every member.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+}
+
+impl fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = BitSet::new(130);
+        assert!(s.insert(0));
+        assert!(s.insert(129));
+        assert!(!s.insert(129), "second insert is a no-op");
+        assert!(s.contains(0) && s.contains(129) && !s.contains(64));
+        assert_eq!(s.count(), 2);
+        assert!(s.remove(0));
+        assert!(!s.remove(0));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![129]);
+    }
+
+    #[test]
+    fn union_reports_growth() {
+        let mut a = BitSet::new(70);
+        let mut b = BitSet::new(70);
+        b.insert(3);
+        b.insert(69);
+        assert!(a.union_with(&b));
+        assert!(!a.union_with(&b), "second union adds nothing");
+        assert_eq!(a.count(), 2);
+    }
+
+    #[test]
+    fn empty_universe_is_fine() {
+        let mut s = BitSet::new(0);
+        assert!(s.is_empty());
+        assert_eq!(s.count(), 0);
+        let other = BitSet::new(0);
+        assert!(!s.union_with(&other));
+    }
+}

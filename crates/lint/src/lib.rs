@@ -1,0 +1,46 @@
+//! # vliw-lint — static schedule certification and dataflow lints
+//!
+//! A gen/kill dataflow framework over the `II` rows of a modulo-scheduled kernel
+//! (in the style of rustc's MIR dataflow layer), plus the analyses and lints built
+//! on it:
+//!
+//! * [`domain`] / [`engine`] — bit lattices and the fixpoint driver across the II
+//!   wraparound (loop-carried facts propagate around the kernel ring);
+//! * [`liveness`] — modulo liveness: per-cluster live sets and an independent
+//!   recomputation of the `MaxLive` register-pressure numbers;
+//! * [`reaching`] — reaching definitions across loop-carried dependences;
+//! * [`makespan`] — closed-form makespan / `NCYCLES` re-derivation and the IPC
+//!   drift window;
+//! * [`lints`] / [`diagnostics`] — the lint registry (stable ids, fixed
+//!   severities, per-lint suppression) and deterministic structured reports;
+//! * [`certify`] — the deny-level certifier proving the dynamic verifier's four
+//!   invariants without execution, plus warn-level schedule-quality lints;
+//! * [`reportio`] — the report-writing/exit-code tail shared by the gate bins.
+//!
+//! The certifier is wired into `vliw-verify` as a fifth, *static* oracle
+//! (cross-checked against the dynamic four on every fuzz case) and into
+//! `vliw_bench::Sweep` as the `LINT_CELLS=1` audit mode; the `lint` binary audits
+//! every schedule behind the committed figure artifacts into
+//! `results/lint_report.json`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod certify;
+pub mod diagnostics;
+pub mod domain;
+pub mod engine;
+pub mod lints;
+pub mod liveness;
+pub mod makespan;
+pub mod reaching;
+pub mod reportio;
+
+pub use certify::{Certifier, CLIFF_MARGIN, IMBALANCE_GAP};
+pub use diagnostics::{Diagnostic, LintReport, Severity};
+pub use domain::BitSet;
+pub use engine::{fixpoint, Direction, KernelAnalysis};
+pub use liveness::{ModuloLiveness, ValueInterval};
+pub use makespan::{ncycles_drift_ok, static_makespan, static_ncycles, static_stage_count};
+pub use reaching::ReachingDefs;

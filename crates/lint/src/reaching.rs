@@ -1,0 +1,166 @@
+//! Reaching definitions across loop-carried dependences.
+//!
+//! The forward counterpart of [`crate::liveness`]: bit `v` is *generated* at the
+//! kernel row where `v`'s value is defined in a cluster (issue row in the producer
+//! cluster, arrival row in a receiving cluster) and *killed* at the row the value's
+//! register frees, so the fixpoint state at row `r` answers "which definitions are
+//! available entering row `r`?".  Because the engine iterates across the `II`
+//! wraparound, a definition late in the kernel reaches reads early in the kernel —
+//! which is precisely how a loop-carried dependence of distance `d` is satisfied by
+//! the instance issued `d` iterations earlier.
+//!
+//! Like the live sets, these are *membership* facts over a non-rotating view of the
+//! kernel: a value whose lifetime exceeds `II` has several in-flight instances that
+//! one bit cannot distinguish.  The certifier therefore proves dependence legality
+//! with closed-form slack arithmetic ([`crate::certify`]); this analysis exists for
+//! queries and diagnostics, and as the forward exercise of the engine.
+
+use crate::domain::BitSet;
+use crate::engine::{fixpoint, Direction, KernelAnalysis};
+use std::collections::BTreeMap;
+use vliw_arch::MachineConfig;
+use vliw_ddg::{DepGraph, NodeId};
+use vliw_sms::ModuloSchedule;
+
+use crate::liveness::ValueInterval;
+
+struct ClusterReaching {
+    rows: usize,
+    universe: usize,
+    gens: Vec<Vec<usize>>,
+    kills: Vec<Vec<usize>>,
+}
+
+impl KernelAnalysis for ClusterReaching {
+    fn rows(&self) -> usize {
+        self.rows
+    }
+    fn universe(&self) -> usize {
+        self.universe
+    }
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+    fn transfer(&self, row: usize, state: &mut BitSet) {
+        // out = (in − kills) ∪ gens; gen wins when a one-cycle value is defined and
+        // freed in the same row.
+        for &k in &self.kills[row] {
+            state.remove(k);
+        }
+        for &g in &self.gens[row] {
+            state.insert(g);
+        }
+    }
+}
+
+/// Reaching-definition sets per cluster and kernel row.
+#[derive(Debug, Clone)]
+pub struct ReachingDefs {
+    ii: u32,
+    /// `reach_in[cluster][row]`: definitions available entering that row.
+    reach_in: Vec<Vec<BitSet>>,
+    value_bits: BTreeMap<u32, usize>,
+}
+
+impl ReachingDefs {
+    /// Solve reaching definitions for `sched`, reusing the live intervals already
+    /// derived by a [`crate::ModuloLiveness`] pass (`intervals`).
+    pub fn new(intervals: &[ValueInterval], machine: &MachineConfig, ii: u32) -> Self {
+        let mut value_bits = BTreeMap::new();
+        for iv in intervals {
+            let next = value_bits.len();
+            value_bits.entry(iv.node.0).or_insert(next);
+        }
+        let universe = value_bits.len();
+
+        let mut reach_in = Vec::with_capacity(machine.n_clusters);
+        for cluster in 0..machine.n_clusters {
+            let mut analysis = ClusterReaching {
+                rows: ii as usize,
+                universe,
+                gens: vec![Vec::new(); ii as usize],
+                kills: vec![Vec::new(); ii as usize],
+            };
+            for iv in intervals.iter().filter(|iv| iv.cluster == cluster) {
+                let bit = value_bits[&iv.node.0];
+                let def_row = iv.start.rem_euclid(ii as i64) as usize;
+                let free_row = (iv.start + iv.len()).rem_euclid(ii as i64) as usize;
+                analysis.gens[def_row].push(bit);
+                analysis.kills[free_row].push(bit);
+            }
+            reach_in.push(fixpoint(&analysis));
+        }
+
+        Self {
+            ii,
+            reach_in,
+            value_bits,
+        }
+    }
+
+    /// Convenience: derive the intervals from scratch and solve.
+    pub fn of_schedule(graph: &DepGraph, sched: &ModuloSchedule, machine: &MachineConfig) -> Self {
+        let live = crate::ModuloLiveness::new(graph, sched, machine);
+        Self::new(live.intervals(), machine, sched.ii())
+    }
+
+    /// The schedule's initiation interval.
+    pub fn ii(&self) -> u32 {
+        self.ii
+    }
+
+    /// Definitions available entering `row` of `cluster`.
+    pub fn reach_in(&self, cluster: usize, row: usize) -> &BitSet {
+        &self.reach_in[cluster][row]
+    }
+
+    /// Whether `node`'s definition reaches the entry of `row` in `cluster`.
+    pub fn reaches(&self, cluster: usize, row: usize, node: NodeId) -> bool {
+        self.value_bits
+            .get(&node.0)
+            .is_some_and(|&bit| self.reach_in[cluster][row].contains(bit))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vliw_arch::{FuKind, MachineConfig, OpClass, ResourcePool};
+    use vliw_ddg::DepKind;
+    use vliw_sms::PlacedOp;
+
+    #[test]
+    fn loop_carried_definition_reaches_across_the_wraparound() {
+        // Producer at cycle 3 (row 3), loop-carried consumer (distance 1) at cycle
+        // 1: the read happens at cycle 1 + II = 5, so the value is live across the
+        // row-3 → row-0 wrap and its definition must reach rows 0 and 1.
+        let machine = MachineConfig::unified();
+        let pool = ResourcePool::new(&machine);
+        let mut g = DepGraph::new("carried");
+        let a = g.add_node(OpClass::FpAdd);
+        let b = g.add_node(OpClass::FpMul);
+        g.add_edge(a, b, 1, 1, DepKind::Flow);
+        let mut s = ModuloSchedule::new("carried", 2, 4, 1);
+        s.place(PlacedOp {
+            node: a,
+            cycle: 3,
+            cluster: 0,
+            fu: pool.fus(0, FuKind::Fp).next().unwrap(),
+        });
+        s.place(PlacedOp {
+            node: b,
+            cycle: 1,
+            cluster: 0,
+            fu: pool.fus(0, FuKind::Fp).nth(1).unwrap(),
+        });
+        let reach = ReachingDefs::of_schedule(&g, &s, &machine);
+        // Interval of `a`: cycles 3..5 ⇒ defined at row 3, freed at row 1.
+        assert!(reach.reaches(0, 0, a), "reaches row 0 across the wrap");
+        assert!(reach.reaches(0, 1, a), "still live entering its free row");
+        assert!(!reach.reaches(0, 2, a), "freed at row 1");
+        assert!(!reach.reaches(0, 3, a), "not yet defined entering row 3");
+        // `b` has no reader: one-cycle occupancy at row 1, visible entering row 2.
+        assert!(reach.reaches(0, 2, b));
+        assert!(!reach.reaches(0, 1, b));
+    }
+}

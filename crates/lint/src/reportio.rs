@@ -1,0 +1,53 @@
+//! Shared report-writing and exit-code policy for the gate binaries.
+//!
+//! The `verify` and `lint` bins have the same tail: serialize a deterministic
+//! report under `results/`, print where it went, and exit non-zero iff violations
+//! were found so CI can gate on the process status.  Both route through here (as
+//! does `vliw_bench::write_json`) instead of each re-implementing the policy.
+
+use serde::Serialize;
+use std::path::{Path, PathBuf};
+
+/// Write `value` as pretty JSON to `results/<name>.json` (creating the
+/// directory), returning the path.
+pub fn write_results_json<T: Serialize>(name: &str, value: &T) -> std::io::Result<PathBuf> {
+    let dir = Path::new("results");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.json"));
+    std::fs::write(&path, serde_json::to_string_pretty(value)?)?;
+    Ok(path)
+}
+
+/// The gate bins' shared ending: announce the report, print `PASS`/`FAIL`, and
+/// exit 0 iff `violations == 0`.
+pub fn exit_on_violations(report_path: &Path, violations: usize, pass: &str, fail: &str) -> ! {
+    println!("report written to {}", report_path.display());
+    if violations == 0 {
+        println!("PASS: {pass}");
+        std::process::exit(0);
+    }
+    println!("FAIL: {fail}");
+    std::process::exit(1);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_pretty_json_under_results() {
+        // Run in a scratch dir so the test does not litter the repo's results/.
+        let scratch = std::env::temp_dir().join("vliw_lint_reportio_test");
+        std::fs::create_dir_all(&scratch).unwrap();
+        let prev = std::env::current_dir().unwrap();
+        std::env::set_current_dir(&scratch).unwrap();
+        let path = write_results_json("reportio_smoke", &vec![1, 2, 3]).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        std::env::set_current_dir(prev).unwrap();
+        assert!(body.contains('\n'), "pretty-printed");
+        assert_eq!(
+            serde_json::from_str::<Vec<i32>>(&body).unwrap(),
+            vec![1, 2, 3]
+        );
+    }
+}

@@ -1,0 +1,316 @@
+//! Injected-bug tests: every deny-level lint must fire on a hand-built schedule
+//! carrying exactly that defect.  These are the regression teeth behind the
+//! certifier — each test plants one violation the dynamic verifier would catch by
+//! replay and proves the static certifier rejects it without executing anything.
+//!
+//! The tests are plain `assert!`s over `LintReport::deny_ids()` (no
+//! `debug_assert!`), so they reject the same schedules under
+//! `cargo test --release` — that is the point of the code-size clamp's promotion
+//! from a debug assertion to a deny lint.
+
+use vliw_arch::{FuKind, MachineConfig, OpClass, ResourceIndex, ResourcePool};
+use vliw_ddg::{DepGraph, DepKind};
+use vliw_lint::Certifier;
+use vliw_sms::{CommPlacement, ModuloSchedule, PlacedOp};
+
+/// First functional unit of `kind` on `cluster`.
+fn fu(pool: &ResourcePool, cluster: usize, kind: FuKind) -> ResourceIndex {
+    pool.fus(cluster, kind)
+        .next()
+        .unwrap_or_else(|| panic!("no {kind} unit on cluster {cluster}"))
+}
+
+fn deny_ids(machine: &MachineConfig, graph: &DepGraph, sched: &ModuloSchedule) -> Vec<String> {
+    Certifier::new(machine).check(graph, sched, 8).deny_ids()
+}
+
+#[test]
+fn unscheduled_node_fires_on_a_schedule_with_holes() {
+    let machine = MachineConfig::unified();
+    let mut g = DepGraph::new("holes");
+    g.add_node(OpClass::IntAlu);
+    let sched = ModuloSchedule::new("holes", g.n_nodes(), 2, 1);
+    let ids = deny_ids(&machine, &g, &sched);
+    assert!(ids.contains(&"unscheduled-node".to_string()), "{ids:?}");
+}
+
+#[test]
+fn bad_placement_fires_on_a_functional_unit_kind_mismatch() {
+    let machine = MachineConfig::unified();
+    let pool = ResourcePool::new(&machine);
+    let mut g = DepGraph::new("kind-mismatch");
+    let a = g.add_node(OpClass::FpAdd);
+    let mut sched = ModuloSchedule::new("kind-mismatch", g.n_nodes(), 2, 1);
+    // A floating-point add issued to an integer unit.
+    sched.place(PlacedOp {
+        node: a,
+        cycle: 0,
+        cluster: 0,
+        fu: fu(&pool, 0, FuKind::Int),
+    });
+    let ids = deny_ids(&machine, &g, &sched);
+    assert!(ids.contains(&"bad-placement".to_string()), "{ids:?}");
+}
+
+#[test]
+fn bad_placement_fires_on_a_foreign_cluster_unit() {
+    let machine = MachineConfig::two_cluster(1, 1);
+    let pool = ResourcePool::new(&machine);
+    let mut g = DepGraph::new("foreign-unit");
+    let a = g.add_node(OpClass::IntAlu);
+    let mut sched = ModuloSchedule::new("foreign-unit", g.n_nodes(), 2, 1);
+    // Claimed to run on cluster 1, reserved a cluster-0 unit.
+    sched.place(PlacedOp {
+        node: a,
+        cycle: 0,
+        cluster: 1,
+        fu: fu(&pool, 0, FuKind::Int),
+    });
+    let ids = deny_ids(&machine, &g, &sched);
+    assert!(ids.contains(&"bad-placement".to_string()), "{ids:?}");
+}
+
+#[test]
+fn dependence_violated_fires_when_the_consumer_issues_too_early() {
+    let machine = MachineConfig::unified();
+    let pool = ResourcePool::new(&machine);
+    let mut g = DepGraph::new("too-early");
+    let a = g.add_node(OpClass::Load);
+    let b = g.add_node(OpClass::FpAdd);
+    g.add_edge(a, b, 2, 0, DepKind::Flow);
+    let mut sched = ModuloSchedule::new("too-early", g.n_nodes(), 4, 1);
+    sched.place(PlacedOp {
+        node: a,
+        cycle: 0,
+        cluster: 0,
+        fu: fu(&pool, 0, FuKind::Mem),
+    });
+    // Latency 2, issued 1 cycle later: slack −1.
+    sched.place(PlacedOp {
+        node: b,
+        cycle: 1,
+        cluster: 0,
+        fu: fu(&pool, 0, FuKind::Fp),
+    });
+    let ids = deny_ids(&machine, &g, &sched);
+    assert!(ids.contains(&"dependence-violated".to_string()), "{ids:?}");
+}
+
+#[test]
+fn missing_communication_fires_on_a_bus_free_cross_cluster_value() {
+    let machine = MachineConfig::two_cluster(1, 1);
+    let pool = ResourcePool::new(&machine);
+    let mut g = DepGraph::new("no-comm");
+    let a = g.add_node(OpClass::Load);
+    let b = g.add_node(OpClass::FpAdd);
+    g.add_edge(a, b, 2, 0, DepKind::Flow);
+    let mut sched = ModuloSchedule::new("no-comm", g.n_nodes(), 2, 1);
+    sched.place(PlacedOp {
+        node: a,
+        cycle: 0,
+        cluster: 0,
+        fu: fu(&pool, 0, FuKind::Mem),
+    });
+    // Consumed on the other cluster with plenty of slack — but no transfer exists.
+    sched.place(PlacedOp {
+        node: b,
+        cycle: 8,
+        cluster: 1,
+        fu: fu(&pool, 1, FuKind::Fp),
+    });
+    let ids = deny_ids(&machine, &g, &sched);
+    assert!(
+        ids.contains(&"missing-communication".to_string()),
+        "{ids:?}"
+    );
+}
+
+#[test]
+fn dependence_violated_fires_when_every_transfer_instance_arrives_late() {
+    let machine = MachineConfig::two_cluster(1, 1);
+    let pool = ResourcePool::new(&machine);
+    let mut g = DepGraph::new("late-comm");
+    let a = g.add_node(OpClass::Load);
+    let b = g.add_node(OpClass::FpAdd);
+    g.add_edge(a, b, 2, 0, DepKind::Flow);
+    let mut sched = ModuloSchedule::new("late-comm", g.n_nodes(), 2, 1);
+    sched.place(PlacedOp {
+        node: a,
+        cycle: 0,
+        cluster: 0,
+        fu: fu(&pool, 0, FuKind::Mem),
+    });
+    sched.place(PlacedOp {
+        node: b,
+        cycle: 2,
+        cluster: 1,
+        fu: fu(&pool, 1, FuKind::Fp),
+    });
+    // The value exists at cycle 2, so the earliest usable transfer instance of a
+    // row-0 comm starts at cycle 2 and lands at cycle 3 — after the consumer.
+    sched.add_comm(CommPlacement {
+        src_node: a,
+        dst_node: b,
+        from_cluster: 0,
+        to_cluster: 1,
+        bus: pool.buses().next().unwrap(),
+        start_cycle: 0,
+        duration: 1,
+    });
+    let ids = deny_ids(&machine, &g, &sched);
+    assert!(ids.contains(&"dependence-violated".to_string()), "{ids:?}");
+}
+
+#[test]
+fn fu_conflict_fires_on_a_double_booked_kernel_row() {
+    let machine = MachineConfig::unified();
+    let pool = ResourcePool::new(&machine);
+    let mut g = DepGraph::new("double-booked");
+    let a = g.add_node(OpClass::IntAlu);
+    let b = g.add_node(OpClass::IntAlu);
+    let unit = fu(&pool, 0, FuKind::Int);
+    let mut sched = ModuloSchedule::new("double-booked", g.n_nodes(), 2, 1);
+    sched.place(PlacedOp {
+        node: a,
+        cycle: 0,
+        cluster: 0,
+        fu: unit,
+    });
+    // Cycle 2 folds onto kernel row 0 under II = 2: same unit, same row.
+    sched.place(PlacedOp {
+        node: b,
+        cycle: 2,
+        cluster: 0,
+        fu: unit,
+    });
+    let ids = deny_ids(&machine, &g, &sched);
+    assert!(ids.contains(&"fu-conflict".to_string()), "{ids:?}");
+}
+
+#[test]
+fn bus_conflict_fires_on_overlapping_transfers() {
+    let machine = MachineConfig::two_cluster(1, 1);
+    let pool = ResourcePool::new(&machine);
+    let bus = pool.buses().next().unwrap();
+    let mut g = DepGraph::new("bus-clash");
+    let a0 = g.add_node(OpClass::Load);
+    let a1 = g.add_node(OpClass::Load);
+    let b0 = g.add_node(OpClass::FpAdd);
+    let b1 = g.add_node(OpClass::FpAdd);
+    g.add_edge(a0, b0, 2, 0, DepKind::Flow);
+    g.add_edge(a1, b1, 2, 0, DepKind::Flow);
+    let mut sched = ModuloSchedule::new("bus-clash", g.n_nodes(), 2, 1);
+    let mut mem = pool.fus(0, FuKind::Mem);
+    let mut fp = pool.fus(1, FuKind::Fp);
+    for (node, cycle, cluster, unit) in [
+        (a0, 0, 0, mem.next().unwrap()),
+        (a1, 0, 0, mem.next().unwrap()),
+        (b0, 9, 1, fp.next().unwrap()),
+        (b1, 9, 1, fp.next().unwrap()),
+    ] {
+        sched.place(PlacedOp {
+            node,
+            cycle,
+            cluster,
+            fu: unit,
+        });
+    }
+    // Both values cross on the only bus in the same kernel row.
+    for (src, dst) in [(a0, b0), (a1, b1)] {
+        sched.add_comm(CommPlacement {
+            src_node: src,
+            dst_node: dst,
+            from_cluster: 0,
+            to_cluster: 1,
+            bus,
+            start_cycle: 3,
+            duration: 1,
+        });
+    }
+    let ids = deny_ids(&machine, &g, &sched);
+    assert!(ids.contains(&"bus-conflict".to_string()), "{ids:?}");
+}
+
+#[test]
+fn register_pressure_fires_when_max_live_exceeds_the_file() {
+    let mut machine = MachineConfig::unified();
+    machine.cluster.registers = 1;
+    let pool = ResourcePool::new(&machine);
+    let mut g = DepGraph::new("pressure");
+    let a0 = g.add_node(OpClass::Load);
+    let a1 = g.add_node(OpClass::Load);
+    let b0 = g.add_node(OpClass::FpAdd);
+    let b1 = g.add_node(OpClass::FpAdd);
+    g.add_edge(a0, b0, 2, 0, DepKind::Flow);
+    g.add_edge(a1, b1, 2, 0, DepKind::Flow);
+    let mut sched = ModuloSchedule::new("pressure", g.n_nodes(), 2, 2);
+    let mut mem = pool.fus(0, FuKind::Mem);
+    let mut fp = pool.fus(0, FuKind::Fp);
+    // Two loaded values stay live together across several kernel rows before
+    // their (legal, slack-positive) consumers read them: MaxLive 2 > 1 register.
+    for (node, cycle, unit) in [
+        (a0, 0, mem.next().unwrap()),
+        (a1, 1, mem.next().unwrap()),
+        (b0, 8, fp.next().unwrap()),
+        (b1, 9, fp.next().unwrap()),
+    ] {
+        sched.place(PlacedOp {
+            node,
+            cycle,
+            cluster: 0,
+            fu: unit,
+        });
+    }
+    let ids = deny_ids(&machine, &g, &sched);
+    assert!(ids.contains(&"register-pressure".to_string()), "{ids:?}");
+}
+
+#[test]
+fn ncycles_window_fires_when_the_ipc_denominator_drifts() {
+    // An empty loop has unit makespan by the simulator contract, but the paper's
+    // NCYCLES formula still charges (NITER + SC − 1)·II cycles: at II = 4 over 8
+    // iterations the drift is 31 ≥ 2·II, far outside the provable window.  The
+    // dynamic IpcModelDrift oracle rejects the same schedule for the same reason.
+    let machine = MachineConfig::unified();
+    let g = DepGraph::new("empty");
+    let sched = ModuloSchedule::new("empty", 0, 4, 1);
+    let ids = deny_ids(&machine, &g, &sched);
+    assert!(ids.contains(&"ncycles-window".to_string()), "{ids:?}");
+}
+
+#[test]
+fn code_size_clamp_fires_when_ops_exceed_the_kernel_slots() {
+    // 13 single-stage operations cannot fit a kernel of II·width = 1·12 slots.
+    // This is the PR-4 debug_assert! promoted to a lint: the test is a plain
+    // assertion over the report, so it rejects the schedule in release builds too.
+    let machine = MachineConfig::two_cluster(1, 1);
+    assert_eq!(machine.total_issue_width(), 12);
+    let pool = ResourcePool::new(&machine);
+    let unit = fu(&pool, 0, FuKind::Int);
+    let mut g = DepGraph::new("overstuffed");
+    let mut sched = ModuloSchedule::new("overstuffed", 13, 1, 1);
+    for _ in 0..13 {
+        let node = g.add_node(OpClass::IntAlu);
+        sched.place(PlacedOp {
+            node,
+            cycle: 0,
+            cluster: 0,
+            fu: unit,
+        });
+    }
+    let ids = deny_ids(&machine, &g, &sched);
+    assert!(ids.contains(&"code-size-clamp".to_string()), "{ids:?}");
+}
+
+#[test]
+fn a_planted_defect_defeats_certification_outright() {
+    // End-to-end sanity: any deny diagnostic flips is_certified(), which is the
+    // bit the verify campaign's fifth oracle compares against the dynamic replay.
+    let machine = MachineConfig::unified();
+    let mut g = DepGraph::new("holes");
+    g.add_node(OpClass::IntAlu);
+    let sched = ModuloSchedule::new("holes", g.n_nodes(), 2, 1);
+    let report = Certifier::new(&machine).check(&g, &sched, 8);
+    assert!(!report.is_certified());
+    assert!(!Certifier::new(&machine).is_certified(&g, &sched, 8));
+}

@@ -96,12 +96,18 @@ impl<'a> IpcView<'a> {
 
     /// Total cycles over all loops and invocations.
     pub fn total_cycles(&self) -> u64 {
-        self.contributions.iter().map(|c| c.total_cycles()).sum()
+        self.contributions
+            .iter()
+            .map(LoopContribution::total_cycles)
+            .sum()
     }
 
     /// Total useful operations over all loops and invocations.
     pub fn total_ops(&self) -> u64 {
-        self.contributions.iter().map(|c| c.total_ops()).sum()
+        self.contributions
+            .iter()
+            .map(LoopContribution::total_ops)
+            .sum()
     }
 
     /// Instructions (useful operations) per cycle.

@@ -15,6 +15,7 @@
 //! A small text-table renderer ([`table`]) is shared by the experiment binaries so
 //! every figure/table of the paper prints in a uniform format.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

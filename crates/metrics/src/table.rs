@@ -52,7 +52,7 @@ impl TextTable {
         let n_cols = self
             .rows
             .iter()
-            .map(|r| r.len())
+            .map(std::vec::Vec::len)
             .chain(std::iter::once(self.header.len()))
             .max()
             .unwrap_or(0);
@@ -66,7 +66,7 @@ impl TextTable {
         let mut out = String::new();
         let write_row = |out: &mut String, row: &[String]| {
             for (i, width) in widths.iter().enumerate() {
-                let cell = row.get(i).map(String::as_str).unwrap_or("");
+                let cell = row.get(i).map_or("", String::as_str);
                 if i == 0 {
                     let _ = write!(out, "{cell:<width$}");
                 } else {

@@ -59,6 +59,16 @@ pub enum Finding {
         /// Cycles predicted by [`analytic_makespan`].
         analytic: u64,
     },
+    /// The static certifier and the dynamic oracles disagree on this schedule: one
+    /// side rejected what the other accepted.  Not produced by [`check_schedule`]
+    /// itself — the `vliw-verify` campaign's fifth (static) oracle records it when
+    /// cross-checking `vliw_lint::Certifier` against the dynamic findings.
+    StaticDynamicDisagreement {
+        /// Deny-level lint ids the static certifier raised (empty = certified).
+        static_denies: Vec<String>,
+        /// Number of findings the dynamic oracles raised.
+        dynamic_findings: usize,
+    },
     /// `NCYCLES` (the IPC denominator) drifted outside its provable window around
     /// the simulated makespan.
     IpcModelDrift {

@@ -19,6 +19,7 @@
 //!   `vliw-verify` and the `verify_cells` mode of `vliw_bench::Sweep` are built on
 //!   this audit.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -26,6 +26,7 @@
 //!   the cluster-assignment strategy.  Every scheduler in the repository (unified
 //!   SMS, BSA, N&E and the ablations) is a thin policy on this engine.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -204,7 +204,7 @@ impl LifetimeMap {
 
     /// Sum of all lifetime lengths (the quantity Swing Modulo Scheduling minimises).
     pub fn total_lifetime(&self) -> u64 {
-        self.ranges.iter().map(|r| r.len()).sum()
+        self.ranges.iter().map(LiveRange::len).sum()
     }
 }
 

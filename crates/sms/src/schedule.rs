@@ -176,7 +176,7 @@ impl ModuloSchedule {
 
     /// Whether every node has been placed.
     pub fn is_complete(&self) -> bool {
-        self.ops.iter().all(|o| o.is_some())
+        self.ops.iter().all(std::option::Option::is_some)
     }
 
     /// All placements, in node order.

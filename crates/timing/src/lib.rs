@@ -15,6 +15,7 @@
 //! the neighbourhood the paper reports (the unified machine roughly 3–4× slower per
 //! cycle than a 4-cluster machine); absolute picosecond values are indicative only.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

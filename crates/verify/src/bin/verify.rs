@@ -72,34 +72,35 @@ fn main() {
         c.unrolled_unschedulable,
         c.unroll_factors.keys().collect::<Vec<_>>()
     );
+    println!(
+        "          {} schedules statically certified (fifth oracle), warn lints {:?}",
+        c.statically_certified,
+        c.lint_warnings.keys().collect::<Vec<_>>()
+    );
     println!("limiting-resource histogram (policy/resource):");
     for (key, count) in &c.limiting_by_policy {
         println!("  {key:<28} {count}");
     }
 
-    let dir = std::path::Path::new("results");
-    std::fs::create_dir_all(dir).expect("create results/");
-    let path = dir.join(format!("{out}.json"));
-    let json = serde_json::to_string_pretty(&report).expect("report serializes");
-    std::fs::write(&path, json).expect("write report");
-    println!("report written to {}", path.display());
-
-    if report.passed() {
-        println!("PASS: no violations in {} cases", report.cases);
-    } else {
-        println!("FAIL: {} violation(s)", report.violations.len());
-        for v in &report.violations {
-            println!(
-                "  case {} (seed {:#x}) policy {}: {} finding(s); shrunk to {} node(s) / {} edge(s) on {}",
-                v.case_index,
-                v.case_seed,
-                v.policy,
-                v.findings.len(),
-                v.shrunk.n_nodes,
-                v.shrunk.n_edges,
-                v.shrunk.machine
-            );
-        }
-        std::process::exit(1);
+    // Per-violation detail goes first; the shared gate tail then prints the report
+    // path and the PASS/FAIL verdict and sets the exit code.
+    for v in &report.violations {
+        println!(
+            "  case {} (seed {:#x}) policy {}: {} finding(s); shrunk to {} node(s) / {} edge(s) on {}",
+            v.case_index,
+            v.case_seed,
+            v.policy,
+            v.findings.len(),
+            v.shrunk.n_nodes,
+            v.shrunk.n_edges,
+            v.shrunk.machine
+        );
     }
+    let path = vliw_lint::reportio::write_results_json(&out, &report).expect("write report");
+    vliw_lint::reportio::exit_on_violations(
+        &path,
+        report.violations.len(),
+        &format!("no violations in {} cases", report.cases),
+        &format!("{} violation(s)", report.violations.len()),
+    );
 }

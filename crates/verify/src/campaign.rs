@@ -78,6 +78,7 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignReport {
                     mii,
                     limiting,
                     findings,
+                    lint_warnings,
                 } => {
                     coverage.schedules_checked += 1;
                     if ii == mii {
@@ -92,6 +93,7 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignReport {
                         .limiting_by_policy
                         .entry(format!("{}/{limiting}", policy.label()))
                         .or_insert(0) += 1;
+                    fold_lint_coverage(&mut coverage, findings, lint_warnings);
                     if !findings.is_empty() {
                         violations.push(build_violation(config, outcome, *policy, findings));
                     }
@@ -104,16 +106,21 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignReport {
         }
 
         // The per-case unroll audit: the sampled factor's exactly-unrolled kernel
-        // through BSA and the same four oracles.
+        // through BSA and the same five oracles.
         if let Some(audit) = &outcome.unrolled {
             let label = format!("bsa/unroll-x{}", audit.factor);
             match &audit.outcome {
-                PolicyOutcome::Scheduled { findings, .. } => {
+                PolicyOutcome::Scheduled {
+                    findings,
+                    lint_warnings,
+                    ..
+                } => {
                     coverage.unrolled_schedules_checked += 1;
                     *coverage
                         .unroll_factors
                         .entry(format!("x{}", audit.factor))
                         .or_insert(0) += 1;
+                    fold_lint_coverage(&mut coverage, findings, lint_warnings);
                     if !findings.is_empty() {
                         violations.push(build_unroll_violation(
                             config,
@@ -140,6 +147,31 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignReport {
         policies: Policy::ALL.iter().map(|p| p.label().to_string()).collect(),
         coverage,
         violations,
+    }
+}
+
+/// Fold one audited schedule's static-oracle outcome into the coverage: the
+/// certified counter (the certifier passed the schedule — either there are no
+/// findings at all, or the only disagreement on record is a static-pass one) and
+/// the warn-lint histogram.
+fn fold_lint_coverage(
+    coverage: &mut Coverage,
+    findings: &[vliw_sim::Finding],
+    warnings: &[String],
+) {
+    let certified = findings.is_empty()
+        || findings.iter().any(|f| {
+            matches!(
+                f,
+                vliw_sim::Finding::StaticDynamicDisagreement { static_denies, .. }
+                    if static_denies.is_empty()
+            )
+        });
+    if certified {
+        coverage.statically_certified += 1;
+    }
+    for id in warnings {
+        *coverage.lint_warnings.entry(id.clone()).or_insert(0) += 1;
     }
 }
 
@@ -283,6 +315,12 @@ mod tests {
         assert!(c.unrolled_schedules_checked >= 1, "{c:?}");
         let factor_total: u64 = c.unroll_factors.values().sum();
         assert_eq!(factor_total, c.unrolled_schedules_checked);
+        // The fifth (static) oracle certified every schedule the dynamic four
+        // passed — a passing campaign means zero static/dynamic disagreements.
+        assert_eq!(
+            c.statically_certified,
+            c.schedules_checked + c.unrolled_schedules_checked
+        );
     }
 
     #[test]

@@ -30,6 +30,7 @@
 //! of `vliw_bench::Sweep`, which execution-validates every cell of a figure
 //! pipeline.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

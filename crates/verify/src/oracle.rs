@@ -87,8 +87,12 @@ pub enum PolicyOutcome {
         mii: u32,
         /// What bounded the II (the engine's diagnosis, as a label).
         limiting: String,
-        /// Every oracle disagreement (empty = verified).
+        /// Every oracle disagreement (empty = verified).  Includes
+        /// [`Finding::StaticDynamicDisagreement`] when the static certifier — the
+        /// fifth oracle — disagrees with the dynamic four about this schedule.
         findings: Vec<Finding>,
+        /// Warn-level lint ids the static certifier raised (sorted, deduplicated).
+        lint_warnings: Vec<String>,
     },
     /// The II search exhausted its budget — a legitimate outcome on harsh random
     /// machines (tiny register files, saturated buses), counted by the coverage but
@@ -116,7 +120,7 @@ impl PolicyOutcome {
 
 /// The audited outcome of the per-case unroll audit: the case's sampled factor was
 /// applied with [`vliw_ddg::unroll_exact`] and the kernel scheduled with BSA, then
-/// run through the same four oracles as every other schedule.
+/// run through the same five oracles as every other schedule.
 #[derive(Debug, Clone)]
 pub struct UnrollAudit {
     /// The unroll factor that was applied.
@@ -158,11 +162,29 @@ pub fn check_policy(policy: Policy, machine: &MachineConfig, graph: &DepGraph) -
                 &out.schedule,
                 verification_iterations(graph),
             );
+            let mut findings = report.findings;
+            // The fifth, *static* oracle: the lint certifier must agree with the
+            // dynamic four on every schedule — it certifies exactly the schedules
+            // they pass.  Any static-pass/dynamic-fail (or vice versa) is itself a
+            // violation, and it shrinks like any other finding.
+            let lint = vliw_lint::Certifier::new(&target).check(
+                graph,
+                &out.schedule,
+                verification_iterations(graph),
+            );
+            if lint.is_certified() != findings.is_empty() {
+                let dynamic_findings = findings.len();
+                findings.push(Finding::StaticDynamicDisagreement {
+                    static_denies: lint.deny_ids(),
+                    dynamic_findings,
+                });
+            }
             PolicyOutcome::Scheduled {
                 ii: out.diagnostics.ii,
                 mii: out.diagnostics.mii,
                 limiting: out.diagnostics.limiting.to_string(),
-                findings: report.findings,
+                findings,
+                lint_warnings: lint.warn_ids(),
             }
         }
         Err(ScheduleError::MaxIiExceeded { .. }) => PolicyOutcome::Unschedulable,
@@ -173,7 +195,7 @@ pub fn check_policy(policy: Policy, machine: &MachineConfig, graph: &DepGraph) -
 }
 
 /// Audit the exactly-unrolled kernel of `graph` at `factor` under BSA: unroll with
-/// [`vliw_ddg::unroll_exact`], schedule, and run the result through the four
+/// [`vliw_ddg::unroll_exact`], schedule, and run the result through the five
 /// oracles.  Returns `None` for factors below 2 or above the trip count (the
 /// kernel would cover no iterations).
 pub fn check_unrolled(

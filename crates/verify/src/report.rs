@@ -41,6 +41,13 @@ pub struct Coverage {
     pub limiting_by_policy: BTreeMap<String, u64>,
     /// Histogram over cluster counts of the sampled machines.
     pub cluster_counts: BTreeMap<String, u64>,
+    /// Schedules the static certifier (the fifth oracle) certified.  In a passing
+    /// campaign this equals `schedules_checked + unrolled_schedules_checked`: the
+    /// static and dynamic oracles must agree on every schedule.
+    pub statically_certified: u64,
+    /// Histogram over warn-level lint ids the static certifier raised across all
+    /// audited schedules.
+    pub lint_warnings: BTreeMap<String, u64>,
 }
 
 /// A shrunk, self-contained reproducer of one violation.

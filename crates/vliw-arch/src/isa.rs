@@ -129,7 +129,10 @@ impl VliwInstruction {
 
     /// Number of useful operations across all clusters.
     pub fn useful_ops(&self) -> usize {
-        self.clusters.iter().map(|c| c.useful_ops()).sum()
+        self.clusters
+            .iter()
+            .map(ClusterInstruction::useful_ops)
+            .sum()
     }
 
     /// Number of operation slots (useful or not) across all clusters.
@@ -139,7 +142,7 @@ impl VliwInstruction {
 
     /// Whether no cluster does anything in this cycle.
     pub fn is_empty(&self) -> bool {
-        self.clusters.iter().all(|c| c.is_empty())
+        self.clusters.iter().all(ClusterInstruction::is_empty)
     }
 }
 
@@ -176,13 +179,19 @@ impl VliwProgram {
 
     /// Total useful operations.
     pub fn useful_ops(&self) -> usize {
-        self.instructions.iter().map(|i| i.useful_ops()).sum()
+        self.instructions
+            .iter()
+            .map(VliwInstruction::useful_ops)
+            .sum()
     }
 
     /// Total operation slots, i.e. useful operations plus NOPs.  This is the raw
     /// (uncompressed) code-size measure of Figure 10.
     pub fn total_slots(&self) -> usize {
-        self.instructions.iter().map(|i| i.total_slots()).sum()
+        self.instructions
+            .iter()
+            .map(VliwInstruction::total_slots)
+            .sum()
     }
 
     /// Number of NOP slots.
@@ -228,7 +237,10 @@ mod tests {
         // 2 clusters x 6 FUs x 5 cycles
         assert_eq!(prog.total_slots(), 60);
         assert_eq!(prog.nop_slots(), 60);
-        assert!(prog.instructions.iter().all(|i| i.is_empty()));
+        assert!(prog
+            .instructions
+            .iter()
+            .all(super::VliwInstruction::is_empty));
     }
 
     #[test]

@@ -28,6 +28,7 @@
 //!   [`FuSlot`], [`InBusField`], [`OutBusField`]) used by the simulator and by the
 //!   code-size model.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -349,7 +349,7 @@ mod tests {
             let mut gen = LoopGenerator::new(profile, 3);
             gen.generate_many("c", 40)
                 .iter()
-                .map(|g| g.loop_carried_edges())
+                .map(vliw_ddg::DepGraph::loop_carried_edges)
                 .sum()
         };
         assert!(count(high) > count(low));

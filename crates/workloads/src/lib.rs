@@ -21,6 +21,7 @@
 //! loop bodies have a handful to a few dozen operations, and the loops targeted by the
 //! schedulers run for more than four iterations.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -310,8 +310,12 @@ mod tests {
     fn tomcatv_has_more_carried_dependences_than_swim() {
         let carried = |b: SpecFp95| -> f64 {
             let c = LoopCorpus::generate(b);
-            let total_edges: usize = c.loops.iter().map(|g| g.n_edges()).sum();
-            let carried: usize = c.loops.iter().map(|g| g.loop_carried_edges()).sum();
+            let total_edges: usize = c.loops.iter().map(vliw_ddg::DepGraph::n_edges).sum();
+            let carried: usize = c
+                .loops
+                .iter()
+                .map(vliw_ddg::DepGraph::loop_carried_edges)
+                .sum();
             carried as f64 / total_edges as f64
         };
         assert!(carried(SpecFp95::Tomcatv) > carried(SpecFp95::Swim));
@@ -331,7 +335,11 @@ mod tests {
     fn fpppp_has_the_largest_bodies() {
         let avg = |b: SpecFp95| -> f64 {
             let c = LoopCorpus::generate(b);
-            c.loops.iter().map(|g| g.n_nodes()).sum::<usize>() as f64 / c.len() as f64
+            c.loops
+                .iter()
+                .map(vliw_ddg::DepGraph::n_nodes)
+                .sum::<usize>() as f64
+                / c.len() as f64
         };
         assert!(avg(SpecFp95::Fpppp) > avg(SpecFp95::Turb3d));
         assert!(avg(SpecFp95::Fpppp) > avg(SpecFp95::Wave5));

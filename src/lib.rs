@@ -19,9 +19,12 @@
 //! assert!(schedule.ii() >= clustered_vliw::ddg::mii(&graph, &machine));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use cvliw_core as core;
 pub use vliw_arch as arch;
 pub use vliw_ddg as ddg;
+pub use vliw_lint as lint;
 pub use vliw_metrics as metrics;
 pub use vliw_sim as sim;
 pub use vliw_sms as sms;

@@ -30,8 +30,9 @@ fn assert_matches_committed<T: Serialize>(value: &T, name: &str) {
     assert!(
         rendered == committed,
         "results/{name}.json drifted from the committed artifact \
-         (regenerate with `cargo run --release -p vliw-bench --bin {name}` and inspect \
-         the diff; committed {} bytes, regenerated {} bytes)",
+         (regenerate with the matching `vliw-bench` binary — `cargo run --release \
+         -p vliw-bench --bin {name}` for figures, `--bin lint` for lint_report — and \
+         inspect the diff; committed {} bytes, regenerated {} bytes)",
         committed.len(),
         rendered.len()
     );
@@ -70,6 +71,16 @@ fn fig10_regenerates_byte_identical() {
 fn fig_unroll_regenerates_byte_identical() {
     let corpora = LoopCorpus::all();
     assert_matches_committed(&figures::fig_unroll(&corpora), "fig_unroll");
+}
+
+#[test]
+#[ignore = "full-scale regeneration (~2 min in release); CI golden job runs it"]
+fn lint_report_regenerates_byte_identical() {
+    let corpora = LoopCorpus::all();
+    assert_matches_committed(
+        &vliw_bench::lint_audit::audit_figures(&corpora),
+        "lint_report",
+    );
 }
 
 #[test]
