@@ -12,8 +12,12 @@
 //!   runner (unified baselines scheduled once per structure) against a naive replica
 //!   that reschedules the unified counterpart for every cell, exactly as the
 //!   pre-sweep `relative_ipc` helper did;
+//! * **Figure-8 sweep under fuel budgets** — the same sweep with every BSA search
+//!   metered by a generous `FuelBudget` (via the `FUEL_BUDGET_PROBES` hook), so the
+//!   cost of the robustness layer's fuel accounting is a committed number;
 //! * **component microbenches** — the MRT multi-cycle probe/reserve/release cycle,
-//!   a BSA clustered schedule, and a unified SMS schedule, each over a fixed synthetic
+//!   a BSA clustered schedule (plain and fuel-budgeted), a unified SMS schedule, and
+//!   the full `ResilientScheduler` degradation ladder, each over a fixed synthetic
 //!   workload.
 //!
 //! `FAST_EXPERIMENTS=1` shrinks the corpora exactly as it does for the figure
@@ -21,18 +25,24 @@
 //! to the full sweep.  Results are written to `BENCH_perf.json` in the working
 //! directory (the repo root under `cargo run`).
 
-use cvliw_core::{BsaScheduler, UnrollPolicy};
+use cvliw_core::{BsaScheduler, ResilientScheduler, UnrollPolicy};
 use serde::Serialize;
 use std::time::Instant;
 use vliw_arch::{MachineConfig, ResourcePool};
 use vliw_bench::{figures, run_corpus, standard_corpora, Algorithm};
-use vliw_sms::{ModuloReservationTable, SmsScheduler};
+use vliw_sms::{FuelBudget, ModuloReservationTable, SmsScheduler};
 use vliw_workloads::{LoopCorpus, SpecFp95};
 
 /// Wall-clock of the full Figure-8 sweep at the seed commit (sequential rayon shim,
 /// counter-based MRT, clone-per-trial BSA), measured on the same 1-core container
 /// this PR was developed in.  Kept as the fixed "before" of the optimization work.
 const SEED_FIG8_SWEEP_MS: f64 = 200_333.0;
+
+/// Probe budget used for the fuel-overhead measurements: generous enough that no
+/// search in the sweep ever exhausts it, so the timing isolates the cost of the
+/// metering itself (every probe increments and checks a counter) rather than the
+/// cost of budget-induced failures.
+const GENEROUS_PROBES: u64 = 1 << 60;
 
 #[derive(Debug, Serialize)]
 struct Micro {
@@ -55,6 +65,11 @@ struct Report {
     /// The same sweep pinned to one worker (None when only one core is available —
     /// the parallel number already is the serial number).
     fig8_sweep_serial_ms: Option<f64>,
+    /// The same sweep with every BSA II search metered by a generous fuel budget
+    /// (`FUEL_BUDGET_PROBES`); should sit within run-to-run noise of `fig8_sweep_ms`.
+    fig8_sweep_budgeted_ms: f64,
+    /// budgeted / unbudgeted — the relative cost of fuel metering on the full sweep.
+    fuel_metering_overhead: f64,
     /// baseline / optimized; only meaningful (and only emitted) in full mode.
     speedup_vs_seed: Option<f64>,
     /// The Figure-4 pipeline through the sweep runner (memoized unified baselines).
@@ -156,6 +171,62 @@ fn micro_bsa_schedule() -> Micro {
     }
 }
 
+fn micro_budgeted_bsa() -> Micro {
+    let mut corpus = LoopCorpus::generate(SpecFp95::Swim);
+    corpus.loops.truncate(8);
+    let machine = MachineConfig::four_cluster(1, 1);
+    let bsa = BsaScheduler::new(&machine).with_fuel(FuelBudget::probes(GENEROUS_PROBES));
+    let iterations = 40u64;
+    let start = Instant::now();
+    for _ in 0..iterations {
+        for graph in &corpus.loops {
+            let sched = bsa.schedule(graph).expect("corpus loop must schedule");
+            assert!(sched.ii() >= 1);
+        }
+    }
+    let total_ms = start.elapsed().as_secs_f64() * 1e3;
+    let jobs = iterations * corpus.loops.len() as u64;
+    Micro {
+        name: "BSA schedule, fuel-budgeted (8 swim loops, 4-cluster/1-bus)".into(),
+        iterations: jobs,
+        total_ms,
+        per_iter_us: total_ms * 1e3 / jobs as f64,
+    }
+}
+
+fn micro_resilient_ladder() -> Micro {
+    // The full degradation ladder on loops its primary rung always wins: times the
+    // per-loop cost of running under the ladder (fuel metering + post-schedule
+    // certification) relative to the bare BSA micro above.
+    let mut corpus = LoopCorpus::generate(SpecFp95::Swim);
+    corpus.loops.truncate(8);
+    let machine = MachineConfig::four_cluster(1, 1);
+    let ladder =
+        ResilientScheduler::new(&machine).with_rung_fuel(FuelBudget::probes(GENEROUS_PROBES));
+    let iterations = 40u64;
+    let start = Instant::now();
+    for _ in 0..iterations {
+        for graph in &corpus.loops {
+            let out = ladder
+                .schedule(graph)
+                .expect("ladder must produce a schedule");
+            assert_eq!(
+                out.rung(),
+                "bsa",
+                "generous fuel should let the primary win"
+            );
+        }
+    }
+    let total_ms = start.elapsed().as_secs_f64() * 1e3;
+    let jobs = iterations * corpus.loops.len() as u64;
+    Micro {
+        name: "resilient ladder schedule+certify (8 swim loops, 4-cluster/1-bus)".into(),
+        iterations: jobs,
+        total_ms,
+        per_iter_us: total_ms * 1e3 / jobs as f64,
+    }
+}
+
 fn micro_unified_sms() -> Micro {
     let mut corpus = LoopCorpus::generate(SpecFp95::Swim);
     corpus.loops.truncate(8);
@@ -199,6 +270,11 @@ fn main() {
         None
     };
 
+    println!("Figure-8 sweep (fuel-budgeted BSA, {GENEROUS_PROBES} probes):");
+    std::env::set_var("FUEL_BUDGET_PROBES", GENEROUS_PROBES.to_string());
+    let budgeted_ms = time_sweep(&corpora);
+    std::env::remove_var("FUEL_BUDGET_PROBES");
+
     println!("Figure-4 pipeline (memoized baselines):");
     let start = Instant::now();
     let output = figures::fig4(&corpora);
@@ -213,7 +289,13 @@ fn main() {
     assert_eq!(naive_points, output.points.len());
 
     println!("Component microbenches:");
-    let micro = vec![micro_mrt_probe(), micro_bsa_schedule(), micro_unified_sms()];
+    let micro = vec![
+        micro_mrt_probe(),
+        micro_bsa_schedule(),
+        micro_budgeted_bsa(),
+        micro_resilient_ladder(),
+        micro_unified_sms(),
+    ];
     for m in &micro {
         println!(
             "  {}: {:.3} us/iter ({} iters)",
@@ -230,6 +312,8 @@ fn main() {
             .to_string(),
         fig8_sweep_ms: sweep_ms,
         fig8_sweep_serial_ms: serial_ms,
+        fig8_sweep_budgeted_ms: budgeted_ms,
+        fuel_metering_overhead: budgeted_ms / sweep_ms,
         speedup_vs_seed: (!fast).then(|| SEED_FIG8_SWEEP_MS / sweep_ms),
         fig4_sweep_ms: fig4_ms,
         fig4_naive_ms,
@@ -242,6 +326,10 @@ fn main() {
     println!(
         "Figure-4 path: {fig4_ms:.0} ms memoized vs {fig4_naive_ms:.0} ms naive — {:.2}x",
         report.fig4_memoization_speedup
+    );
+    println!(
+        "Fuel metering: {budgeted_ms:.0} ms budgeted vs {sweep_ms:.0} ms plain — {:.3}x",
+        report.fuel_metering_overhead
     );
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write("BENCH_perf.json", json).expect("BENCH_perf.json is writable");

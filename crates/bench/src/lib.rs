@@ -71,6 +71,12 @@ impl Algorithm {
 }
 
 /// Schedule one loop with the given algorithm and policy.
+///
+/// Measurement hook: when `FUEL_BUDGET_PROBES` is set in the environment the BSA
+/// path runs under a [`vliw_sms::FuelBudget`] of that many probes.  The perf
+/// harness uses this to time the cost of fuel metering on the full Figure 8
+/// sweep; the experiment binaries never set it, so committed artifacts are
+/// produced by the unbudgeted search.
 pub fn schedule_loop(
     graph: &DepGraph,
     machine: &MachineConfig,
@@ -82,7 +88,14 @@ pub fn schedule_loop(
             SelectiveUnroller::new(SmsScheduler::new(machine)).schedule_with_policy(graph, policy)
         }
         Algorithm::Bsa => {
-            SelectiveUnroller::new(BsaScheduler::new(machine)).schedule_with_policy(graph, policy)
+            let mut bsa = BsaScheduler::new(machine);
+            if let Some(probes) = std::env::var("FUEL_BUDGET_PROBES")
+                .ok()
+                .and_then(|v| v.parse::<u64>().ok())
+            {
+                bsa = bsa.with_fuel(vliw_sms::FuelBudget::probes(probes));
+            }
+            SelectiveUnroller::new(bsa).schedule_with_policy(graph, policy)
         }
         Algorithm::NystromEichenberger => {
             SelectiveUnroller::new(NeScheduler::new(machine)).schedule_with_policy(graph, policy)
@@ -233,7 +246,14 @@ fn run_corpus_impl(
         .loops
         .par_iter()
         .map(|graph| {
-            let cs: ClusterSchedule = match schedule_loop(graph, machine, algorithm, policy) {
+            // The per-loop job boundary: a panic anywhere in the scheduling stack is
+            // contained into `ScheduleError::PolicyPanic` instead of unwinding
+            // through the rayon pool and killing the entire sweep.  A plain run then
+            // counts the loop in `failed_loops` (visible in the result JSON); an
+            // audited run still hard-fails below with the typed message.
+            let scheduled =
+                vliw_sms::contain_schedule(|| schedule_loop(graph, machine, algorithm, policy));
+            let cs: ClusterSchedule = match scheduled {
                 Ok(cs) => cs,
                 // A plain run counts the loop in `failed_loops` and moves on; an
                 // execution-validated run must not silently lose coverage — an

@@ -89,20 +89,32 @@ impl LoadBalancedScheduler {
     /// Like [`LoadBalancedScheduler::schedule`], but also return the engine's
     /// [`vliw_sms::ScheduleDiagnostics`].
     pub fn schedule_diag(&self, graph: &DepGraph) -> Result<ScheduledLoop, ScheduleError> {
-        let machine = self.inner.machine();
-        let n = machine.n_clusters;
-        let mut load = vec![[0usize; 3]; n];
-        let mut assignment = Vec::with_capacity(graph.n_nodes());
-        for node in graph.nodes() {
-            let k = node.class.fu_kind().index();
-            let cluster = (0..n)
-                .min_by_key(|&c| (load[c][k], load[c].iter().sum::<usize>(), c))
-                .expect("at least one cluster");
-            load[cluster][k] += 1;
-            assignment.push(cluster);
-        }
+        let assignment = load_balanced_assignment(self.inner.machine(), graph);
         self.inner.schedule_with_assignment(graph, &assignment)
     }
+}
+
+/// The balance-only cluster assignment: each node goes to the cluster currently
+/// holding the fewest operations of its functional-unit kind (total load, then the
+/// lowest index, as tie-breaks).  Exposed as a free function because the resilient
+/// degradation ladder reuses it as a communication-blind fallback rung.  On a
+/// zero-cluster machine (rejected by the engine before any policy runs) every node
+/// maps to cluster 0.
+pub fn load_balanced_assignment(machine: &MachineConfig, graph: &DepGraph) -> Vec<usize> {
+    let n = machine.n_clusters;
+    let mut load = vec![[0usize; 3]; n];
+    let mut assignment = Vec::with_capacity(graph.n_nodes());
+    for node in graph.nodes() {
+        let k = node.class.fu_kind().index();
+        let cluster = (0..n)
+            .min_by_key(|&c| (load[c][k], load[c].iter().sum::<usize>(), c))
+            .unwrap_or(0);
+        if let Some(l) = load.get_mut(cluster) {
+            l[k] += 1;
+        }
+        assignment.push(cluster);
+    }
+    assignment
 }
 
 impl LoopScheduler for LoadBalancedScheduler {
@@ -185,10 +197,23 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "one cluster per node")]
-    fn wrong_assignment_length_is_rejected() {
+    fn wrong_assignment_length_is_a_typed_error_not_a_panic() {
         let machine = MachineConfig::two_cluster(1, 1);
         let g = chain_loop();
-        let _ = NeScheduler::new(&machine).schedule_with_assignment(&g, &[0, 1]);
+        let err = NeScheduler::new(&machine)
+            .schedule_with_assignment(&g, &[0, 1])
+            .unwrap_err();
+        assert!(matches!(err, ScheduleError::RoguePolicy(_)), "{err}");
+    }
+
+    #[test]
+    fn out_of_range_assignment_is_a_typed_error_not_a_panic() {
+        let machine = MachineConfig::two_cluster(1, 1);
+        let g = chain_loop();
+        let assignment = vec![7; g.n_nodes()];
+        let err = NeScheduler::new(&machine)
+            .schedule_with_assignment(&g, &assignment)
+            .unwrap_err();
+        assert!(matches!(err, ScheduleError::RoguePolicy(_)), "{err}");
     }
 }

@@ -26,7 +26,8 @@ use crate::result::LoopScheduler;
 use vliw_arch::MachineConfig;
 use vliw_ddg::{DepGraph, NodeId};
 use vliw_sms::{
-    ClusterPolicy, EngineView, IiSearchDriver, ModuloSchedule, ScheduleError, ScheduledLoop, Trial,
+    ClusterPolicy, EngineView, FuelBudget, IiSearchDriver, ModuloSchedule, ScheduleError,
+    ScheduledLoop, Trial,
 };
 
 /// The paper's cluster-oriented modulo scheduler.
@@ -36,6 +37,9 @@ pub struct BsaScheduler {
     /// Check per-cluster register pressure (`MaxLive`) when choosing clusters.  On by
     /// default, matching the paper (no spill code is generated).
     pub check_registers: bool,
+    /// Optional fuel budget for the II search.  `None` (the default) preserves the
+    /// unbudgeted search exactly, so all committed figure artifacts are unaffected.
+    fuel: Option<FuelBudget>,
 }
 
 impl BsaScheduler {
@@ -44,7 +48,17 @@ impl BsaScheduler {
         Self {
             machine: machine.clone(),
             check_registers: true,
+            fuel: None,
         }
+    }
+
+    /// Run the II search under a deterministic [`FuelBudget`].  When the budget is
+    /// exhausted the search stops with [`ScheduleError::BudgetExhausted`] instead of
+    /// continuing toward `max_ii`.
+    #[must_use]
+    pub fn with_fuel(mut self, budget: FuelBudget) -> Self {
+        self.fuel = Some(budget);
+        self
     }
 
     /// The machine being scheduled for.
@@ -61,9 +75,11 @@ impl BsaScheduler {
     /// Like [`BsaScheduler::schedule`], but also return the engine's
     /// [`vliw_sms::ScheduleDiagnostics`].
     pub fn schedule_diag(&self, graph: &DepGraph) -> Result<ScheduledLoop, ScheduleError> {
-        IiSearchDriver::new(&self.machine)
-            .check_registers(self.check_registers)
-            .schedule(graph, &mut BsaPolicy::new())
+        let mut driver = IiSearchDriver::new(&self.machine).check_registers(self.check_registers);
+        if let Some(fuel) = self.fuel {
+            driver = driver.with_fuel(fuel);
+        }
+        driver.schedule(graph, &mut BsaPolicy::new())
     }
 }
 

@@ -58,12 +58,16 @@ pub mod ablation;
 pub mod bsa;
 pub mod comm;
 pub mod ne;
+pub mod resilient;
 pub mod result;
 pub mod unroll_policy;
 
-pub use ablation::{LoadBalancedScheduler, RoundRobinScheduler};
+pub use ablation::{load_balanced_assignment, LoadBalancedScheduler, RoundRobinScheduler};
 pub use bsa::BsaScheduler;
 pub use comm::{allocate_comms, required_comms, CommAllocation, CommRequest};
 pub use ne::NeScheduler;
+pub use resilient::{
+    LadderFailure, ResilientOutcome, ResilientScheduler, RungError, RungFailure, FALLBACK_RUNGS,
+};
 pub use result::{ClusterSchedule, LoopScheduler, RemainderEpilogue};
 pub use unroll_policy::{SelectiveUnroller, UnrollPolicy, DEFAULT_EXPLORE_CODE_GROWTH};

@@ -110,15 +110,19 @@ impl NeScheduler {
         graph: &DepGraph,
         assignment: &[usize],
     ) -> Result<ScheduledLoop, ScheduleError> {
-        assert_eq!(
-            assignment.len(),
-            graph.n_nodes(),
-            "one cluster per node is required"
-        );
-        assert!(
-            assignment.iter().all(|&c| c < self.machine.n_clusters),
-            "assignment references a cluster outside the machine"
-        );
+        if assignment.len() != graph.n_nodes() {
+            return Err(ScheduleError::RoguePolicy(format!(
+                "fixed assignment covers {} nodes but the graph has {}",
+                assignment.len(),
+                graph.n_nodes()
+            )));
+        }
+        if let Some(&c) = assignment.iter().find(|&&c| c >= self.machine.n_clusters) {
+            return Err(ScheduleError::RoguePolicy(format!(
+                "fixed assignment references cluster {c} on a {}-cluster machine",
+                self.machine.n_clusters
+            )));
+        }
         let mut policy = FixedAssignmentPolicy::new("fixed-assignment", assignment.to_vec());
         self.driver().schedule(graph, &mut policy)
     }
@@ -133,7 +137,10 @@ impl NeScheduler {
         let machine = &self.machine;
         let n_clusters = machine.n_clusters;
         let mut assignment = vec![usize::MAX; graph.n_nodes()];
-        if n_clusters == 1 {
+        if n_clusters <= 1 {
+            // Zero clusters is rejected by the engine before any policy runs; one
+            // cluster has a single possible assignment.  Either way there is nothing
+            // to partition (and the affinity selection below would have no candidate).
             return vec![0; graph.n_nodes()];
         }
 

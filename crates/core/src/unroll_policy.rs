@@ -601,6 +601,8 @@ mod tests {
                     ii_trajectory: Vec::new(),
                     n_comms: 0,
                     max_live_per_cluster: vec![0; self.machine.n_clusters],
+                    fuel: None,
+                    rung: None,
                 },
             })
         }

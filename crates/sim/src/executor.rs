@@ -167,8 +167,23 @@ impl KernelSimulator {
                     continue; // the producing iteration precedes the simulated window
                 }
                 let producer_iter = iter - e.distance as u64;
-                let consumer = sched.placement(e.dst).expect("complete");
-                let producer = sched.placement(e.src).expect("complete");
+                // `is_complete()` was checked above, but a schedule built for a
+                // *different* (smaller) graph can still pass it; degrade to a
+                // reported error instead of panicking inside a replay job.
+                let (Some(consumer), Some(producer)) =
+                    (sched.placement(e.dst), sched.placement(e.src))
+                else {
+                    let msg = format!(
+                        "edge {} -> {} references a node the schedule never placed \
+                         (schedule/graph mismatch)",
+                        graph.node(e.src).label(),
+                        graph.node(e.dst).label()
+                    );
+                    if !errors.contains(&msg) {
+                        errors.push(msg);
+                    }
+                    continue;
+                };
                 let consume_at = consumer.cycle + offset;
                 let ready = issued
                     .get(&(e.src.0, producer_iter))

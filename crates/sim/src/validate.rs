@@ -134,8 +134,15 @@ impl ScheduleValidator {
 
         // 2. Dependences (cross-cluster flow edges must go through a communication).
         for e in graph.edges() {
-            let pu = sched.placement(e.src).expect("checked above");
-            let pv = sched.placement(e.dst).expect("checked above");
+            // Step 1 returned early on any unplaced *node*, but an edge of a
+            // malformed graph can still name an endpoint the schedule has never
+            // heard of; degrade to a violation instead of panicking mid-audit.
+            let (Some(pu), Some(pv)) = (sched.placement(e.src), sched.placement(e.dst)) else {
+                violations.push(Violation::UnscheduledNode {
+                    node: format!("edge endpoint {} or {}", e.src, e.dst),
+                });
+                continue;
+            };
             if e.src == e.dst {
                 // Self edges are recurrence constraints on II, already guaranteed by
                 // II >= RecMII; nothing to check per placement.

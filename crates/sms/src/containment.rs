@@ -1,0 +1,127 @@
+//! Panic containment at scheduling boundaries.
+//!
+//! The engine converts every failure it can *reason about* into a typed
+//! [`ScheduleError`], but a buggy [`crate::ClusterPolicy`] — or an injected fault in
+//! a robustness campaign — can still panic.  [`contain`] is the safe
+//! (`forbid(unsafe_code)`-compatible) isolation boundary: it runs a closure under
+//! [`std::panic::catch_unwind`] and maps an unwind into
+//! [`ScheduleError::PolicyPanic`] carrying the panic message, so a degradation
+//! ladder or a sweep job can record the containment and move on instead of killing
+//! the whole campaign.
+//!
+//! A contained panic would normally still print the default "thread panicked"
+//! banner through the global panic hook.  The first `contain` call therefore
+//! installs (once, process-wide) a delegating hook that stays silent while the
+//! *current thread* is inside `contain` and forwards to the previously installed
+//! hook otherwise — panics elsewhere (other threads, `#[should_panic]` tests, real
+//! bugs outside a containment region) keep their usual reporting.
+
+use crate::schedule::ScheduleError;
+use std::cell::Cell;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Once;
+
+static INSTALL_HOOK: Once = Once::new();
+
+thread_local! {
+    /// Depth of `contain` frames on this thread; the hook is silent while > 0.
+    static CONTAIN_DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+fn install_silencing_hook() {
+    INSTALL_HOOK.call_once(|| {
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if CONTAIN_DEPTH.with(Cell::get) == 0 {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Extract a human-readable message from a panic payload (the two payload types the
+/// standard `panic!` machinery produces, with a fallback for exotic payloads).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Run `f`, converting a panic into [`ScheduleError::PolicyPanic`].
+///
+/// The closure's captures are treated as unwind-safe (`AssertUnwindSafe`): every
+/// caller in this workspace discards the state the closure touched whenever an
+/// unwind is reported — the ladder rebuilds policy and scratch per rung, campaign
+/// jobs own their case — so no broken invariant can be observed afterwards.
+pub fn contain<R>(f: impl FnOnce() -> R) -> Result<R, ScheduleError> {
+    install_silencing_hook();
+    CONTAIN_DEPTH.with(|d| d.set(d.get() + 1));
+    let result = panic::catch_unwind(AssertUnwindSafe(f));
+    CONTAIN_DEPTH.with(|d| d.set(d.get() - 1));
+    result.map_err(|payload| ScheduleError::PolicyPanic {
+        message: panic_message(payload),
+    })
+}
+
+/// [`contain`] for fallible scheduling closures: flattens the contained panic and
+/// the closure's own `Result` into one `Result` (the shape every ladder rung and
+/// campaign job wants).
+pub fn contain_schedule<R>(
+    f: impl FnOnce() -> Result<R, ScheduleError>,
+) -> Result<R, ScheduleError> {
+    contain(f)?
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_clean_closure_passes_its_value_through() {
+        assert_eq!(contain(|| 42).unwrap(), 42);
+    }
+
+    #[test]
+    fn a_panicking_closure_is_contained_with_its_message() {
+        let err = contain(|| panic!("injected fault {}", 7)).unwrap_err();
+        match err {
+            ScheduleError::PolicyPanic { message } => {
+                assert_eq!(message, "injected fault 7");
+            }
+            other => panic!("expected PolicyPanic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn static_str_payloads_are_extracted() {
+        let err = contain(|| panic!("plain payload")).unwrap_err();
+        assert!(err.to_string().contains("plain payload"));
+    }
+
+    #[test]
+    fn contain_schedule_flattens_both_layers() {
+        let ok: Result<u32, ScheduleError> = contain_schedule(|| Ok(5));
+        assert_eq!(ok.unwrap(), 5);
+        let inner: Result<u32, ScheduleError> =
+            contain_schedule(|| Err(ScheduleError::InvalidGraph("x".into())));
+        assert!(matches!(inner, Err(ScheduleError::InvalidGraph(_))));
+        let panicked: Result<u32, ScheduleError> = contain_schedule(|| panic!("boom"));
+        assert!(matches!(panicked, Err(ScheduleError::PolicyPanic { .. })));
+    }
+
+    #[test]
+    fn nested_containment_unwinds_correctly() {
+        let outer = contain(|| {
+            let inner = contain(|| -> u32 { panic!("inner") });
+            assert!(matches!(inner, Err(ScheduleError::PolicyPanic { .. })));
+            "outer survives"
+        });
+        assert_eq!(outer.unwrap(), "outer survives");
+        // Depth is back to zero: a panic *outside* contain would report normally.
+        assert_eq!(CONTAIN_DEPTH.with(Cell::get), 0);
+    }
+}

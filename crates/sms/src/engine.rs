@@ -27,6 +27,7 @@
 //! policies built on this engine.
 
 use crate::comm::{allocate_comms, required_comms, CommAllocation};
+use crate::fuel::{FuelBudget, FuelMeter, FuelSpent, FuelStop};
 use crate::lifetime::LifetimeMap;
 use crate::max_ii;
 use crate::mrt::ModuloReservationTable;
@@ -34,7 +35,7 @@ use crate::ordering::OrderingContext;
 use crate::schedule::{CommPlacement, ModuloSchedule, PlacedOp, ScheduleError};
 use crate::slots::{early_start, late_start, SlotScan};
 use serde::{Deserialize, Serialize};
-use vliw_arch::{MachineConfig, ResourceIndex, ResourcePool};
+use vliw_arch::{FuKind, MachineConfig, ResourceIndex, ResourceKind, ResourcePool};
 use vliw_ddg::{rec_mii, res_mii, DepGraph, NodeId};
 
 /// When the register-pressure check runs during an attempt.
@@ -111,6 +112,7 @@ pub struct EngineView<'a> {
     sched: &'a mut ModuloSchedule,
     mrt: &'a mut ModuloReservationTable,
     assignment: &'a [Option<usize>],
+    fuel: &'a mut FuelMeter,
     ii: u32,
     check_registers: bool,
     per_placement_registers: bool,
@@ -174,6 +176,15 @@ impl<'a> EngineView<'a> {
     /// outcome — tentative state is applied in place and undone through the
     /// checkpoint/rollback transaction, never by cloning the schedule.
     pub fn probe(&mut self, node: NodeId, cluster: usize) -> Probe {
+        // Fuel gate: past the probe budget every probe reports infeasible, which
+        // fails the attempt; the driver then surfaces `BudgetExhausted`.
+        if !self.fuel.spend_probe() {
+            return Probe {
+                trial: None,
+                saw_bus_block: false,
+                register_blocked: false,
+            };
+        }
         let machine = self.machine;
         let bus_latency = machine.buses.latency;
         let kind = self.graph.node(node).class.fu_kind();
@@ -280,6 +291,13 @@ impl<'a> EngineView<'a> {
     /// per-placement register check (the unified scheduler checks `MaxLive` once per
     /// attempt, see [`RegisterCheckMode::WholeSchedule`]).
     pub fn probe_unified(&mut self, node: NodeId) -> Probe {
+        if !self.fuel.spend_probe() {
+            return Probe {
+                trial: None,
+                saw_bus_block: false,
+                register_blocked: false,
+            };
+        }
         let kind = self.graph.node(node).class.fu_kind();
         let early = early_start(self.graph, self.sched, node, self.ii, None, 0);
         let late = late_start(self.graph, self.sched, node, self.ii, None, 0);
@@ -431,7 +449,7 @@ impl std::fmt::Display for LimitingResource {
 /// Structured account of how a schedule came to be, produced by the
 /// [`IiSearchDriver`] alongside every [`ModuloSchedule`] and carried through
 /// `ClusterSchedule` and the experiment results.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScheduleDiagnostics {
     /// The achieved initiation interval.
     pub ii: u32,
@@ -452,6 +470,64 @@ pub struct ScheduleDiagnostics {
     pub n_comms: usize,
     /// Per-cluster `MaxLive` register pressure of the final schedule.
     pub max_live_per_cluster: Vec<u32>,
+    /// Fuel consumed by the search — present only when the driver ran under a
+    /// [`FuelBudget`] (unbudgeted runs serialize byte-identically to older reports).
+    pub fuel: Option<FuelSpent>,
+    /// The degradation-ladder rung that produced this schedule — present only when a
+    /// resilient scheduler set it (plain engine runs leave it `None`).
+    pub rung: Option<String>,
+}
+
+// Hand-written (de)serialization: the committed result JSONs must stay byte-identical
+// when `fuel` / `rung` are absent, so the two optional fields are emitted only when
+// present and default to `None` when a report predating them is read back.
+impl Serialize for ScheduleDiagnostics {
+    fn to_value(&self) -> serde::Value {
+        let mut map = vec![
+            ("ii".to_string(), self.ii.to_value()),
+            ("mii".to_string(), self.mii.to_value()),
+            ("res_mii".to_string(), self.res_mii.to_value()),
+            ("rec_mii".to_string(), self.rec_mii.to_value()),
+            ("limiting".to_string(), self.limiting.to_value()),
+            ("ii_trajectory".to_string(), self.ii_trajectory.to_value()),
+            ("n_comms".to_string(), self.n_comms.to_value()),
+            (
+                "max_live_per_cluster".to_string(),
+                self.max_live_per_cluster.to_value(),
+            ),
+        ];
+        if let Some(fuel) = &self.fuel {
+            map.push(("fuel".to_string(), fuel.to_value()));
+        }
+        if let Some(rung) = &self.rung {
+            map.push(("rung".to_string(), rung.to_value()));
+        }
+        serde::Value::Map(map)
+    }
+}
+
+impl Deserialize for ScheduleDiagnostics {
+    fn from_value(v: &serde::Value) -> Result<Self, String> {
+        let serde::Value::Map(map) = v else {
+            return Err(format!("expected map for ScheduleDiagnostics, got {v:?}"));
+        };
+        let opt = |key: &str| map.iter().find(|(k, _)| k == key).map(|(_, val)| val);
+        Ok(Self {
+            ii: Deserialize::from_value(serde::__get(map, "ii")?)?,
+            mii: Deserialize::from_value(serde::__get(map, "mii")?)?,
+            res_mii: Deserialize::from_value(serde::__get(map, "res_mii")?)?,
+            rec_mii: Deserialize::from_value(serde::__get(map, "rec_mii")?)?,
+            limiting: Deserialize::from_value(serde::__get(map, "limiting")?)?,
+            ii_trajectory: Deserialize::from_value(serde::__get(map, "ii_trajectory")?)?,
+            n_comms: Deserialize::from_value(serde::__get(map, "n_comms")?)?,
+            max_live_per_cluster: Deserialize::from_value(serde::__get(
+                map,
+                "max_live_per_cluster",
+            )?)?,
+            fuel: opt("fuel").map(Deserialize::from_value).transpose()?,
+            rung: opt("rung").map(Deserialize::from_value).transpose()?,
+        })
+    }
 }
 
 impl ScheduleDiagnostics {
@@ -487,6 +563,13 @@ struct AttemptFailure {
     register: bool,
 }
 
+/// Outcome of one failed attempt: a retryable failure (next ordering / next II) or a
+/// fatal error that must abort the whole search (internal to the driver).
+enum AttemptError {
+    Failed(AttemptFailure),
+    Fatal(ScheduleError),
+}
+
 /// Reusable buffers for the II search: the reservation table survives `reset`, and
 /// the per-node assignment keeps its allocation across retries, so one
 /// [`IiSearchDriver::schedule`] call performs a fixed number of engine-side
@@ -505,6 +588,7 @@ pub struct IiSearchDriver<'m> {
     machine: &'m MachineConfig,
     check_registers: bool,
     register_mode: RegisterCheckMode,
+    fuel: Option<FuelBudget>,
 }
 
 impl<'m> IiSearchDriver<'m> {
@@ -515,6 +599,7 @@ impl<'m> IiSearchDriver<'m> {
             machine,
             check_registers: true,
             register_mode: RegisterCheckMode::PerPlacement,
+            fuel: None,
         }
     }
 
@@ -530,9 +615,40 @@ impl<'m> IiSearchDriver<'m> {
         self
     }
 
+    /// Run the search under a deterministic fuel budget (see
+    /// [`crate::fuel::FuelBudget`]).  Budgeted runs record their [`FuelSpent`] in
+    /// [`ScheduleDiagnostics::fuel`] and fail with
+    /// [`ScheduleError::BudgetExhausted`] when the budget runs out.
+    pub fn with_fuel(mut self, budget: FuelBudget) -> Self {
+        self.fuel = Some(budget);
+        self
+    }
+
     /// The machine being scheduled for.
     pub fn machine(&self) -> &MachineConfig {
         self.machine
+    }
+
+    /// Reject machines that cannot execute `graph` at all, *before* any search work:
+    /// a machine with no clusters, or with zero functional units of a kind the graph
+    /// uses.  (Full [`MachineConfig::validate`] is deliberately not required — e.g.
+    /// the Figure-7 machine legitimately has no FP units because its loop is
+    /// all-integer.)
+    fn check_machine(&self, graph: &DepGraph) -> Result<(), ScheduleError> {
+        if self.machine.n_clusters == 0 {
+            return Err(ScheduleError::InvalidMachine(
+                "machine has no clusters".to_string(),
+            ));
+        }
+        let counts = graph.ops_per_fu_kind();
+        for kind in FuKind::ALL {
+            if counts[kind.index()] > 0 && self.machine.total_fus(kind) == 0 {
+                return Err(ScheduleError::InvalidMachine(format!(
+                    "graph uses {kind} units but the machine has none"
+                )));
+            }
+        }
+        Ok(())
     }
 
     /// Modulo schedule `graph` under `policy`: search initiation intervals upward
@@ -544,6 +660,7 @@ impl<'m> IiSearchDriver<'m> {
         policy: &mut P,
     ) -> Result<ScheduledLoop, ScheduleError> {
         graph.validate().map_err(ScheduleError::InvalidGraph)?;
+        self.check_machine(graph)?;
         let res = res_mii(graph, self.machine);
         let rec = rec_mii(graph);
         // `mii()` is `max(res_mii, rec_mii)`; computing the components once serves
@@ -555,19 +672,27 @@ impl<'m> IiSearchDriver<'m> {
             mrt: ModuloReservationTable::new(&pool, mii.max(1)),
             assignment: vec![None; graph.n_nodes()],
         };
+        // The meter is always threaded (unlimited when no budget was set); only a
+        // budgeted run reports its counters in the diagnostics, so unbudgeted runs
+        // keep their serialized form byte-identical.
+        let mut meter = FuelMeter::new(self.fuel.unwrap_or_default());
+        let metered = self.fuel.is_some();
         let mut trajectory: Vec<IiStep> = Vec::new();
         // Failure causes accumulated over every failed attempt so far; the paper's
         // `LimitedByBus` predicate is `bus_seen && II > MII` at success time.
         let mut bus_seen = false;
         let mut register_seen = false;
         for ii in mii..=limit {
+            if !meter.spend_ii_step() {
+                return Err(Self::fuel_error(&meter, mii, ii));
+            }
             policy.begin_ii(graph, self.machine, ii);
             // The SMS order gives the best schedules; the topological fallback
             // guarantees progress on graphs where the SMS order sandwiches a node
             // between already-placed predecessors and successors.
             let orders = [
-                OrderingContext::new(graph, ii),
-                OrderingContext::topological(graph, ii),
+                OrderingContext::new(graph, ii).map_err(ScheduleError::DegenerateGraph)?,
+                OrderingContext::topological(graph, ii).map_err(ScheduleError::DegenerateGraph)?,
             ];
             let mut step = IiStep {
                 ii,
@@ -576,8 +701,20 @@ impl<'m> IiSearchDriver<'m> {
                 register_blocked: false,
             };
             for ctx in &orders {
+                if !meter.spend_attempt() {
+                    return Err(Self::fuel_error(&meter, mii, ii));
+                }
                 policy.begin_attempt(graph, self.machine, ii);
-                match self.try_schedule(graph, ctx, &pool, &mut scratch, policy, ii, mii) {
+                match self.try_schedule(
+                    graph,
+                    ctx,
+                    &pool,
+                    &mut scratch,
+                    policy,
+                    ii,
+                    mii,
+                    &mut meter,
+                ) {
                     Ok(mut sched) => {
                         sched.normalize();
                         sched.limited_by_bus = bus_seen && sched.ii() > mii;
@@ -596,18 +733,26 @@ impl<'m> IiSearchDriver<'m> {
                             bus_seen,
                             register_seen,
                             trajectory,
+                            metered.then(|| meter.spent()),
                         );
                         return Ok(ScheduledLoop {
                             schedule: sched,
                             diagnostics,
                         });
                     }
-                    Err(failure) => {
+                    Err(AttemptError::Fatal(e)) => return Err(e),
+                    Err(AttemptError::Failed(failure)) => {
                         step.orders_tried += 1;
                         step.bus_blocked |= failure.bus;
                         step.register_blocked |= failure.register;
                         bus_seen |= failure.bus;
                         register_seen |= failure.register;
+                        // A probe budget that ran out mid-attempt made the failure
+                        // above inevitable: stop the search here instead of letting
+                        // every remaining II fail on refused probes.
+                        if meter.stopped().is_some() {
+                            return Err(Self::fuel_error(&meter, mii, ii));
+                        }
                     }
                 }
             }
@@ -617,6 +762,63 @@ impl<'m> IiSearchDriver<'m> {
             mii,
             max_ii_tried: limit,
         })
+    }
+
+    /// The error for a stopped fuel meter (budget or deadline).
+    fn fuel_error(meter: &FuelMeter, mii: u32, at_ii: u32) -> ScheduleError {
+        match meter.stopped() {
+            Some(FuelStop::DeadlineExpired) => ScheduleError::DeadlineExpired { at_ii },
+            _ => ScheduleError::BudgetExhausted {
+                mii,
+                at_ii,
+                spent: meter.spent(),
+            },
+        }
+    }
+
+    /// Refuse to commit a trial the policy fabricated outside the machine: the
+    /// engine's reservation table indexes rows by trial contents, so a malformed
+    /// trial must become a typed error before it corrupts anything.
+    fn validate_trial(
+        &self,
+        trial: &Trial,
+        node: NodeId,
+        pool: &ResourcePool,
+    ) -> Result<(), ScheduleError> {
+        if trial.node != node {
+            return Err(ScheduleError::RoguePolicy(format!(
+                "policy committed node {} while scheduling node {node}",
+                trial.node
+            )));
+        }
+        if trial.cluster >= self.machine.n_clusters {
+            return Err(ScheduleError::RoguePolicy(format!(
+                "trial names cluster {} of a {}-cluster machine",
+                trial.cluster, self.machine.n_clusters
+            )));
+        }
+        let fu_ok = trial.fu.0 < pool.len()
+            && matches!(pool.kind(trial.fu), ResourceKind::Fu { cluster, .. } if cluster == trial.cluster);
+        if !fu_ok {
+            return Err(ScheduleError::RoguePolicy(format!(
+                "trial reserves resource row {} which is not a functional unit of cluster {}",
+                trial.fu.0, trial.cluster
+            )));
+        }
+        for comm in &trial.comms {
+            let bus_ok =
+                comm.bus.0 < pool.len() && matches!(pool.kind(comm.bus), ResourceKind::Bus { .. });
+            if !bus_ok
+                || comm.from_cluster >= self.machine.n_clusters
+                || comm.to_cluster >= self.machine.n_clusters
+            {
+                return Err(ScheduleError::RoguePolicy(format!(
+                    "trial carries a malformed communication (bus row {}, clusters {}->{})",
+                    comm.bus.0, comm.from_cluster, comm.to_cluster
+                )));
+            }
+        }
+        Ok(())
     }
 
     /// One scheduling attempt at a fixed II with a given node order.
@@ -630,7 +832,8 @@ impl<'m> IiSearchDriver<'m> {
         policy: &mut P,
         ii: u32,
         mii: u32,
-    ) -> Result<ModuloSchedule, AttemptFailure> {
+        meter: &mut FuelMeter,
+    ) -> Result<ModuloSchedule, AttemptError> {
         let mut sched = ModuloSchedule::new(&graph.name, graph.n_nodes(), ii, mii);
         scratch.mrt.reset(ii);
         scratch.assignment.fill(None);
@@ -648,6 +851,7 @@ impl<'m> IiSearchDriver<'m> {
                 sched: &mut sched,
                 mrt,
                 assignment,
+                fuel: meter,
                 ii,
                 check_registers: self.check_registers,
                 per_placement_registers: per_placement,
@@ -659,7 +863,8 @@ impl<'m> IiSearchDriver<'m> {
             register_failed |= view.register_failed;
             match chosen {
                 Some(trial) => {
-                    debug_assert_eq!(trial.node, node, "policy committed the wrong node");
+                    self.validate_trial(&trial, node, pool)
+                        .map_err(AttemptError::Fatal)?;
                     // Commit: reserve the functional unit and the buses, record the
                     // node.
                     mrt.reserve(trial.fu, trial.cycle);
@@ -676,10 +881,10 @@ impl<'m> IiSearchDriver<'m> {
                     assignment[node.index()] = Some(trial.cluster);
                 }
                 None => {
-                    return Err(AttemptFailure {
+                    return Err(AttemptError::Failed(AttemptFailure {
                         bus: bus_failed,
                         register: register_failed,
-                    })
+                    }))
                 }
             }
         }
@@ -687,10 +892,10 @@ impl<'m> IiSearchDriver<'m> {
         if self.check_registers && matches!(self.register_mode, RegisterCheckMode::WholeSchedule) {
             let lifetimes = LifetimeMap::new(graph, &sched, self.machine);
             if lifetimes.max_live_in(0) as usize > self.machine.cluster.registers {
-                return Err(AttemptFailure {
+                return Err(AttemptError::Failed(AttemptFailure {
                     bus: bus_failed,
                     register: true,
-                });
+                }));
             }
         }
         Ok(sched)
@@ -708,6 +913,7 @@ impl<'m> IiSearchDriver<'m> {
         bus_seen: bool,
         register_seen: bool,
         trajectory: Vec<IiStep>,
+        fuel: Option<FuelSpent>,
     ) -> ScheduleDiagnostics {
         let limiting = if sched.ii() == mii {
             if rec >= res {
@@ -732,6 +938,8 @@ impl<'m> IiSearchDriver<'m> {
             ii_trajectory: trajectory,
             n_comms: sched.comms().len(),
             max_live_per_cluster,
+            fuel,
+            rung: None,
         }
     }
 }
@@ -1059,5 +1267,174 @@ mod tests {
             .unwrap();
         assert!(out.schedule.is_complete());
         assert_eq!(out.diagnostics.n_comms, 0);
+    }
+
+    #[test]
+    fn single_node_graph_schedules_at_mii_one() {
+        let machine = MachineConfig::two_cluster(1, 1);
+        let mut g = DepGraph::new("one");
+        g.add_node(OpClass::IntAlu);
+        let out = IiSearchDriver::new(&machine)
+            .schedule(&g, &mut FixedAssignmentPolicy::new("u", vec![0]))
+            .unwrap();
+        assert!(out.schedule.is_complete());
+        assert_eq!(out.diagnostics.ii, 1);
+    }
+
+    #[test]
+    fn machine_without_needed_fu_kind_is_invalid_machine_not_a_panic() {
+        // One FP op on a machine with zero FP units used to trip the `res_mii`
+        // assert; the engine now front-checks and reports InvalidMachine.
+        let machine = MachineConfig::new(
+            "no-fp",
+            2,
+            ClusterConfig::new(1, 0, 1, 32),
+            BusConfig::new(1, 1),
+            LatencyModel::table1(),
+        );
+        let mut g = DepGraph::new("fp");
+        g.add_node(OpClass::FpMul);
+        let err = IiSearchDriver::new(&machine)
+            .schedule(&g, &mut FixedAssignmentPolicy::new("u", vec![0]))
+            .unwrap_err();
+        assert!(matches!(err, ScheduleError::InvalidMachine(_)), "{err}");
+        assert!(err.to_string().to_lowercase().contains("fp"), "{err}");
+    }
+
+    /// A policy that fabricates a trial pointing at another node's placement.
+    struct ForgingPolicy;
+    impl ClusterPolicy for ForgingPolicy {
+        fn name(&self) -> &'static str {
+            "forging"
+        }
+        fn select_placement(&mut self, node: NodeId, view: &mut EngineView<'_>) -> Option<Trial> {
+            let mut trial = view.probe(node, 0).trial?;
+            trial.cluster = usize::MAX; // row outside the machine
+            Some(trial)
+        }
+    }
+
+    #[test]
+    fn fabricated_trials_are_refused_as_rogue_policy() {
+        let machine = MachineConfig::two_cluster(1, 1);
+        let g = saxpy();
+        let err = IiSearchDriver::new(&machine)
+            .schedule(&g, &mut ForgingPolicy)
+            .unwrap_err();
+        assert!(matches!(err, ScheduleError::RoguePolicy(_)), "{err}");
+    }
+
+    #[test]
+    fn unbudgeted_runs_leave_fuel_unset_and_serialize_without_new_keys() {
+        let (machine, g) = fig7();
+        let mut policy = FixedAssignmentPolicy::new("split", vec![0, 1, 0, 1, 0, 1]);
+        let out = IiSearchDriver::new(&machine)
+            .schedule(&g, &mut policy)
+            .unwrap();
+        assert!(out.diagnostics.fuel.is_none());
+        assert!(out.diagnostics.rung.is_none());
+        // Byte-identity of the committed golden reports depends on the optional
+        // fields being *absent* (not null) when unset.
+        let json = serde_json::to_string(&out.diagnostics).unwrap();
+        assert!(!json.contains("\"fuel\""), "{json}");
+        assert!(!json.contains("\"rung\""), "{json}");
+    }
+
+    #[test]
+    fn budgeted_success_records_fuel_and_roundtrips() {
+        let (machine, g) = fig7();
+        let mut policy = FixedAssignmentPolicy::new("split", vec![0, 1, 0, 1, 0, 1]);
+        let unbudgeted = IiSearchDriver::new(&machine)
+            .schedule(&g, &mut policy.clone())
+            .unwrap();
+        let out = IiSearchDriver::new(&machine)
+            .with_fuel(FuelBudget::unlimited().with_probes(1_000_000))
+            .schedule(&g, &mut policy)
+            .unwrap();
+        let fuel = out.diagnostics.fuel.expect("budgeted run records fuel");
+        assert!(fuel.probes > 0);
+        assert!(fuel.attempts > 0);
+        assert!(fuel.ii_steps > 0);
+        // Fuel metering must not change the schedule itself.
+        assert_eq!(out.schedule, unbudgeted.schedule);
+        let json = serde_json::to_string(&out.diagnostics).unwrap();
+        assert!(json.contains("\"fuel\""));
+        let back: ScheduleDiagnostics = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.fuel, out.diagnostics.fuel);
+    }
+
+    #[test]
+    fn exhausted_probe_budget_is_a_deterministic_typed_error() {
+        let (machine, g) = fig7();
+        let run = || {
+            IiSearchDriver::new(&machine)
+                .with_fuel(FuelBudget::probes(3))
+                .schedule(
+                    &g,
+                    &mut FixedAssignmentPolicy::new("split", vec![0, 1, 0, 1, 0, 1]),
+                )
+                .unwrap_err()
+        };
+        let err = run();
+        match &err {
+            ScheduleError::BudgetExhausted { mii, at_ii, spent } => {
+                assert!(*at_ii >= *mii);
+                assert!(spent.probes <= 3);
+            }
+            other => panic!("expected BudgetExhausted, got {other}"),
+        }
+        // Same budget, same graph, same machine: byte-identical failure.
+        assert_eq!(err, run());
+    }
+
+    #[test]
+    fn exhausted_ii_step_budget_stops_the_search() {
+        // Fig7 needs several IIs; one II step is not enough.
+        let (machine, g) = fig7();
+        let err = IiSearchDriver::new(&machine)
+            .with_fuel(FuelBudget::unlimited().with_ii_steps(1))
+            .schedule(
+                &g,
+                &mut FixedAssignmentPolicy::new("split", vec![0, 1, 0, 1, 0, 1]),
+            )
+            .unwrap_err();
+        assert!(
+            matches!(err, ScheduleError::BudgetExhausted { .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn expired_deadline_reports_deadline_error() {
+        let (machine, g) = fig7();
+        let err = IiSearchDriver::new(&machine)
+            .with_fuel(FuelBudget::unlimited().with_deadline(std::time::Duration::ZERO))
+            .schedule(
+                &g,
+                &mut FixedAssignmentPolicy::new("split", vec![0, 1, 0, 1, 0, 1]),
+            )
+            .unwrap_err();
+        assert!(
+            matches!(err, ScheduleError::DeadlineExpired { .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn a_generous_budget_behaves_like_no_budget_at_all() {
+        let (machine, g) = fig7();
+        let mut policy = FixedAssignmentPolicy::new("split", vec![0, 1, 0, 1, 0, 1]);
+        let budgeted = IiSearchDriver::new(&machine)
+            .with_fuel(FuelBudget::unlimited())
+            .schedule(&g, &mut policy.clone())
+            .unwrap();
+        let free = IiSearchDriver::new(&machine)
+            .schedule(&g, &mut policy)
+            .unwrap();
+        assert_eq!(budgeted.schedule, free.schedule);
+        assert_eq!(budgeted.diagnostics.ii, free.diagnostics.ii);
+        // Budgeted run reports its (unlimited) fuel; the free run reports none.
+        assert!(budgeted.diagnostics.fuel.is_some());
+        assert!(free.diagnostics.fuel.is_none());
     }
 }

@@ -31,7 +31,9 @@
 #![warn(rust_2018_idioms)]
 
 pub mod comm;
+pub mod containment;
 pub mod engine;
+pub mod fuel;
 pub mod lifetime;
 pub mod mrt;
 pub mod ordering;
@@ -40,10 +42,12 @@ pub mod slots;
 pub mod unified;
 
 pub use comm::{allocate_comms, required_comms, CommAllocation, CommRequest};
+pub use containment::{contain, contain_schedule};
 pub use engine::{
     ClusterPolicy, EngineView, FixedAssignmentPolicy, IiSearchDriver, IiStep, LimitingResource,
     Probe, RegisterCheckMode, ScheduleDiagnostics, ScheduledLoop, Trial,
 };
+pub use fuel::{Deadline, FuelBudget, FuelMeter, FuelSpent, FuelStop};
 pub use lifetime::{cluster_max_live, LifetimeMap};
 pub use mrt::{ModuloReservationTable, Reservation};
 pub use ordering::{sms_order, OrderingContext};

@@ -33,10 +33,14 @@ pub struct OrderingContext {
 
 impl OrderingContext {
     /// Compute the SMS ordering of `graph` for candidate initiation interval `ii`.
-    pub fn new(graph: &DepGraph, ii: u32) -> Self {
+    ///
+    /// Returns a message (mapped by callers into
+    /// [`crate::ScheduleError::DegenerateGraph`]) instead of panicking when the
+    /// graph defeats the ordering's structural invariants.
+    pub fn new(graph: &DepGraph, ii: u32) -> Result<Self, String> {
         let analysis = GraphAnalysis::new(graph, ii);
-        let order = order_nodes(graph, &analysis);
-        Self { analysis, order }
+        let order = order_nodes(graph, &analysis)?;
+        Ok(Self { analysis, order })
     }
 
     /// A fallback ordering: topological over the zero-distance edges (priority by
@@ -45,10 +49,10 @@ impl OrderingContext {
     /// bounded below only — which guarantees that a sufficiently large initiation
     /// interval schedules every loop.  The schedulers fall back to it when the SMS
     /// order fails at an II (rare, but possible for irregular graphs).
-    pub fn topological(graph: &DepGraph, ii: u32) -> Self {
+    pub fn topological(graph: &DepGraph, ii: u32) -> Result<Self, String> {
         let analysis = GraphAnalysis::new(graph, ii);
-        let order = topological_order(graph, &analysis);
-        Self { analysis, order }
+        let order = topological_order(graph, &analysis)?;
+        Ok(Self { analysis, order })
     }
 
     /// Whether `node` starts a new connected subgraph in the order, i.e. none of its
@@ -70,15 +74,20 @@ impl OrderingContext {
     }
 }
 
-/// Compute the SMS order of all nodes of `graph` (see module docs).
-pub fn sms_order(graph: &DepGraph, ii: u32) -> Vec<NodeId> {
+/// Compute the SMS order of all nodes of `graph` (see module docs); an `Err` carries
+/// the degeneracy message for [`crate::ScheduleError::DegenerateGraph`].
+pub fn sms_order(graph: &DepGraph, ii: u32) -> Result<Vec<NodeId>, String> {
     let analysis = GraphAnalysis::new(graph, ii);
     order_nodes(graph, &analysis)
 }
 
 /// Topological order over the zero-distance edges, prioritised by ASAP then height
-/// (see [`OrderingContext::topological`]).
-pub fn topological_order(graph: &DepGraph, analysis: &GraphAnalysis) -> Vec<NodeId> {
+/// (see [`OrderingContext::topological`]).  Fails (instead of silently returning a
+/// partial order) when the zero-distance subgraph contains a cycle.
+pub fn topological_order(
+    graph: &DepGraph,
+    analysis: &GraphAnalysis,
+) -> Result<Vec<NodeId>, String> {
     let n = graph.n_nodes();
     let mut indeg = vec![0usize; n];
     for e in graph.edges() {
@@ -91,11 +100,13 @@ pub fn topological_order(graph: &DepGraph, analysis: &GraphAnalysis) -> Vec<Node
     while !ready.is_empty() {
         // Lowest ASAP first (ties: highest height, then id) keeps the order close to a
         // left-to-right sweep of the body.
-        let (pos, _) = ready
+        let Some((pos, _)) = ready
             .iter()
             .enumerate()
             .min_by_key(|(_, &node)| (analysis.asap(node), -analysis.height(node), node.0))
-            .expect("non-empty");
+        else {
+            return Err("ready set emptied mid-selection".to_string());
+        };
         let node = ready.swap_remove(pos);
         order.push(node);
         for e in graph.out_edges(node) {
@@ -107,11 +118,16 @@ pub fn topological_order(graph: &DepGraph, analysis: &GraphAnalysis) -> Vec<Node
             }
         }
     }
-    debug_assert_eq!(order.len(), n, "zero-distance subgraph must be acyclic");
-    order
+    if order.len() != n {
+        return Err(format!(
+            "zero-distance dependence cycle leaves {} of {n} nodes unorderable",
+            n - order.len()
+        ));
+    }
+    Ok(order)
 }
 
-fn order_nodes(graph: &DepGraph, analysis: &GraphAnalysis) -> Vec<NodeId> {
+fn order_nodes(graph: &DepGraph, analysis: &GraphAnalysis) -> Result<Vec<NodeId>, String> {
     let sets = node_sets(graph);
     let mut order: Vec<NodeId> = Vec::with_capacity(graph.n_nodes());
     let mut ordered = vec![false; graph.n_nodes()];
@@ -141,11 +157,13 @@ fn order_nodes(graph: &DepGraph, analysis: &GraphAnalysis) -> Vec<NodeId> {
             } else if !succ_frontier.is_empty() {
                 (succ_frontier, false)
             } else {
-                let start = remaining
+                let Some(start) = remaining
                     .iter()
                     .copied()
                     .max_by_key(|&n| (analysis.asap(n), std::cmp::Reverse(n.0)))
-                    .expect("remaining non-empty");
+                else {
+                    return Err("remaining set emptied mid-partition".to_string());
+                };
                 ([start].into_iter().collect(), true)
             };
 
@@ -155,10 +173,13 @@ fn order_nodes(graph: &DepGraph, analysis: &GraphAnalysis) -> Vec<NodeId> {
                     break;
                 }
                 while !frontier.is_empty() {
-                    let v = if bottom_up {
+                    let picked = if bottom_up {
                         pick(&frontier, |n| (analysis.depth(n), -analysis.mobility(n)))
                     } else {
                         pick(&frontier, |n| (analysis.height(n), -analysis.mobility(n)))
+                    };
+                    let Some(v) = picked else {
+                        return Err("frontier emptied mid-sweep".to_string());
                     };
                     frontier.remove(&v);
                     order.push(v);
@@ -191,16 +212,22 @@ fn order_nodes(graph: &DepGraph, analysis: &GraphAnalysis) -> Vec<NodeId> {
             }
         }
     }
-    debug_assert_eq!(order.len(), graph.n_nodes());
-    order
+    if order.len() != graph.n_nodes() {
+        return Err(format!(
+            "SMS sweep ordered {} of {} nodes",
+            order.len(),
+            graph.n_nodes()
+        ));
+    }
+    Ok(order)
 }
 
 /// Pick the element of `set` maximising `key` (ties broken by the lowest node id, for
-/// determinism).
-fn pick<K: Ord>(set: &BTreeSet<NodeId>, key: impl Fn(NodeId) -> K) -> NodeId {
-    *set.iter()
+/// determinism); `None` on an empty set.
+fn pick<K: Ord>(set: &BTreeSet<NodeId>, key: impl Fn(NodeId) -> K) -> Option<NodeId> {
+    set.iter()
         .max_by(|&&a, &&b| key(a).cmp(&key(b)).then(b.0.cmp(&a.0)))
-        .expect("non-empty set")
+        .copied()
 }
 
 /// Partition the nodes into priority-ordered sets (see module docs).
@@ -353,7 +380,7 @@ mod tests {
     #[test]
     fn order_covers_all_nodes_once() {
         let g = saxpy();
-        let order = sms_order(&g, 1);
+        let order = sms_order(&g, 1).unwrap();
         check_order_property(&g, &order);
     }
 
@@ -368,7 +395,7 @@ mod tests {
             .flow("b", "c")
             .flow("c", "d")
             .build();
-        let order = sms_order(&g, 1);
+        let order = sms_order(&g, 1).unwrap();
         check_order_property(&g, &order);
         // A chain must be ordered contiguously (each node adjacent in the graph to the
         // previous one in the order).
@@ -390,7 +417,7 @@ mod tests {
         let a = g.add_node(OpClass::Load);
         let b = g.add_node(OpClass::Store);
         g.add_edge(a, b, 2, 0, DepKind::Flow);
-        let order = sms_order(&g, 17);
+        let order = sms_order(&g, 17).unwrap();
         assert_eq!(order[0], div);
         check_order_property(&g, &order);
     }
@@ -404,7 +431,7 @@ mod tests {
         let fast_b = g.add_node(OpClass::FpAdd);
         g.add_edge(fast_a, fast_b, 3, 0, DepKind::Flow);
         g.add_edge(fast_b, fast_a, 3, 1, DepKind::Flow);
-        let order = sms_order(&g, 17);
+        let order = sms_order(&g, 17).unwrap();
         let pos_slow = order.iter().position(|&n| n == slow).unwrap();
         let pos_fast = order.iter().position(|&n| n == fast_a).unwrap();
         assert!(pos_slow < pos_fast);
@@ -426,7 +453,7 @@ mod tests {
         g.add_edge(p, r2, 3, 0, DepKind::Flow);
         // an unrelated leftover node
         let stray = g.add_node(OpClass::Load);
-        let order = sms_order(&g, 17);
+        let order = sms_order(&g, 17).unwrap();
         let pos_p = order.iter().position(|&n| n == p).unwrap();
         let pos_stray = order.iter().position(|&n| n == stray).unwrap();
         assert!(pos_p < pos_stray);
@@ -443,7 +470,7 @@ mod tests {
             .flow("a1", "a2")
             .flow("b1", "b2")
             .build();
-        let order = sms_order(&g, 1);
+        let order = sms_order(&g, 1).unwrap();
         check_order_property(&g, &order);
         // The two chains must not interleave.
         let idx: Vec<usize> = [0u32, 1, 2, 3]
@@ -457,7 +484,7 @@ mod tests {
     #[test]
     fn ordering_context_detects_new_subgraphs() {
         let g = saxpy();
-        let ctx = OrderingContext::new(&g, 1);
+        let ctx = OrderingContext::new(&g, 1).unwrap();
         let sched = ModuloSchedule::new("saxpy", g.n_nodes(), 1, 1);
         // Nothing scheduled yet: the first node starts a new subgraph.
         assert!(ctx.starts_new_subgraph(&g, &sched, ctx.order[0]));
@@ -466,6 +493,53 @@ mod tests {
     #[test]
     fn order_is_deterministic() {
         let g = saxpy();
-        assert_eq!(sms_order(&g, 1), sms_order(&g, 1));
+        assert_eq!(sms_order(&g, 1).unwrap(), sms_order(&g, 1).unwrap());
+    }
+
+    #[test]
+    fn empty_graph_orders_to_an_empty_sequence() {
+        let g = DepGraph::new("empty");
+        assert_eq!(sms_order(&g, 1).unwrap(), vec![]);
+        let ctx = OrderingContext::new(&g, 1).unwrap();
+        assert!(ctx.order.is_empty());
+        let topo = OrderingContext::topological(&g, 1).unwrap();
+        assert!(topo.order.is_empty());
+    }
+
+    #[test]
+    fn single_node_graph_orders_to_that_node() {
+        let mut g = DepGraph::new("one");
+        let n = g.add_node(OpClass::Load);
+        assert_eq!(sms_order(&g, 1).unwrap(), vec![n]);
+        assert_eq!(OrderingContext::topological(&g, 1).unwrap().order, vec![n]);
+    }
+
+    #[test]
+    fn fully_disconnected_graph_orders_every_node() {
+        // No edges at all: every node is its own subgraph; both orderings must
+        // still cover all of them (this used to be an `expect` in the sweep).
+        let mut g = DepGraph::new("dust");
+        for _ in 0..5 {
+            g.add_node(OpClass::IntAlu);
+        }
+        let order = sms_order(&g, 1).unwrap();
+        check_order_property(&g, &order);
+        let topo = OrderingContext::topological(&g, 1).unwrap();
+        assert_eq!(topo.order.len(), 5);
+    }
+
+    #[test]
+    fn mixed_disconnected_components_order_completely() {
+        // A recurrence, a chain, and an isolated node — the partition sweep must
+        // cross all three subgraph starts without dying.
+        let mut g = DepGraph::new("mixed");
+        let r = g.add_node(OpClass::FpDiv);
+        g.add_edge(r, r, 17, 1, DepKind::Flow);
+        let a = g.add_node(OpClass::Load);
+        let b = g.add_node(OpClass::Store);
+        g.add_edge(a, b, 2, 0, DepKind::Flow);
+        g.add_node(OpClass::IntAlu);
+        let order = sms_order(&g, 17).unwrap();
+        check_order_property(&g, &order);
     }
 }

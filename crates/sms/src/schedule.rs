@@ -8,7 +8,9 @@ use vliw_arch::{
 };
 use vliw_ddg::{DepGraph, NodeId};
 
-/// Why a loop could not be scheduled.
+/// Why a loop could not be scheduled — the full failure taxonomy of the scheduling
+/// path.  Every variant is a *typed* outcome: the engine and the schedulers built on
+/// it never panic on reachable inputs, they return one of these.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ScheduleError {
     /// No legal schedule was found up to the maximum initiation interval explored.
@@ -20,6 +22,38 @@ pub enum ScheduleError {
     },
     /// The graph failed validation before scheduling was attempted.
     InvalidGraph(String),
+    /// The graph passed validation but a structural analysis (node ordering) could
+    /// not process it — a defensive error for inputs outside every analysed shape.
+    DegenerateGraph(String),
+    /// The machine configuration cannot execute this graph at all (e.g. the graph
+    /// uses a functional-unit kind the machine has zero units of).
+    InvalidMachine(String),
+    /// The fuel budget ran out before a schedule was found (see
+    /// [`crate::fuel::FuelBudget`]); carries the exact counters at exhaustion.
+    BudgetExhausted {
+        /// The minimum II the search started from.
+        mii: u32,
+        /// The II being explored when the budget ran out.
+        at_ii: u32,
+        /// Fuel consumed up to the stop.
+        spent: crate::fuel::FuelSpent,
+    },
+    /// The optional wall-clock deadline expired before a schedule was found (service
+    /// use; unlike [`ScheduleError::BudgetExhausted`] this is not deterministic).
+    DeadlineExpired {
+        /// The II being explored when the deadline fired.
+        at_ii: u32,
+    },
+    /// A cluster policy panicked and the panic was contained at a scheduling
+    /// boundary (see [`crate::containment::contain`]).
+    PolicyPanic {
+        /// The contained panic message.
+        message: String,
+    },
+    /// A policy returned a trial the engine could prove malformed (wrong node, a
+    /// cluster or resource row outside the machine) — the engine refuses to commit
+    /// fabricated placements instead of corrupting the reservation table.
+    RoguePolicy(String),
 }
 
 impl fmt::Display for ScheduleError {
@@ -30,6 +64,22 @@ impl fmt::Display for ScheduleError {
                 "no schedule found: started at MII={mii}, gave up after II={max_ii_tried}"
             ),
             ScheduleError::InvalidGraph(msg) => write!(f, "invalid dependence graph: {msg}"),
+            ScheduleError::DegenerateGraph(msg) => write!(f, "degenerate graph: {msg}"),
+            ScheduleError::InvalidMachine(msg) => write!(f, "invalid machine: {msg}"),
+            ScheduleError::BudgetExhausted { mii, at_ii, spent } => write!(
+                f,
+                "fuel budget exhausted at II={at_ii} (MII={mii}) after {} probes, {} attempts, {} II steps",
+                spent.probes, spent.attempts, spent.ii_steps
+            ),
+            ScheduleError::DeadlineExpired { at_ii } => {
+                write!(f, "wall-clock deadline expired at II={at_ii}")
+            }
+            ScheduleError::PolicyPanic { message } => {
+                write!(f, "cluster policy panicked (contained): {message}")
+            }
+            ScheduleError::RoguePolicy(msg) => {
+                write!(f, "policy returned a malformed trial: {msg}")
+            }
         }
     }
 }

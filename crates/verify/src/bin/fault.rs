@@ -1,0 +1,80 @@
+//! The `fault` campaign binary: inject one sampled policy fault per seeded case
+//! into the degradation ladder's primary rung and require every fault contained.
+//!
+//! ```text
+//! cargo run --release -p vliw-verify --bin fault -- \
+//!     [--seed N] [--cases N] [--rung-fuel N] [--out NAME]
+//! ```
+//!
+//! Writes `results/<NAME>.json` (default `fault_campaign`, the committed
+//! golden-tested artifact) and exits non-zero when any injected fault escaped
+//! uncontained, so CI can gate on it.
+
+use vliw_verify::{run_fault_campaign, FaultCampaignConfig};
+
+fn usage() -> ! {
+    eprintln!("usage: fault [--seed N] [--cases N] [--rung-fuel N] [--out NAME]");
+    std::process::exit(2);
+}
+
+fn parse_config() -> (FaultCampaignConfig, String) {
+    let mut config = FaultCampaignConfig::default();
+    let mut out = "fault_campaign".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || args.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--seed" => config.seed = value().parse().unwrap_or_else(|_| usage()),
+            "--cases" => config.cases = value().parse().unwrap_or_else(|_| usage()),
+            "--rung-fuel" => {
+                config.rung_fuel_probes = value().parse().unwrap_or_else(|_| usage());
+            }
+            "--out" => out = value(),
+            _ => usage(),
+        }
+    }
+    (config, out)
+}
+
+fn main() {
+    let (config, out) = parse_config();
+    println!(
+        "fault: seed={} cases={} rung-fuel={} probes/rung",
+        config.seed, config.cases, config.rung_fuel_probes
+    );
+
+    let report = run_fault_campaign(&config);
+
+    let c = &report.coverage;
+    println!(
+        "coverage: {} faults injected, {} fired, {} certified results, {} typed ladder failures",
+        c.injected_by_kind.values().sum::<u64>(),
+        c.fired_by_kind.values().sum::<u64>(),
+        c.certified_results,
+        c.ladder_failures_typed,
+    );
+    println!(
+        "          {} contained panics, {} sequential fallbacks, rungs won {:?}",
+        c.contained_panics,
+        c.sequential_fallbacks,
+        c.rungs_won.keys().collect::<Vec<_>>()
+    );
+    println!("containment histogram (kind/channel):");
+    for (key, count) in &c.containment_by_kind {
+        println!("  {key:<36} {count}");
+    }
+
+    for u in &report.uncontained {
+        println!(
+            "  ESCAPE: case {} (seed {:#x}) kind {}: {}",
+            u.case_index, u.case_seed, u.kind, u.detail
+        );
+    }
+    let path = vliw_lint::reportio::write_results_json(&out, &report).expect("write report");
+    vliw_lint::reportio::exit_on_violations(
+        &path,
+        report.uncontained.len(),
+        &format!("every fault contained in {} cases", report.cases),
+        &format!("{} uncontained fault(s)", report.uncontained.len()),
+    );
+}

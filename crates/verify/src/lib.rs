@@ -29,6 +29,15 @@
 //! (the `verify-smoke` job).  The same oracle backs the opt-in `verify_cells` mode
 //! of `vliw_bench::Sweep`, which execution-validates every cell of a figure
 //! pipeline.
+//!
+//! [`fault`] turns the campaign machinery against the robustness layer itself: a
+//! [`FaultyPolicy`] injects a sampled misbehaviour (dropped bus reservations,
+//! fabricated trials, burned fuel, panics) into the primary rung of
+//! [`cvliw_core::ResilientScheduler`] and the campaign asserts that every fault is
+//! contained — no uncertified schedule escapes, the ladder always terminates with
+//! a typed outcome, and every containment is on record.  The `fault` binary writes
+//! the golden-tested `results/fault_campaign.json`; CI gates on it in the
+//! `fault-smoke` job.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -36,12 +45,17 @@
 
 pub mod campaign;
 pub mod case;
+pub mod fault;
 pub mod oracle;
 pub mod report;
 pub mod shrink;
 
 pub use campaign::{run_campaign, CampaignConfig};
 pub use case::{generate_case, FuzzCase};
+pub use fault::{
+    run_fault_campaign, FaultCampaignConfig, FaultCampaignReport, FaultCoverage, FaultKind,
+    FaultPlan, FaultyPolicy, UncontainedFault,
+};
 pub use oracle::{
     check_case, check_policy, check_unrolled, CaseOutcome, Policy, PolicyOutcome, UnrollAudit,
 };

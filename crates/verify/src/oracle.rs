@@ -152,8 +152,13 @@ impl CaseOutcome {
 }
 
 /// Run `policy` on one `(machine, graph)` pair and audit the result.
+///
+/// The scheduler call runs behind [`vliw_sms::contain_schedule`]: a panic in any
+/// policy is converted into [`ScheduleError::PolicyPanic`] and recorded as a
+/// [`PolicyOutcome::Rejected`] violation of that one case, instead of unwinding
+/// through the rayon pool and killing the whole campaign.
 pub fn check_policy(policy: Policy, machine: &MachineConfig, graph: &DepGraph) -> PolicyOutcome {
-    match policy.schedule(machine, graph) {
+    match vliw_sms::contain_schedule(|| policy.schedule(machine, graph)) {
         Ok(out) => {
             let target = policy.target_machine(machine);
             let report = check_schedule(
@@ -188,7 +193,11 @@ pub fn check_policy(policy: Policy, machine: &MachineConfig, graph: &DepGraph) -
             }
         }
         Err(ScheduleError::MaxIiExceeded { .. }) => PolicyOutcome::Unschedulable,
-        Err(e @ ScheduleError::InvalidGraph(_)) => PolicyOutcome::Rejected {
+        // Everything else — malformed inputs, degenerate graphs, impossible
+        // machines, exhausted budgets, contained panics, rogue policies — is a
+        // *typed rejection*: the scheduler refused (or was unable) to produce a
+        // schedule and said why, which the campaign records verbatim.
+        Err(e) => PolicyOutcome::Rejected {
             error: e.to_string(),
         },
     }

@@ -84,6 +84,21 @@ fn lint_report_regenerates_byte_identical() {
 }
 
 #[test]
+#[ignore = "256-case fault campaign (~1 min in debug, seconds in release); CI golden job runs it"]
+fn fault_campaign_regenerates_byte_identical() {
+    // The robustness artifact: 256 seeded fault injections into the degradation
+    // ladder, every one contained.  Regenerate with
+    // `cargo run --release -p vliw-verify --bin fault`.
+    let report = vliw_verify::run_fault_campaign(&vliw_verify::FaultCampaignConfig::default());
+    assert!(
+        report.passed(),
+        "uncontained faults: {:?}",
+        report.uncontained
+    );
+    assert_matches_committed(&report, "fault_campaign");
+}
+
+#[test]
 #[ignore = "cheap, but grouped with the other golden regenerations in the CI golden job"]
 fn table1_regenerates_byte_identical() {
     assert_matches_committed(&figures::table1(), "table1");

@@ -1,0 +1,67 @@
+//! Robustness-layer determinism: identical fuel budgets must produce
+//! byte-identical schedules, diagnostics and winning rungs regardless of the
+//! rayon thread count and across repeated runs.
+//!
+//! Fuel is counted work (probes, attempts, II steps), not wall-clock, so the
+//! degradation ladder's outcome — including *which* rung wins and the exact fuel
+//! it spent — is a pure function of its inputs.  The vendored rayon shim reads
+//! `RAYON_NUM_THREADS` per call, so a single test can sweep thread counts
+//! without racing other tests over the environment.
+
+use cvliw_core::ResilientScheduler;
+use vliw_arch::MachineSpace;
+use vliw_sms::FuelBudget;
+use vliw_verify::{generate_case, run_fault_campaign, FaultCampaignConfig};
+
+#[test]
+fn budgeted_ladders_are_byte_identical_across_thread_counts_and_reruns() {
+    let space = MachineSpace::default();
+    let mut renders: Vec<String> = Vec::new();
+    // The repeated "2" makes the sweep cover re-runs at a fixed thread count, not
+    // just distinct counts.
+    for threads in ["1", "2", "4", "2"] {
+        std::env::set_var("RAYON_NUM_THREADS", threads);
+        let mut render = String::new();
+
+        // (a) The degradation ladder under identical per-rung fuel budgets, on
+        // seeded random machines and loops.  A starved budget (64 probes) forces
+        // descents; a generous one exercises the budgeted-but-unconstrained path.
+        for index in 0..6 {
+            let case = generate_case(0x0B07, index, &space);
+            for budget in [FuelBudget::probes(64), FuelBudget::probes(1_000_000)] {
+                let ladder = ResilientScheduler::new(&case.machine).with_rung_fuel(budget);
+                match ladder.schedule(&case.graph) {
+                    Ok(out) => {
+                        // The serialized ScheduledLoop carries the schedule, the
+                        // diagnostics, the fuel spent and the winning rung.
+                        render.push_str(&serde_json::to_string(&out.result).unwrap());
+                        render.push_str(&format!(
+                            "|rung={}|failed_rungs={}\n",
+                            out.rung(),
+                            out.failures.len()
+                        ));
+                    }
+                    Err(fail) => render.push_str(&format!("|error={fail}\n")),
+                }
+            }
+        }
+
+        // (b) A rayon-parallel fault campaign: same seed, same bytes, whatever the
+        // pool size.
+        let report = run_fault_campaign(&FaultCampaignConfig {
+            cases: 24,
+            ..FaultCampaignConfig::default()
+        });
+        render.push_str(&serde_json::to_string(&report).unwrap());
+
+        renders.push(render);
+    }
+    std::env::remove_var("RAYON_NUM_THREADS");
+
+    for (i, render) in renders.iter().enumerate().skip(1) {
+        assert_eq!(
+            render, &renders[0],
+            "fuel-budgeted scheduling diverged between thread-count runs 0 and {i}"
+        );
+    }
+}
