@@ -38,6 +38,14 @@ impl RoundRobinScheduler {
         }
     }
 
+    /// Toggle the engine's incremental register-pressure tracking (used by the
+    /// equivalence property tests; results are identical either way).
+    #[must_use]
+    pub fn incremental(mut self, on: bool) -> Self {
+        self.inner = self.inner.incremental(on);
+        self
+    }
+
     /// Schedule `graph` with the round-robin assignment.
     pub fn schedule(&self, graph: &DepGraph) -> Result<ModuloSchedule, ScheduleError> {
         self.schedule_diag(graph).map(|out| out.schedule)
@@ -79,6 +87,14 @@ impl LoadBalancedScheduler {
         Self {
             inner: NeScheduler::new(machine),
         }
+    }
+
+    /// Toggle the engine's incremental register-pressure tracking (used by the
+    /// equivalence property tests; results are identical either way).
+    #[must_use]
+    pub fn incremental(mut self, on: bool) -> Self {
+        self.inner = self.inner.incremental(on);
+        self
     }
 
     /// Schedule `graph` with the balance-only assignment.

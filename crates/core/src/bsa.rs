@@ -40,6 +40,9 @@ pub struct BsaScheduler {
     /// Optional fuel budget for the II search.  `None` (the default) preserves the
     /// unbudgeted search exactly, so all committed figure artifacts are unaffected.
     fuel: Option<FuelBudget>,
+    /// Use the engine's incremental register-pressure tracker (on by default; the
+    /// results are guaranteed identical either way — see the engine docs).
+    incremental: bool,
 }
 
 impl BsaScheduler {
@@ -49,6 +52,7 @@ impl BsaScheduler {
             machine: machine.clone(),
             check_registers: true,
             fuel: None,
+            incremental: true,
         }
     }
 
@@ -58,6 +62,14 @@ impl BsaScheduler {
     #[must_use]
     pub fn with_fuel(mut self, budget: FuelBudget) -> Self {
         self.fuel = Some(budget);
+        self
+    }
+
+    /// Toggle the engine's incremental register-pressure tracking (used by the
+    /// equivalence property tests; results are identical either way).
+    #[must_use]
+    pub fn incremental(mut self, on: bool) -> Self {
+        self.incremental = on;
         self
     }
 
@@ -75,7 +87,9 @@ impl BsaScheduler {
     /// Like [`BsaScheduler::schedule`], but also return the engine's
     /// [`vliw_sms::ScheduleDiagnostics`].
     pub fn schedule_diag(&self, graph: &DepGraph) -> Result<ScheduledLoop, ScheduleError> {
-        let mut driver = IiSearchDriver::new(&self.machine).check_registers(self.check_registers);
+        let mut driver = IiSearchDriver::new(&self.machine)
+            .check_registers(self.check_registers)
+            .incremental(self.incremental);
         if let Some(fuel) = self.fuel {
             driver = driver.with_fuel(fuel);
         }
@@ -100,6 +114,20 @@ pub struct BsaPolicy {
     /// Feasible per-cluster trials of the node currently being placed (buffer reused
     /// across nodes).
     trials: Vec<ScoredTrial>,
+    /// Cluster count of the machine of the current attempt.
+    n_clusters: usize,
+    /// Memoized `profit_of(graph, assignment, n, c)` for every (node, cluster),
+    /// flat `[node × n_clusters]`.  The assignment only ever changes by one node
+    /// per engine commit, so the table is delta-updated in O(degree of the
+    /// committed node) instead of recomputed per trial: committing `m` to `c`
+    /// raises by one the profit on `c` of every value neighbour of `m` (an
+    /// incoming edge from `m` stops leaving `c`, an outgoing edge to `m` stops
+    /// being cross-cluster).  Initial value: −(out value degree), since nothing
+    /// is assigned yet.
+    profit: Vec<i64>,
+    /// The trial returned by the previous `select_placement`, folded into the
+    /// table once the engine's commit shows up in `view.assignment()`.
+    pending: Option<(NodeId, usize)>,
 }
 
 impl BsaPolicy {
@@ -108,6 +136,24 @@ impl BsaPolicy {
         Self {
             defcluster: 0,
             trials: Vec::new(),
+            n_clusters: 0,
+            profit: Vec::new(),
+            pending: None,
+        }
+    }
+
+    /// Fold the engine's commit of node `m` to cluster `c` into the profit table.
+    fn fold_commit(&mut self, graph: &DepGraph, m: NodeId, c: usize) {
+        let k = self.n_clusters;
+        for e in graph.out_edges(m) {
+            if e.kind.carries_value() && e.dst != m {
+                self.profit[e.dst.index() * k + c] += 1;
+            }
+        }
+        for e in graph.in_edges(m) {
+            if e.kind.carries_value() && e.src != m {
+                self.profit[e.src.index() * k + c] += 1;
+            }
         }
     }
 }
@@ -123,14 +169,39 @@ impl ClusterPolicy for BsaPolicy {
         "bsa"
     }
 
-    fn begin_attempt(&mut self, _graph: &DepGraph, machine: &MachineConfig, _ii: u32) {
+    fn begin_attempt(&mut self, graph: &DepGraph, machine: &MachineConfig, _ii: u32) {
         // Figure 5 initialises the default cluster before the loop; starting at the
         // last cluster makes the first new subgraph use cluster 0.
         self.defcluster = machine.n_clusters - 1;
+        // Rebuild the profit table for the empty assignment: every out value edge
+        // of a node is cross-cluster wherever the node goes, nothing is saved yet.
+        self.n_clusters = machine.n_clusters;
+        self.pending = None;
+        self.profit.clear();
+        self.profit.resize(graph.n_nodes() * machine.n_clusters, 0);
+        for node in graph.node_ids() {
+            let outs = graph
+                .out_edges(node)
+                .filter(|e| e.kind.carries_value() && e.dst != node)
+                .count() as i64;
+            if outs != 0 {
+                let row = &mut self.profit
+                    [node.index() * machine.n_clusters..(node.index() + 1) * machine.n_clusters];
+                row.fill(-outs);
+            }
+        }
     }
 
     fn select_placement(&mut self, node: NodeId, view: &mut EngineView<'_>) -> Option<Trial> {
         let n_clusters = view.machine().n_clusters;
+
+        // Catch up with the engine: the trial returned last time is committed by
+        // now (visible in the assignment); fold it into the profit table.
+        if let Some((m, c)) = self.pending.take() {
+            if view.assignment()[m.index()] == Some(c) {
+                self.fold_commit(view.graph(), m, c);
+            }
+        }
 
         // (2) New subgraph: rotate the default cluster.
         if view.starts_new_subgraph(node) {
@@ -144,7 +215,12 @@ impl ClusterPolicy for BsaPolicy {
             let probe = view.probe(node, cluster);
             match probe.trial {
                 Some(trial) => {
-                    let profit = profit_of(view.graph(), view.assignment(), node, cluster);
+                    let profit = self.profit[node.index() * n_clusters + cluster];
+                    debug_assert_eq!(
+                        profit,
+                        profit_of(view.graph(), view.assignment(), node, cluster),
+                        "memoized profit diverged for {node} on cluster {cluster}"
+                    );
                     self.trials.push(ScoredTrial { trial, profit });
                 }
                 // A cluster counts as bus-blocked only when its whole cycle scan
@@ -189,8 +265,11 @@ impl ClusterPolicy for BsaPolicy {
                 .0
         };
 
-        // (10) The engine commits the chosen trial.
-        Some(self.trials.swap_remove(chosen_idx).trial)
+        // (10) The engine commits the chosen trial; fold it into the profit table
+        // at the next call, once the commit is visible in the assignment.
+        let trial = self.trials.swap_remove(chosen_idx).trial;
+        self.pending = Some((node, trial.cluster));
+        Some(trial)
     }
 }
 

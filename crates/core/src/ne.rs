@@ -46,6 +46,8 @@ pub struct NeScheduler {
     machine: MachineConfig,
     /// Check per-cluster register pressure during scheduling (as in BSA).
     pub check_registers: bool,
+    /// Use the engine's incremental register-pressure tracker (on by default).
+    incremental: bool,
 }
 
 /// The [`ClusterPolicy`] of the two-phase baseline: recompute the phase-1 assignment
@@ -78,7 +80,16 @@ impl NeScheduler {
         Self {
             machine: machine.clone(),
             check_registers: true,
+            incremental: true,
         }
+    }
+
+    /// Toggle the engine's incremental register-pressure tracking (used by the
+    /// equivalence property tests; results are identical either way).
+    #[must_use]
+    pub fn incremental(mut self, on: bool) -> Self {
+        self.incremental = on;
+        self
     }
 
     /// The machine being scheduled for.
@@ -129,7 +140,9 @@ impl NeScheduler {
 
     /// The shared engine configured for this scheduler.
     fn driver(&self) -> IiSearchDriver<'_> {
-        IiSearchDriver::new(&self.machine).check_registers(self.check_registers)
+        IiSearchDriver::new(&self.machine)
+            .check_registers(self.check_registers)
+            .incremental(self.incremental)
     }
 
     /// Phase 1: partition the nodes across the clusters (see module docs).

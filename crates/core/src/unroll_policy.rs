@@ -46,7 +46,7 @@
 
 use crate::result::{ClusterSchedule, LoopScheduler, RemainderEpilogue};
 use serde::{Deserialize, Serialize};
-use vliw_ddg::{unroll, unroll_exact, DepGraph};
+use vliw_ddg::{unroll, unroll_exact, unroll_exact_with, DepGraph, UnrollScratch};
 use vliw_metrics::CodeSizeModel;
 use vliw_sms::{LimitingResource, ScheduleError};
 
@@ -239,14 +239,18 @@ impl<S: LoopScheduler> SelectiveUnroller<S> {
         let base_schedule = base.schedule.clone();
         let mut best_ipc = base.ipc();
         let mut best = base;
+        // One allocation arena for the whole sweep: every candidate kernel draws its
+        // adjacency storage from the scratch and donates it back when it loses.
+        let mut scratch = UnrollScratch::new();
         for factor in 2..=max_factor {
             if factor as u64 > graph.iterations {
                 break;
             }
-            let unrolled = unroll_exact(graph, factor);
+            let unrolled = unroll_exact_with(&mut scratch, graph, factor);
             let Ok(scheduled) = self.scheduler.schedule_loop(&unrolled.kernel) else {
                 // Unschedulable at this factor (typically the register file); larger
                 // factors may still differ, so keep scanning within the budget.
+                scratch.recycle(unrolled.kernel);
                 continue;
             };
             let remainder = (unrolled.remainder_iterations > 0).then(|| RemainderEpilogue {
@@ -266,9 +270,12 @@ impl<S: LoopScheduler> SelectiveUnroller<S> {
             let ipc = candidate.ipc();
             if within_budget && ipc > best_ipc {
                 best_ipc = ipc;
-                best = candidate;
-            } else if register_limited {
-                break;
+                scratch.recycle(std::mem::replace(&mut best, candidate).scheduled_graph);
+            } else {
+                scratch.recycle(candidate.scheduled_graph);
+                if register_limited {
+                    break;
+                }
             }
         }
         Ok(best)

@@ -116,6 +116,176 @@ pub fn required_comms(
     requests
 }
 
+/// One communication requirement of a `(node, cluster)` probe with the probed cycle
+/// left symbolic.  Both window bounds are affine in the cycle: an incoming transfer
+/// has a fixed `ready` and `deadline = cycle`, an outgoing transfer has
+/// `ready = cycle + latency` and a fixed `deadline`.
+#[derive(Debug, Clone, Copy)]
+struct CommTemplate {
+    src_node: NodeId,
+    dst_node: NodeId,
+    from_cluster: usize,
+    to_cluster: usize,
+    /// Fixed part of `ready`: absolute for incoming, cycle-relative for outgoing.
+    ready: i64,
+    /// Fixed part of `deadline`: absolute for outgoing, unused for incoming (the
+    /// deadline of an incoming transfer is the probed cycle itself).
+    deadline: i64,
+    outgoing: bool,
+    /// Cycle threshold at which an already-committed transfer of the same value to
+    /// the same cluster covers this request (incoming: covered iff `cycle >= t`;
+    /// outgoing: covered iff `cycle <= t`).
+    covered_at: Option<i64>,
+}
+
+/// The cycle-independent communication analysis of one `(node, cluster)` probe.
+///
+/// [`required_comms`] re-derives the request set from the graph and the partial
+/// schedule for every probed cycle, but within one probe only the cycle changes —
+/// the remote neighbours, the merge structure and the committed transfers are all
+/// fixed.  `ProbeComms` computes them once ([`ProbeComms::collect`]) and then
+/// materializes the per-cycle requests ([`ProbeComms::requests_at`]) by shifting the
+/// affine window bounds, dropping requests a committed transfer already covers (the
+/// check [`allocate_comms`] would otherwise re-scan the comm list for).  The engine
+/// debug-asserts every materialization against the from-scratch derivation.
+#[derive(Debug, Default)]
+pub(crate) struct ProbeComms {
+    templates: Vec<CommTemplate>,
+    requests: Vec<CommRequest>,
+}
+
+impl ProbeComms {
+    /// Analyse placing `node` on `cluster`: record the requirement templates and
+    /// their committed-coverage thresholds.  Mirrors [`required_comms`]'s edge
+    /// iteration and merge order exactly.
+    pub(crate) fn collect(
+        &mut self,
+        graph: &DepGraph,
+        sched: &ModuloSchedule,
+        node: NodeId,
+        cluster: usize,
+    ) {
+        let ii = sched.ii() as i64;
+        self.templates.clear();
+        for e in graph.in_edges(node).filter(|e| e.kind.carries_value()) {
+            if e.src == node {
+                continue;
+            }
+            let Some(p) = sched.placement(e.src) else {
+                continue;
+            };
+            if p.cluster == cluster {
+                continue;
+            }
+            let ready = p.cycle + e.latency as i64 - e.distance as i64 * ii;
+            if let Some(t) = self
+                .templates
+                .iter_mut()
+                .find(|t| t.src_node == e.src && t.to_cluster == cluster)
+            {
+                t.ready = t.ready.max(ready);
+            } else {
+                self.templates.push(CommTemplate {
+                    src_node: e.src,
+                    dst_node: node,
+                    from_cluster: p.cluster,
+                    to_cluster: cluster,
+                    ready,
+                    deadline: 0,
+                    outgoing: false,
+                    covered_at: None,
+                });
+            }
+        }
+        for e in graph.out_edges(node).filter(|e| e.kind.carries_value()) {
+            if e.dst == node {
+                continue;
+            }
+            let Some(s) = sched.placement(e.dst) else {
+                continue;
+            };
+            if s.cluster == cluster {
+                continue;
+            }
+            let ready = e.latency as i64;
+            let deadline = s.cycle + e.distance as i64 * ii;
+            if let Some(t) = self
+                .templates
+                .iter_mut()
+                .find(|t| t.src_node == node && t.to_cluster == s.cluster)
+            {
+                t.ready = t.ready.max(ready);
+                t.deadline = t.deadline.min(deadline);
+            } else {
+                self.templates.push(CommTemplate {
+                    src_node: node,
+                    dst_node: e.dst,
+                    from_cluster: cluster,
+                    to_cluster: s.cluster,
+                    ready,
+                    deadline,
+                    outgoing: true,
+                    covered_at: None,
+                });
+            }
+        }
+        // Committed-coverage thresholds: one scan of the comm list per probe instead
+        // of one per probed cycle.  A committed transfer `c` covers an incoming
+        // request iff `c.start >= ready && c.end <= cycle` — i.e. from cycle
+        // `min(c.end)` on — and an outgoing request iff
+        // `c.start >= cycle + ready_rel && c.end <= deadline` — i.e. up to cycle
+        // `max(c.start - ready_rel)`.
+        if !self.templates.is_empty() {
+            for c in sched.comms() {
+                let end = c.start_cycle + c.duration as i64;
+                for t in &mut self.templates {
+                    if c.src_node != t.src_node || c.to_cluster != t.to_cluster {
+                        continue;
+                    }
+                    if t.outgoing {
+                        if end <= t.deadline {
+                            let at = c.start_cycle - t.ready;
+                            t.covered_at = Some(t.covered_at.map_or(at, |v| v.max(at)));
+                        }
+                    } else if c.start_cycle >= t.ready {
+                        t.covered_at = Some(t.covered_at.map_or(end, |v| v.min(end)));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Materialize the requests of this probe at `cycle` — [`required_comms`] output
+    /// minus the requests a committed transfer already covers — into a reused buffer.
+    pub(crate) fn requests_at(&mut self, cycle: i64) -> &[CommRequest] {
+        self.requests.clear();
+        for t in &self.templates {
+            let covered = match t.covered_at {
+                None => false,
+                Some(at) if t.outgoing => cycle <= at,
+                Some(at) => cycle >= at,
+            };
+            if covered {
+                continue;
+            }
+            let (ready, deadline) = if t.outgoing {
+                (cycle + t.ready, t.deadline)
+            } else {
+                (t.ready, cycle)
+            };
+            self.requests.push(CommRequest {
+                src_node: t.src_node,
+                dst_node: t.dst_node,
+                from_cluster: t.from_cluster,
+                to_cluster: t.to_cluster,
+                ready,
+                deadline,
+            });
+        }
+        &self.requests
+    }
+}
+
 /// Outcome of trying to allocate a set of communication requests.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CommAllocation {
@@ -149,6 +319,28 @@ pub fn allocate_comms(
     mrt: &mut ModuloReservationTable,
     machine: &MachineConfig,
 ) -> CommAllocation {
+    allocate_comms_inner(requests, Some(sched), pool, mrt, machine)
+}
+
+/// [`allocate_comms`] for pre-filtered requests: the caller guarantees no request is
+/// covered by a committed transfer ([`ProbeComms::requests_at`] dropped those), so
+/// only reuse between the requests of this call is checked.
+pub(crate) fn allocate_uncovered_comms(
+    requests: &[CommRequest],
+    pool: &ResourcePool,
+    mrt: &mut ModuloReservationTable,
+    machine: &MachineConfig,
+) -> CommAllocation {
+    allocate_comms_inner(requests, None, pool, mrt, machine)
+}
+
+fn allocate_comms_inner(
+    requests: &[CommRequest],
+    sched: Option<&ModuloSchedule>,
+    pool: &ResourcePool,
+    mrt: &mut ModuloReservationTable,
+    machine: &MachineConfig,
+) -> CommAllocation {
     let latency = machine.buses.latency;
     let ii = mrt.ii() as i64;
     let mut new_comms: Vec<CommPlacement> = Vec::new();
@@ -160,11 +352,12 @@ pub fn allocate_comms(
         }
     };
 
+    let committed = sched.map_or(&[][..], |s| s.comms());
     for req in requests {
         // Re-use an existing transfer of the same value to the same cluster if it
         // arrives in time and was not sent before the value was ready (modulo-II
         // periodicity makes any earlier compatible transfer usable every iteration).
-        let reused = sched.comms().iter().chain(new_comms.iter()).any(|c| {
+        let reused = committed.iter().chain(new_comms.iter()).any(|c| {
             c.src_node == req.src_node
                 && c.to_cluster == req.to_cluster
                 && c.start_cycle >= req.ready

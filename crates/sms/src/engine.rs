@@ -26,17 +26,18 @@
 //! the driver.  See `DESIGN.md` for the architecture notes and the catalogue of
 //! policies built on this engine.
 
-use crate::comm::{allocate_comms, required_comms, CommAllocation};
+use crate::comm::{allocate_uncovered_comms, CommAllocation, ProbeComms};
 use crate::fuel::{FuelBudget, FuelMeter, FuelSpent, FuelStop};
 use crate::lifetime::LifetimeMap;
 use crate::max_ii;
 use crate::mrt::ModuloReservationTable;
-use crate::ordering::OrderingContext;
+use crate::ordering::{self, OrderingContext};
+use crate::pressure::PressureTracker;
 use crate::schedule::{CommPlacement, ModuloSchedule, PlacedOp, ScheduleError};
 use crate::slots::{early_start, late_start, SlotScan};
 use serde::{Deserialize, Serialize};
 use vliw_arch::{FuKind, MachineConfig, ResourceIndex, ResourceKind, ResourcePool};
-use vliw_ddg::{rec_mii, res_mii, DepGraph, NodeId};
+use vliw_ddg::{rec_mii, res_mii, DepGraph, GraphAnalysis, NodeId};
 
 /// When the register-pressure check runs during an attempt.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -113,9 +114,12 @@ pub struct EngineView<'a> {
     mrt: &'a mut ModuloReservationTable,
     assignment: &'a [Option<usize>],
     fuel: &'a mut FuelMeter,
+    tracker: &'a mut PressureTracker,
+    comm_scratch: &'a mut ProbeComms,
     ii: u32,
     check_registers: bool,
     per_placement_registers: bool,
+    incremental: bool,
     bus_failed: bool,
     register_failed: bool,
 }
@@ -185,6 +189,18 @@ impl<'a> EngineView<'a> {
                 register_blocked: false,
             };
         }
+        // Communication requirements are analysed once per probe; each scanned
+        // cycle only shifts the affine window bounds (see `ProbeComms`).  The
+        // buffers are moved out for the duration of the scan so the probe body
+        // can borrow the rest of the view mutably.
+        let mut comm_probe = std::mem::take(self.comm_scratch);
+        comm_probe.collect(self.graph, self.sched, node, cluster);
+        let out = self.probe_with(node, cluster, &mut comm_probe);
+        *self.comm_scratch = comm_probe;
+        out
+    }
+
+    fn probe_with(&mut self, node: NodeId, cluster: usize, comm_probe: &mut ProbeComms) -> Probe {
         let machine = self.machine;
         let bus_latency = machine.buses.latency;
         let kind = self.graph.node(node).class.fu_kind();
@@ -216,8 +232,32 @@ impl<'a> EngineView<'a> {
             // table; everything reserved in this probe is rolled back before
             // returning.
             let fu_reservation = self.mrt.reserve(fu, cycle);
-            let requests = required_comms(self.graph, self.sched, machine, node, cluster, cycle);
-            match allocate_comms(&requests, self.sched, self.pool, self.mrt, machine) {
+            let requests = comm_probe.requests_at(cycle);
+            #[cfg(debug_assertions)]
+            {
+                // The affine materialization must equal the from-scratch derivation
+                // minus the requests a committed transfer covers.
+                let reference: Vec<_> = crate::comm::required_comms(
+                    self.graph, self.sched, machine, node, cluster, cycle,
+                )
+                .into_iter()
+                .filter(|r| {
+                    !self.sched.comms().iter().any(|c| {
+                        c.src_node == r.src_node
+                            && c.to_cluster == r.to_cluster
+                            && c.start_cycle >= r.ready
+                            && c.start_cycle + c.duration as i64 <= r.deadline
+                    })
+                })
+                .collect();
+                debug_assert_eq!(
+                    requests,
+                    &reference[..],
+                    "ProbeComms diverged from required_comms placing {node} on \
+                     cluster {cluster} at cycle {cycle}"
+                );
+            }
+            match allocate_uncovered_comms(requests, self.pool, self.mrt, machine) {
                 CommAllocation::Satisfied(comms) => {
                     // Register-pressure check on the schedule itself: apply the
                     // trial, measure lifetimes, roll back to the checkpoint.
@@ -232,9 +272,23 @@ impl<'a> EngineView<'a> {
                             cluster,
                             fu,
                         });
-                        let lt = LifetimeMap::new(self.graph, self.sched, machine);
-                        let fits = lt.fits(machine);
-                        let max_live = lt.max_live_in(cluster);
+                        let (fits, max_live) = if self.incremental {
+                            let got = self.tracker.evaluate(self.graph, self.sched, node, cluster);
+                            #[cfg(debug_assertions)]
+                            {
+                                let lt = LifetimeMap::new(self.graph, self.sched, machine);
+                                debug_assert_eq!(
+                                    got,
+                                    (lt.fits(machine), lt.max_live_in(cluster)),
+                                    "incremental pressure diverged from LifetimeMap \
+                                     placing {node} on cluster {cluster} at cycle {cycle}"
+                                );
+                            }
+                            got
+                        } else {
+                            let lt = LifetimeMap::new(self.graph, self.sched, machine);
+                            (lt.fits(machine), lt.max_live_in(cluster))
+                        };
                         self.sched.rollback(cp);
                         (fits, max_live)
                     } else {
@@ -577,18 +631,37 @@ enum AttemptError {
 struct EngineScratch {
     mrt: ModuloReservationTable,
     assignment: Vec<Option<usize>>,
+    tracker: PressureTracker,
+    comm_scratch: ProbeComms,
 }
 
 /// The shared II-search driver (see module docs).
 ///
 /// Borrow a machine, pick the register-check mode, then [`IiSearchDriver::schedule`]
 /// any graph with any [`ClusterPolicy`].
+///
+/// # Incremental II search
+///
+/// The search reuses work across II retries and placements wherever the result is
+/// provably unchanged: the SMS node-set partition is computed once per loop (it
+/// depends only on graph structure), the per-II graph analysis is shared between
+/// the SMS ordering and its topological fallback (which is built only when the SMS
+/// attempt actually fails), and the per-placement register check is answered by an
+/// incremental [`PressureTracker`] instead of rebuilding every lifetime per probe.
+/// **Equivalence guarantee:** all of this is a pure optimization — schedules,
+/// [`ScheduleDiagnostics`] (including the II trajectory) and fuel receipts are
+/// byte-identical to the from-scratch search, which [`IiSearchDriver::incremental`]
+/// can re-enable for A/B comparison (property-tested across all five policies on
+/// random machines in `crates/verify/tests/incremental_equiv.rs`;
+/// debug builds additionally cross-check every incremental pressure answer against
+/// a fresh [`LifetimeMap`]).
 #[derive(Debug, Clone)]
 pub struct IiSearchDriver<'m> {
     machine: &'m MachineConfig,
     check_registers: bool,
     register_mode: RegisterCheckMode,
     fuel: Option<FuelBudget>,
+    incremental: bool,
 }
 
 impl<'m> IiSearchDriver<'m> {
@@ -600,12 +673,21 @@ impl<'m> IiSearchDriver<'m> {
             check_registers: true,
             register_mode: RegisterCheckMode::PerPlacement,
             fuel: None,
+            incremental: true,
         }
     }
 
     /// Enable or disable register checking entirely.
     pub fn check_registers(mut self, on: bool) -> Self {
         self.check_registers = on;
+        self
+    }
+
+    /// Toggle the incremental register-pressure fast path (default on).  `false`
+    /// rebuilds a [`LifetimeMap`] per probed placement instead — same answers,
+    /// slower; kept as the reference implementation for equivalence tests.
+    pub fn incremental(mut self, on: bool) -> Self {
+        self.incremental = on;
         self
     }
 
@@ -671,7 +753,12 @@ impl<'m> IiSearchDriver<'m> {
         let mut scratch = EngineScratch {
             mrt: ModuloReservationTable::new(&pool, mii.max(1)),
             assignment: vec![None; graph.n_nodes()],
+            tracker: PressureTracker::new(),
+            comm_scratch: ProbeComms::default(),
         };
+        // The SMS node-set partition depends only on the graph structure, never on
+        // the candidate II: compute it once for the whole search.
+        let node_sets = ordering::node_sets(graph);
         // The meter is always threaded (unlimited when no budget was set); only a
         // budgeted run reports its counters in the diagnostics, so unbudgeted runs
         // keep their serialized form byte-identical.
@@ -689,25 +776,28 @@ impl<'m> IiSearchDriver<'m> {
             policy.begin_ii(graph, self.machine, ii);
             // The SMS order gives the best schedules; the topological fallback
             // guarantees progress on graphs where the SMS order sandwiches a node
-            // between already-placed predecessors and successors.
-            let orders = [
-                OrderingContext::new(graph, ii).map_err(ScheduleError::DegenerateGraph)?,
-                OrderingContext::topological(graph, ii).map_err(ScheduleError::DegenerateGraph)?,
-            ];
+            // between already-placed predecessors and successors.  Both orderings
+            // share one graph analysis per II, and the fallback order is built only
+            // if the SMS attempt actually fails (`graph.validate()` already ruled
+            // out the zero-distance cycles that could make it error).
+            let analysis = GraphAnalysis::new(graph, ii);
+            let order = ordering::order_nodes_with(graph, &analysis, &node_sets)
+                .map_err(ScheduleError::DegenerateGraph)?;
+            let mut ctx = OrderingContext { analysis, order };
             let mut step = IiStep {
                 ii,
                 orders_tried: 0,
                 bus_blocked: false,
                 register_blocked: false,
             };
-            for ctx in &orders {
+            for pass in 0..2 {
                 if !meter.spend_attempt() {
                     return Err(Self::fuel_error(&meter, mii, ii));
                 }
                 policy.begin_attempt(graph, self.machine, ii);
                 match self.try_schedule(
                     graph,
-                    ctx,
+                    &ctx,
                     &pool,
                     &mut scratch,
                     policy,
@@ -752,6 +842,10 @@ impl<'m> IiSearchDriver<'m> {
                         // every remaining II fail on refused probes.
                         if meter.stopped().is_some() {
                             return Err(Self::fuel_error(&meter, mii, ii));
+                        }
+                        if pass == 0 {
+                            ctx.order = ordering::topological_order(graph, &ctx.analysis)
+                                .map_err(ScheduleError::DegenerateGraph)?;
                         }
                     }
                 }
@@ -837,8 +931,17 @@ impl<'m> IiSearchDriver<'m> {
         let mut sched = ModuloSchedule::new(&graph.name, graph.n_nodes(), ii, mii);
         scratch.mrt.reset(ii);
         scratch.assignment.fill(None);
-        let EngineScratch { mrt, assignment } = scratch;
         let per_placement = matches!(self.register_mode, RegisterCheckMode::PerPlacement);
+        let incremental_regs = self.incremental && self.check_registers && per_placement;
+        if incremental_regs {
+            scratch.tracker.reset(self.machine, graph.n_nodes(), ii);
+        }
+        let EngineScratch {
+            mrt,
+            assignment,
+            tracker,
+            comm_scratch,
+        } = scratch;
         let mut bus_failed = false;
         let mut register_failed = false;
 
@@ -852,9 +955,12 @@ impl<'m> IiSearchDriver<'m> {
                 mrt,
                 assignment,
                 fuel: meter,
+                tracker,
+                comm_scratch,
                 ii,
                 check_registers: self.check_registers,
                 per_placement_registers: per_placement,
+                incremental: self.incremental,
                 bus_failed: false,
                 register_failed: false,
             };
@@ -879,6 +985,9 @@ impl<'m> IiSearchDriver<'m> {
                         fu: trial.fu,
                     });
                     assignment[node.index()] = Some(trial.cluster);
+                    if incremental_regs {
+                        tracker.commit(graph, &sched, node);
+                    }
                 }
                 None => {
                     return Err(AttemptError::Failed(AttemptFailure {

@@ -37,6 +37,7 @@ pub mod fuel;
 pub mod lifetime;
 pub mod mrt;
 pub mod ordering;
+pub mod pressure;
 pub mod schedule;
 pub mod slots;
 pub mod unified;
@@ -51,6 +52,7 @@ pub use fuel::{Deadline, FuelBudget, FuelMeter, FuelSpent, FuelStop};
 pub use lifetime::{cluster_max_live, LifetimeMap};
 pub use mrt::{ModuloReservationTable, Reservation};
 pub use ordering::{sms_order, OrderingContext};
+pub use pressure::PressureTracker;
 pub use schedule::{
     CommPlacement, ModuloSchedule, PlacedOp, ScheduleCheckpoint, ScheduleError, SlotMap,
 };

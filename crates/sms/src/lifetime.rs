@@ -63,6 +63,116 @@ pub struct LifetimeMap {
     ii: u32,
 }
 
+/// Append the live ranges contributed by one producer `node` to `out`.
+///
+/// Pushes nothing when `node` defines no value or is not placed. `remote_last_read`
+/// is caller-provided scratch sized to the cluster count (contents are overwritten).
+/// This is the single source of truth for the lifetime model: both the whole-schedule
+/// [`LifetimeMap`] and the incremental [`crate::pressure::PressureTracker`] build their
+/// ranges through it, which is what keeps the two byte-identical.
+pub(crate) fn push_producer_ranges(
+    graph: &DepGraph,
+    sched: &ModuloSchedule,
+    node: NodeId,
+    remote_last_read: &mut [Option<(i64, i64)>],
+    out: &mut Vec<LiveRange>,
+) {
+    let ii = sched.ii();
+    if !graph.node(node).class.defines_value() {
+        return;
+    }
+    let Some(prod) = sched.placement(node) else {
+        return;
+    };
+
+    // Producer-side range: from issue until the last read performed from this
+    // cluster's register file (local consumers, or the bus transfer start for
+    // remote consumers).
+    let mut last_local_read = prod.cycle + 1; // minimum 1-cycle occupancy
+
+    remote_last_read.fill(None);
+
+    for e in graph.out_edges(node).filter(|e| e.kind.carries_value()) {
+        let Some(cons) = sched.placement(e.dst) else {
+            continue;
+        };
+        let read_cycle = cons.cycle + e.distance as i64 * ii as i64;
+        if cons.cluster == prod.cluster {
+            last_local_read = last_local_read.max(read_cycle);
+        } else {
+            // The producer's register feeds the bus transfer.
+            let transfer = sched
+                .comms()
+                .iter()
+                .find(|c| c.src_node == node && c.to_cluster == cons.cluster);
+            let (send, arrive) = match transfer {
+                Some(c) => (c.start_cycle, c.start_cycle + c.duration as i64),
+                // No transfer recorded (e.g. mid-construction): fall back to
+                // the consumer's read cycle.
+                None => (read_cycle, read_cycle),
+            };
+            last_local_read = last_local_read.max(send);
+            let entry = &mut remote_last_read[cons.cluster];
+            let (arr, last) = entry.unwrap_or((arrive, arrive));
+            *entry = Some((arr.min(arrive), last.max(read_cycle)));
+        }
+    }
+
+    out.push(LiveRange {
+        node,
+        cluster: prod.cluster,
+        start: prod.cycle,
+        end: last_local_read,
+    });
+    for (cluster, entry) in remote_last_read.iter().enumerate() {
+        if let Some((arrive, last_read)) = entry {
+            // Read straight from the incoming-value register when consumed on
+            // arrival; otherwise it occupies a register until its last use.
+            if last_read > arrive {
+                out.push(LiveRange {
+                    node,
+                    cluster,
+                    start: *arrive,
+                    end: *last_read,
+                });
+            }
+        }
+    }
+}
+
+/// Apply one live range to a cluster's `II` pressure rows via `f` (used with `+=`
+/// to add a range and `-=` to retract one).
+///
+/// A range of `len` cycles contributes ceil-style coverage of kernel rows:
+/// row (start + k) mod II for k in 0..len — i.e. `len div II` instances in
+/// every row plus one more in the `len mod II` rows starting at the range's
+/// start row (a contiguous wrapped interval, since (start + (len div
+/// II)·II) mod II == start mod II).
+#[inline]
+pub(crate) fn apply_range_rows(
+    rows: &mut [u32],
+    ii: u32,
+    r: &LiveRange,
+    mut f: impl FnMut(&mut u32, u32),
+) {
+    let len = (r.end - r.start).max(1);
+    let full = (len / ii as i64) as u32;
+    let rem = (len % ii as i64) as usize;
+    if full > 0 {
+        for slot in rows.iter_mut() {
+            f(slot, full);
+        }
+    }
+    let row0 = r.start.rem_euclid(ii as i64) as usize;
+    let wrap = (row0 + rem).saturating_sub(ii as usize);
+    for slot in &mut rows[row0..(row0 + rem - wrap)] {
+        f(slot, 1);
+    }
+    for slot in &mut rows[..wrap] {
+        f(slot, 1);
+    }
+}
+
 impl LifetimeMap {
     /// Compute the lifetimes of `sched` for `graph` on `machine`.
     ///
@@ -76,93 +186,14 @@ impl LifetimeMap {
         // schedulers, so per-call allocations are hot).
         let mut remote_last_read: Vec<Option<(i64, i64)>> = vec![None; machine.n_clusters];
         for node in graph.nodes() {
-            if !node.class.defines_value() {
-                continue;
-            }
-            let Some(prod) = sched.placement(node.id) else {
-                continue;
-            };
-
-            // Producer-side range: from issue until the last read performed from this
-            // cluster's register file (local consumers, or the bus transfer start for
-            // remote consumers).
-            let mut last_local_read = prod.cycle + 1; // minimum 1-cycle occupancy
-
-            remote_last_read.fill(None);
-
-            for e in graph.out_edges(node.id).filter(|e| e.kind.carries_value()) {
-                let Some(cons) = sched.placement(e.dst) else {
-                    continue;
-                };
-                let read_cycle = cons.cycle + e.distance as i64 * ii as i64;
-                if cons.cluster == prod.cluster {
-                    last_local_read = last_local_read.max(read_cycle);
-                } else {
-                    // The producer's register feeds the bus transfer.
-                    let transfer = sched
-                        .comms()
-                        .iter()
-                        .find(|c| c.src_node == node.id && c.to_cluster == cons.cluster);
-                    let (send, arrive) = match transfer {
-                        Some(c) => (c.start_cycle, c.start_cycle + c.duration as i64),
-                        // No transfer recorded (e.g. mid-construction): fall back to
-                        // the consumer's read cycle.
-                        None => (read_cycle, read_cycle),
-                    };
-                    last_local_read = last_local_read.max(send);
-                    let entry = &mut remote_last_read[cons.cluster];
-                    let (arr, last) = entry.unwrap_or((arrive, arrive));
-                    *entry = Some((arr.min(arrive), last.max(read_cycle)));
-                }
-            }
-
-            ranges.push(LiveRange {
-                node: node.id,
-                cluster: prod.cluster,
-                start: prod.cycle,
-                end: last_local_read,
-            });
-            for (cluster, entry) in remote_last_read.iter().enumerate() {
-                if let Some((arrive, last_read)) = entry {
-                    // Read straight from the incoming-value register when consumed on
-                    // arrival; otherwise it occupies a register until its last use.
-                    if last_read > arrive {
-                        ranges.push(LiveRange {
-                            node: node.id,
-                            cluster,
-                            start: *arrive,
-                            end: *last_read,
-                        });
-                    }
-                }
-            }
+            push_producer_ranges(graph, sched, node.id, &mut remote_last_read, &mut ranges);
         }
 
         let mut pressure = vec![0u32; machine.n_clusters * ii as usize];
         for r in &ranges {
-            let len = (r.end - r.start).max(1);
-            // A range of `len` cycles contributes ceil-style coverage of kernel rows:
-            // row (start + k) mod II for k in 0..len — i.e. `len div II` instances in
-            // every row plus one more in the `len mod II` rows starting at the range's
-            // start row (a contiguous wrapped interval, since (start + (len div
-            // II)·II) mod II == start mod II).
             let base = r.cluster * ii as usize;
             let rows = &mut pressure[base..base + ii as usize];
-            let full = (len / ii as i64) as u32;
-            let rem = (len % ii as i64) as usize;
-            if full > 0 {
-                for slot in rows.iter_mut() {
-                    *slot += full;
-                }
-            }
-            let row0 = r.start.rem_euclid(ii as i64) as usize;
-            let wrap = (row0 + rem).saturating_sub(ii as usize);
-            for slot in &mut rows[row0..(row0 + rem - wrap)] {
-                *slot += 1;
-            }
-            for slot in &mut rows[..wrap] {
-                *slot += 1;
-            }
+            apply_range_rows(rows, ii, r, |slot, v| *slot += v);
         }
 
         Self {

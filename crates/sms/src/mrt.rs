@@ -13,9 +13,11 @@
 //! Rows are stored as bitsets — for the IIs the paper's corpora produce a row is a
 //! single `u64` word, so the multi-cycle probe `is_free_for` (the hottest operation of
 //! the whole scheduler: it runs once per candidate cycle per bus per trial) is one
-//! wrapped-mask test instead of a counter loop.  [`ModuloReservationTable::reset`]
-//! re-arms the table for a new II without reallocating, so an II search touches the
-//! allocator once, not once per retry.
+//! wrapped-mask test instead of a counter loop.  Wider rows (II > 64) use the same
+//! idea per word: the wrapped span decomposes into at most two linear column ranges,
+//! each probed/set/cleared with whole-word masks rather than per-cycle bit twiddling.
+//! [`ModuloReservationTable::reset`] re-arms the table for a new II without
+//! reallocating, so an II search touches the allocator once, not once per retry.
 
 use serde::{Deserialize, Serialize};
 use vliw_arch::{ResourceIndex, ResourcePool};
@@ -100,6 +102,34 @@ impl ModuloReservationTable {
         low | wrapped
     }
 
+    /// Visit the `(word, mask)` pairs covering `duration` consecutive columns starting
+    /// at column `start`, wrapped modulo `ii` — the multi-word (`II > 64`) counterpart
+    /// of [`ModuloReservationTable::wrapped_mask`].  Because `duration <= II`, the
+    /// wrapped span splits into at most two linear column ranges (`[start, min(start +
+    /// duration, II))` and the wrapped remainder `[0, start + duration − II)`), each of
+    /// which decomposes into whole-word masks.
+    #[inline]
+    fn span_words(ii: u32, start: usize, duration: u32, mut f: impl FnMut(usize, u64)) {
+        debug_assert!(duration <= ii);
+        let end = start + duration as usize;
+        let ii = ii as usize;
+        for (a, b) in [(start, end.min(ii)), (0, end.saturating_sub(ii))] {
+            if a >= b {
+                continue;
+            }
+            for word in a / 64..=(b - 1) / 64 {
+                let lo = a.max(word * 64) - word * 64;
+                let hi = b.min(word * 64 + 64) - word * 64;
+                let mask = if hi - lo == 64 {
+                    u64::MAX
+                } else {
+                    ((1u64 << (hi - lo)) - 1) << lo
+                };
+                f(word, mask);
+            }
+        }
+    }
+
     /// Whether `resource` is free at the single cycle `cycle`.
     #[inline]
     pub fn is_free(&self, resource: ResourceIndex, cycle: i64) -> bool {
@@ -118,7 +148,13 @@ impl ModuloReservationTable {
             let mask = self.wrapped_mask(cycle, duration);
             self.bits[resource.0] & mask == 0
         } else {
-            (0..duration).all(|d| self.is_free(resource, cycle + d as i64))
+            let row = resource.0 * self.words_per_row;
+            let start = self.column(cycle);
+            let mut free = true;
+            Self::span_words(self.ii, start, duration, |word, mask| {
+                free &= self.bits[row + word] & mask == 0;
+            });
+            free
         }
     }
 
@@ -131,25 +167,35 @@ impl ModuloReservationTable {
     ///
     /// The caller is expected to have checked availability first (the schedulers always
     /// probe with [`ModuloReservationTable::is_free_for`] before reserving); reserving
-    /// an occupied slot is debug-asserted against.
+    /// an occupied slot is debug-asserted against.  `duration > II` is a hard error:
+    /// such a span wraps onto itself, so set/clear pairs would no longer be inverses
+    /// (a bitset has no per-column counter), and no caller can reach it legitimately —
+    /// [`ModuloReservationTable::is_free_for`] rejects every such span.
     pub fn reserve_for(
         &mut self,
         resource: ResourceIndex,
         cycle: i64,
         duration: u32,
     ) -> Reservation {
+        assert!(
+            duration <= self.ii,
+            "a {duration}-cycle reservation cannot fit an II of {}",
+            self.ii
+        );
         debug_assert!(
             self.is_free_for(resource, cycle, duration),
             "reserving an occupied slot: {resource} cycle {cycle} x{duration}"
         );
-        if self.words_per_row == 1 && duration <= self.ii {
+        if self.words_per_row == 1 {
             let mask = self.wrapped_mask(cycle, duration);
             self.bits[resource.0] |= mask;
         } else {
-            for d in 0..duration {
-                let col = self.column(cycle + d as i64);
-                self.bits[resource.0 * self.words_per_row + col / 64] |= 1u64 << (col % 64);
-            }
+            let row = resource.0 * self.words_per_row;
+            let start = self.column(cycle);
+            let bits = &mut self.bits;
+            Self::span_words(self.ii, start, duration, |word, mask| {
+                bits[row + word] |= mask;
+            });
         }
         Reservation {
             resource,
@@ -172,7 +218,12 @@ impl ModuloReservationTable {
     /// that roll back tentative placements (the cluster scheduler evaluates several
     /// clusters before committing one).
     pub fn unreserve_for(&mut self, resource: ResourceIndex, cycle: i64, duration: u32) {
-        if self.words_per_row == 1 && duration <= self.ii {
+        assert!(
+            duration <= self.ii,
+            "a {duration}-cycle reservation cannot fit an II of {}",
+            self.ii
+        );
+        if self.words_per_row == 1 {
             let mask = self.wrapped_mask(cycle, duration);
             debug_assert!(
                 self.bits[resource.0] & mask == mask,
@@ -180,13 +231,16 @@ impl ModuloReservationTable {
             );
             self.bits[resource.0] &= !mask;
         } else {
-            for d in 0..duration {
-                let col = self.column(cycle + d as i64);
-                let word = &mut self.bits[resource.0 * self.words_per_row + col / 64];
-                let bit = 1u64 << (col % 64);
-                debug_assert!(*word & bit != 0, "releasing a slot that was not reserved");
-                *word &= !bit;
-            }
+            let row = resource.0 * self.words_per_row;
+            let start = self.column(cycle);
+            let bits = &mut self.bits;
+            Self::span_words(self.ii, start, duration, |word, mask| {
+                debug_assert!(
+                    bits[row + word] & mask == mask,
+                    "releasing a slot that was not reserved"
+                );
+                bits[row + word] &= !mask;
+            });
         }
     }
 
@@ -490,7 +544,7 @@ mod tests {
             state
         };
 
-        for ii in [1u32, 2, 3, 5, 8, 64, 70] {
+        for ii in [1u32, 2, 3, 5, 8, 64, 65, 70, 127, 128, 129] {
             let mut mrt = ModuloReservationTable::new(&p, ii);
             let mut reference = Reference {
                 ii,

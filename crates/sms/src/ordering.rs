@@ -129,6 +129,19 @@ pub fn topological_order(
 
 fn order_nodes(graph: &DepGraph, analysis: &GraphAnalysis) -> Result<Vec<NodeId>, String> {
     let sets = node_sets(graph);
+    order_nodes_with(graph, analysis, &sets)
+}
+
+/// The SMS ordering sweep over precomputed node sets.
+///
+/// [`node_sets`] depends only on the graph structure (recurrences and reachability),
+/// not on the candidate II, so the II-search driver computes the partition once per
+/// loop and reruns only this (II-dependent) sweep at each retried II.
+pub fn order_nodes_with(
+    graph: &DepGraph,
+    analysis: &GraphAnalysis,
+    sets: &[Vec<NodeId>],
+) -> Result<Vec<NodeId>, String> {
     let mut order: Vec<NodeId> = Vec::with_capacity(graph.n_nodes());
     let mut ordered = vec![false; graph.n_nodes()];
 
@@ -231,7 +244,9 @@ fn pick<K: Ord>(set: &BTreeSet<NodeId>, key: impl Fn(NodeId) -> K) -> Option<Nod
 }
 
 /// Partition the nodes into priority-ordered sets (see module docs).
-fn node_sets(graph: &DepGraph) -> Vec<Vec<NodeId>> {
+///
+/// The partition is independent of the candidate II; see [`order_nodes_with`].
+pub fn node_sets(graph: &DepGraph) -> Vec<Vec<NodeId>> {
     let n = graph.n_nodes();
     let recs = recurrences(graph);
     let mut assigned = vec![false; n];

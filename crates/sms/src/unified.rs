@@ -41,6 +41,11 @@ pub struct SmsScheduler {
     /// generates no spill code; a schedule that exceeds the file is retried at a larger
     /// II).  On by default.
     pub check_registers: bool,
+    /// Use the engine's incremental register-pressure tracker (on by default).  The
+    /// unified scheduler checks registers in `WholeSchedule` mode, where the tracker
+    /// is bypassed, but the toggle is kept for API symmetry with the cluster
+    /// schedulers and the equivalence property tests.
+    incremental: bool,
 }
 
 impl SmsScheduler {
@@ -52,7 +57,16 @@ impl SmsScheduler {
         Self {
             machine: machine.clone(),
             check_registers: true,
+            incremental: true,
         }
+    }
+
+    /// Toggle the engine's incremental register-pressure tracking (used by the
+    /// equivalence property tests; results are identical either way).
+    #[must_use]
+    pub fn incremental(mut self, on: bool) -> Self {
+        self.incremental = on;
+        self
     }
 
     /// The machine this scheduler targets.
@@ -71,6 +85,7 @@ impl SmsScheduler {
         IiSearchDriver::new(&self.machine)
             .check_registers(self.check_registers)
             .register_mode(RegisterCheckMode::WholeSchedule)
+            .incremental(self.incremental)
             .schedule(graph, &mut UnifiedPolicy)
     }
 }
