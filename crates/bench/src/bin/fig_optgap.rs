@@ -1,0 +1,62 @@
+//! The optimality-gap figure — certified gap `achieved II − solver lower bound`
+//! of every scheduling policy on the Table-1 clustered machines, over a
+//! fixed-seed fuzz corpus plus one exactly-unrolled kernel per case.
+//!
+//! The data comes from [`vliw_bench::optgap::fig_optgap`], which certifies every
+//! `(loop, target machine)` pair with the exact branch-and-bound solver.  Exits
+//! non-zero iff any schedule undercuts its certified lower bound (the sixth
+//! oracle's hard invariant) — CI's `optgap-smoke` job gates on exactly that.
+
+use vliw_bench::optgap;
+use vliw_metrics::TextTable;
+
+fn main() {
+    let report = optgap::fig_optgap();
+    let s = &report.summary;
+
+    println!(
+        "Optimality gaps — {} cases x 2 Table-1 machines, solver budget {} probes",
+        s.cases,
+        optgap::OPTGAP_SOLVER_PROBES
+    );
+    println!(
+        "{} schedules audited ({} unschedulable): {} exact certificates ({:.1}%), \
+         {} lower bounds, {} fuel-exhausted, {} at the certified optimum",
+        s.schedules_audited,
+        s.unschedulable,
+        s.solver_exact,
+        100.0 * s.exact_rate,
+        s.solver_lower_bounds,
+        s.solver_fuel_exhausted,
+        s.at_certified_optimum,
+    );
+
+    for (title, axis) in [
+        ("policy", &report.gaps_by_policy),
+        ("machine", &report.gaps_by_machine),
+        ("limiting resource", &report.gaps_by_limiting),
+        ("unroll factor", &report.gaps_by_unroll),
+    ] {
+        println!("Certified gap by {title}:");
+        let mut table = TextTable::new([title, "gap histogram"]);
+        for (label, hist) in axis {
+            let cells: Vec<String> = hist.iter().map(|(k, v)| format!("{k}:{v}")).collect();
+            table.row([label.clone(), cells.join(" ")]);
+        }
+        println!("{table}");
+    }
+
+    let path = vliw_bench::write_json("fig_optgap", &report).expect("write report");
+    vliw_lint::reportio::exit_on_violations(
+        &path,
+        s.lower_bound_violations as usize,
+        &format!(
+            "no certified-lower-bound violations in {} schedules",
+            s.schedules_audited
+        ),
+        &format!(
+            "{} schedule(s) below a certified lower bound",
+            s.lower_bound_violations
+        ),
+    );
+}

@@ -11,6 +11,7 @@
 //! | `fig9`   | Figure 9 — cycle-time-aware speed-up over the unified machine |
 //! | `fig10`  | Figure 10 — code-size impact of unrolling |
 //! | `fig_unroll` | beyond the paper: IPC and code size across unroll factors `U ∈ 1..=8` |
+//! | `fig_optgap` | beyond the paper: certified optimality gaps of every policy on the Table-1 machines |
 //!
 //! plus the Criterion micro-benchmarks (`cargo bench -p vliw-bench`) measuring
 //! scheduler throughput.
@@ -35,6 +36,7 @@
 
 pub mod figures;
 pub mod lint_audit;
+pub mod optgap;
 pub mod sweep;
 
 use cvliw_core::{BsaScheduler, ClusterSchedule, NeScheduler, SelectiveUnroller, UnrollPolicy};

@@ -30,6 +30,7 @@ use crate::diagnostics::{Diagnostic, LintReport};
 use crate::lints::{self, LintDescriptor};
 use crate::liveness::ModuloLiveness;
 use crate::makespan::{ncycles_drift_ok, static_makespan, static_ncycles, static_stage_count};
+use crate::optimal::OptCertificate;
 use std::collections::{BTreeMap, BTreeSet};
 use vliw_arch::{MachineConfig, ResourceIndex, ResourceKind, ResourcePool};
 use vliw_ddg::DepGraph;
@@ -50,6 +51,7 @@ pub const IMBALANCE_GAP: usize = 4;
 pub struct Certifier {
     machine: MachineConfig,
     suppressed: BTreeSet<String>,
+    certificate: Option<OptCertificate>,
 }
 
 impl Certifier {
@@ -58,7 +60,18 @@ impl Certifier {
         Self {
             machine: machine.clone(),
             suppressed: BTreeSet::new(),
+            certificate: None,
         }
+    }
+
+    /// Attach an optimality certificate from [`crate::optimal::OptimalSolver`].
+    /// When the certified loop matches the schedule under check, the heuristic
+    /// `ii-slack` warning is upgraded to `certified-ii-gap`: slack is measured
+    /// against the solver's lower bound instead of the MII.
+    #[must_use]
+    pub fn with_certificate(mut self, certificate: OptCertificate) -> Self {
+        self.certificate = Some(certificate);
+        self
     }
 
     /// Suppress `lint_id` for this certifier's runs.  Panics on an unknown id so a
@@ -336,7 +349,26 @@ impl Certifier {
                 );
             }
         }
-        if sched.ii() > sched.mii {
+        let certified_bound = self
+            .certificate
+            .as_ref()
+            .filter(|c| c.loop_name == sched.loop_name && c.machine == self.machine.name)
+            .and_then(|c| c.lower_bound().map(|lb| (lb, c.is_exact())));
+        if let Some((lower_bound, exact)) = certified_bound {
+            if sched.ii() > lower_bound {
+                emit(
+                    &mut diags,
+                    lints::CERTIFIED_II_GAP,
+                    format!(
+                        "II {} is {} above the certified {} {}",
+                        sched.ii(),
+                        sched.ii() - lower_bound,
+                        if exact { "optimum" } else { "lower bound" },
+                        lower_bound
+                    ),
+                );
+            }
+        } else if sched.ii() > sched.mii {
             emit(
                 &mut diags,
                 lints::II_SLACK,

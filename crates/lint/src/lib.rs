@@ -15,6 +15,8 @@
 //!   severities, per-lint suppression) and deterministic structured reports;
 //! * [`certify`] — the deny-level certifier proving the dynamic verifier's four
 //!   invariants without execution, plus warn-level schedule-quality lints;
+//! * [`optimal`] — the budgeted branch-and-bound exact modulo scheduler whose
+//!   certificates bound how far a schedule's II sits from the true optimum;
 //! * [`reportio`] — the report-writing/exit-code tail shared by the gate bins.
 //!
 //! The certifier is wired into `vliw-verify` as a fifth, *static* oracle
@@ -34,6 +36,7 @@ pub mod engine;
 pub mod lints;
 pub mod liveness;
 pub mod makespan;
+pub mod optimal;
 pub mod reaching;
 pub mod reportio;
 
@@ -43,4 +46,5 @@ pub use domain::BitSet;
 pub use engine::{fixpoint, Direction, KernelAnalysis};
 pub use liveness::{ModuloLiveness, ValueInterval};
 pub use makespan::{ncycles_drift_ok, static_makespan, static_ncycles, static_stage_count};
+pub use optimal::{OptCertificate, OptVerdict, OptimalSolver, DEFAULT_SOLVER_PROBES};
 pub use reaching::ReachingDefs;

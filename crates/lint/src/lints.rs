@@ -87,6 +87,15 @@ pub const CODE_SIZE_CLAMP: LintDescriptor = LintDescriptor {
     summary: "useful operation slots exceed the loop's total code-size slots",
 };
 
+/// The achieved II exceeds the *solver-certified* lower bound — the
+/// certificate-backed upgrade of [`II_SLACK`], emitted instead of it when an
+/// [`crate::optimal::OptCertificate`] is attached to the certifier.
+pub const CERTIFIED_II_GAP: LintDescriptor = LintDescriptor {
+    id: "certified-ii-gap",
+    severity: Severity::Warn,
+    summary: "the schedule's II is above the solver-certified lower bound",
+};
+
 /// A value is computed but never read by any placed consumer.
 pub const DEAD_VALUE: LintDescriptor = LintDescriptor {
     id: "dead-value",
@@ -117,7 +126,7 @@ pub const REGISTER_CLIFF: LintDescriptor = LintDescriptor {
 };
 
 /// Every registered lint, deny set first, each group in id order.
-pub const ALL: [LintDescriptor; 13] = [
+pub const ALL: [LintDescriptor; 14] = [
     BAD_PLACEMENT,
     BUS_CONFLICT,
     CODE_SIZE_CLAMP,
@@ -127,6 +136,7 @@ pub const ALL: [LintDescriptor; 13] = [
     NCYCLES_WINDOW,
     REGISTER_PRESSURE,
     UNSCHEDULED_NODE,
+    CERTIFIED_II_GAP,
     CLUSTER_IMBALANCE,
     DEAD_VALUE,
     II_SLACK,

@@ -69,6 +69,19 @@ pub enum Finding {
         /// Number of findings the dynamic oracles raised.
         dynamic_findings: usize,
     },
+    /// The achieved II sits below the exact solver's certified lower bound (or
+    /// the solver proved the loop unschedulable outright) — one of the two
+    /// claims is unsound.  Not produced by [`check_schedule`] itself — the
+    /// `vliw-verify` campaign's sixth (optimality) oracle records it when
+    /// cross-checking `vliw_lint::OptimalSolver` certificates against achieved
+    /// schedules.
+    IiBelowCertifiedBound {
+        /// The II the heuristic scheduler achieved.
+        achieved: u32,
+        /// The solver's certified lower bound (`None` = the solver claimed the
+        /// loop is infeasible at every II).
+        lower_bound: Option<u32>,
+    },
     /// `NCYCLES` (the IPC denominator) drifted outside its provable window around
     /// the simulated makespan.
     IpcModelDrift {

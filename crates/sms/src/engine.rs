@@ -195,6 +195,11 @@ impl<'a> EngineView<'a> {
         // can borrow the rest of the view mutably.
         let mut comm_probe = std::mem::take(self.comm_scratch);
         comm_probe.collect(self.graph, self.sched, node, cluster);
+        // Likewise the register-pressure affected set is fixed for the whole
+        // probe — collect it once instead of once per scanned cycle.
+        if self.check_registers && self.per_placement_registers && self.incremental {
+            self.tracker.prepare_probe(self.graph, self.sched, node);
+        }
         let out = self.probe_with(node, cluster, &mut comm_probe);
         *self.comm_scratch = comm_probe;
         out

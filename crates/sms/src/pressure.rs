@@ -45,6 +45,11 @@ pub struct PressureTracker {
     ranges_of: Vec<Vec<LiveRange>>,
     // Scratch buffers, reused across probes.
     affected: Vec<NodeId>,
+    /// Node whose affected set is already in `affected` (hoisted once per probe
+    /// via [`PressureTracker::prepare_probe`]; the set depends only on which
+    /// *predecessors* are placed, so it is invariant across the probe's cycle
+    /// scan).
+    prepared: Option<NodeId>,
     new_ranges: Vec<LiveRange>,
     /// Per-`affected` flag: whether the producer's trial ranges differ from its
     /// committed ranges (equal ranges are not swapped at all — the add and the
@@ -103,6 +108,20 @@ impl PressureTracker {
         }
         self.remote.clear();
         self.remote.resize(machine.n_clusters, None);
+        self.prepared = None;
+    }
+
+    /// Collect the affected set for a whole probe of `node` up front, so the
+    /// per-cycle [`PressureTracker::evaluate`] calls skip the edge traversal.
+    ///
+    /// Sound because the set depends only on `node`'s class and on which of its
+    /// *predecessors* are placed — neither changes while the probe scans cycles
+    /// (only `node` itself is tentatively placed and rolled back).  Call with
+    /// the committed schedule (the trial not yet applied); the preparation is
+    /// invalidated by [`PressureTracker::commit`] and [`PressureTracker::reset`].
+    pub fn prepare_probe(&mut self, graph: &DepGraph, sched: &ModuloSchedule, node: NodeId) {
+        self.collect_affected(graph, sched, node);
+        self.prepared = Some(node);
     }
 
     /// The producers whose live ranges placing `node` can affect: `node` itself
@@ -168,7 +187,9 @@ impl PressureTracker {
     ) -> (bool, u32) {
         debug_assert_eq!(sched.ii(), self.ii);
         let ii = self.ii;
-        self.collect_affected(graph, sched, node);
+        if self.prepared != Some(node) {
+            self.collect_affected(graph, sched, node);
+        }
         self.new_ranges.clear();
         self.swapped.clear();
 
@@ -243,6 +264,7 @@ impl PressureTracker {
     /// `sched` holds the committed schedule (trial applied for real).
     pub fn commit(&mut self, graph: &DepGraph, sched: &ModuloSchedule, node: NodeId) {
         let ii = self.ii;
+        self.prepared = None;
         self.collect_affected(graph, sched, node);
         for idx in 0..self.affected.len() {
             let p = self.affected[idx];

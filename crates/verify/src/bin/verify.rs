@@ -77,6 +77,14 @@ fn main() {
         c.statically_certified,
         c.lint_warnings.keys().collect::<Vec<_>>()
     );
+    println!(
+        "          {} solver certificates (sixth oracle): {} exact, {} lower bounds, {} fuel-exhausted",
+        c.solver_certified, c.solver_exact, c.solver_lower_bounds, c.solver_fuel_exhausted
+    );
+    println!(
+        "          certified II gaps {:?}",
+        c.optimality_gaps.iter().collect::<Vec<_>>()
+    );
     println!("limiting-resource histogram (policy/resource):");
     for (key, count) in &c.limiting_by_policy {
         println!("  {key:<28} {count}");

@@ -79,6 +79,7 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignReport {
                     limiting,
                     findings,
                     lint_warnings,
+                    certificate,
                 } => {
                     coverage.schedules_checked += 1;
                     if ii == mii {
@@ -94,6 +95,7 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignReport {
                         .entry(format!("{}/{limiting}", policy.label()))
                         .or_insert(0) += 1;
                     fold_lint_coverage(&mut coverage, findings, lint_warnings);
+                    fold_solver_coverage(&mut coverage, *ii, certificate);
                     if !findings.is_empty() {
                         violations.push(build_violation(config, outcome, *policy, findings));
                     }
@@ -111,8 +113,10 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignReport {
             let label = format!("bsa/unroll-x{}", audit.factor);
             match &audit.outcome {
                 PolicyOutcome::Scheduled {
+                    ii,
                     findings,
                     lint_warnings,
+                    certificate,
                     ..
                 } => {
                     coverage.unrolled_schedules_checked += 1;
@@ -121,6 +125,7 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignReport {
                         .entry(format!("x{}", audit.factor))
                         .or_insert(0) += 1;
                     fold_lint_coverage(&mut coverage, findings, lint_warnings);
+                    fold_solver_coverage(&mut coverage, *ii, certificate);
                     if !findings.is_empty() {
                         violations.push(build_unroll_violation(
                             config,
@@ -172,6 +177,26 @@ fn fold_lint_coverage(
     }
     for id in warnings {
         *coverage.lint_warnings.entry(id.clone()).or_insert(0) += 1;
+    }
+}
+
+/// Fold one audited schedule's sixth-oracle certificate into the coverage:
+/// verdict class counters, fuel accounting and the certified-gap histogram.
+fn fold_solver_coverage(coverage: &mut Coverage, ii: u32, certificate: &vliw_lint::OptCertificate) {
+    coverage.solver_certified += 1;
+    if certificate.is_exact() {
+        coverage.solver_exact += 1;
+    } else if certificate.lower_bound().is_some() {
+        coverage.solver_lower_bounds += 1;
+    }
+    if certificate.exhausted {
+        coverage.solver_fuel_exhausted += 1;
+    }
+    if let Some(gap) = certificate.gap_to(ii) {
+        *coverage
+            .optimality_gaps
+            .entry(format!("gap{gap}"))
+            .or_insert(0) += 1;
     }
 }
 
@@ -320,6 +345,21 @@ mod tests {
         assert_eq!(
             c.statically_certified,
             c.schedules_checked + c.unrolled_schedules_checked
+        );
+        // The sixth (optimality) oracle solved every audited schedule, and a
+        // passing campaign means no achieved II ever undercut a certified
+        // lower bound: every gap key is non-negative.
+        assert_eq!(
+            c.solver_certified,
+            c.schedules_checked + c.unrolled_schedules_checked
+        );
+        assert!(c.solver_exact >= 1, "{c:?}");
+        let gap_total: u64 = c.optimality_gaps.values().sum();
+        assert_eq!(gap_total, c.solver_certified);
+        assert!(
+            c.optimality_gaps.keys().all(|k| !k.starts_with("gap-")),
+            "negative certified gap: {:?}",
+            c.optimality_gaps
         );
     }
 

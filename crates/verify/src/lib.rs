@@ -57,7 +57,8 @@ pub use fault::{
     FaultPlan, FaultyPolicy, UncontainedFault,
 };
 pub use oracle::{
-    check_case, check_policy, check_unrolled, CaseOutcome, Policy, PolicyOutcome, UnrollAudit,
+    audit_scheduled, check_case, check_policy, check_policy_with, check_unrolled,
+    solve_certificate, CaseOutcome, Policy, PolicyOutcome, UnrollAudit,
 };
 pub use report::{CampaignReport, Coverage, ShrunkRepro, ViolationReport};
 pub use shrink::{induced_subgraph, shrink_case, ShrinkResult};

@@ -7,6 +7,7 @@ use cvliw_core::{
 use serde::{Deserialize, Serialize};
 use vliw_arch::MachineConfig;
 use vliw_ddg::DepGraph;
+use vliw_lint::{OptCertificate, OptimalSolver};
 use vliw_sim::{check_schedule, verification_iterations, Finding};
 use vliw_sms::{ScheduleError, ScheduledLoop, SmsScheduler};
 
@@ -93,6 +94,9 @@ pub enum PolicyOutcome {
         findings: Vec<Finding>,
         /// Warn-level lint ids the static certifier raised (sorted, deduplicated).
         lint_warnings: Vec<String>,
+        /// The sixth oracle's optimality certificate for this loop on the
+        /// policy's target machine: `ii` must sit at or above its lower bound.
+        certificate: OptCertificate,
     },
     /// The II search exhausted its budget — a legitimate outcome on harsh random
     /// machines (tiny register files, saturated buses), counted by the coverage but
@@ -160,44 +164,110 @@ impl CaseOutcome {
 pub fn check_policy(policy: Policy, machine: &MachineConfig, graph: &DepGraph) -> PolicyOutcome {
     match vliw_sms::contain_schedule(|| policy.schedule(machine, graph)) {
         Ok(out) => {
-            let target = policy.target_machine(machine);
-            let report = check_schedule(
-                &target,
+            // The achieved II seeds the solve as its incumbent: the schedule
+            // the dynamic oracles are about to validate is itself a witness,
+            // so the solver only has to close the range below it.
+            let certificate = solve_certificate(
+                &policy.target_machine(machine),
                 graph,
-                &out.schedule,
-                verification_iterations(graph),
+                Some(out.diagnostics.ii),
             );
-            let mut findings = report.findings;
-            // The fifth, *static* oracle: the lint certifier must agree with the
-            // dynamic four on every schedule — it certifies exactly the schedules
-            // they pass.  Any static-pass/dynamic-fail (or vice versa) is itself a
-            // violation, and it shrinks like any other finding.
-            let lint = vliw_lint::Certifier::new(&target).check(
-                graph,
-                &out.schedule,
-                verification_iterations(graph),
-            );
-            if lint.is_certified() != findings.is_empty() {
-                let dynamic_findings = findings.len();
-                findings.push(Finding::StaticDynamicDisagreement {
-                    static_denies: lint.deny_ids(),
-                    dynamic_findings,
-                });
-            }
-            PolicyOutcome::Scheduled {
-                ii: out.diagnostics.ii,
-                mii: out.diagnostics.mii,
-                limiting: out.diagnostics.limiting.to_string(),
-                findings,
-                lint_warnings: lint.warn_ids(),
-            }
+            audit_scheduled(policy, machine, graph, &out, &certificate)
         }
-        Err(ScheduleError::MaxIiExceeded { .. }) => PolicyOutcome::Unschedulable,
-        // Everything else — malformed inputs, degenerate graphs, impossible
-        // machines, exhausted budgets, contained panics, rogue policies — is a
-        // *typed rejection*: the scheduler refused (or was unable) to produce a
-        // schedule and said why, which the campaign records verbatim.
-        Err(e) => PolicyOutcome::Rejected {
+        Err(e) => error_outcome(e),
+    }
+}
+
+/// The sixth oracle's certificate for `graph` on `machine` (the *target* machine
+/// a policy schedules for): a budgeted exact branch-and-bound solve of the
+/// optimal II, seeded with the best validated achieved II as the incumbent.
+/// Deterministic for a given input, so re-running it inside shrink predicates
+/// reproduces the original findings.
+pub fn solve_certificate(
+    machine: &MachineConfig,
+    graph: &DepGraph,
+    incumbent: Option<u32>,
+) -> OptCertificate {
+    OptimalSolver::default().certify_with_incumbent(graph, machine, incumbent)
+}
+
+/// [`check_policy`] with a precomputed optimality certificate (must be for the
+/// policy's [`Policy::target_machine`]); [`check_case`] shares one solve across
+/// the policies targeting the same machine.
+pub fn check_policy_with(
+    policy: Policy,
+    machine: &MachineConfig,
+    graph: &DepGraph,
+    certificate: &OptCertificate,
+) -> PolicyOutcome {
+    match vliw_sms::contain_schedule(|| policy.schedule(machine, graph)) {
+        Ok(out) => audit_scheduled(policy, machine, graph, &out, certificate),
+        Err(e) => error_outcome(e),
+    }
+}
+
+/// Run the five audit oracles over one already-produced schedule.  Split out of
+/// [`check_policy_with`] so callers that need the achieved IIs *before* solving
+/// (to seed the solver's incumbent — [`check_case`] and the `fig_optgap`
+/// pipeline) can schedule first and audit second without scheduling twice.
+pub fn audit_scheduled(
+    policy: Policy,
+    machine: &MachineConfig,
+    graph: &DepGraph,
+    out: &ScheduledLoop,
+    certificate: &OptCertificate,
+) -> PolicyOutcome {
+    let target = policy.target_machine(machine);
+    let report = check_schedule(
+        &target,
+        graph,
+        &out.schedule,
+        verification_iterations(graph),
+    );
+    let mut findings = report.findings;
+    // The fifth, *static* oracle: the lint certifier must agree with the
+    // dynamic four on every schedule — it certifies exactly the schedules
+    // they pass.  Any static-pass/dynamic-fail (or vice versa) is itself a
+    // violation, and it shrinks like any other finding.
+    let lint = vliw_lint::Certifier::new(&target)
+        .with_certificate(certificate.clone())
+        .check(graph, &out.schedule, verification_iterations(graph));
+    if lint.is_certified() != findings.is_empty() {
+        let dynamic_findings = findings.len();
+        findings.push(Finding::StaticDynamicDisagreement {
+            static_denies: lint.deny_ids(),
+            dynamic_findings,
+        });
+    }
+    // The sixth, *optimality* oracle: an achieved II below the solver's
+    // certified lower bound (or any schedule for a loop the solver
+    // proved unschedulable) means one of the two is unsound — a hard
+    // violation that shrinks like any other finding.
+    if certificate.violated_by(out.diagnostics.ii) {
+        findings.push(Finding::IiBelowCertifiedBound {
+            achieved: out.diagnostics.ii,
+            lower_bound: certificate.lower_bound(),
+        });
+    }
+    PolicyOutcome::Scheduled {
+        ii: out.diagnostics.ii,
+        mii: out.diagnostics.mii,
+        limiting: out.diagnostics.limiting.to_string(),
+        findings,
+        lint_warnings: lint.warn_ids(),
+        certificate: certificate.clone(),
+    }
+}
+
+/// Map a scheduler error to its outcome: budget exhaustion is legitimate
+/// coverage; everything else — malformed inputs, degenerate graphs, impossible
+/// machines, contained panics, rogue policies — is a *typed rejection*: the
+/// scheduler refused (or was unable) to produce a schedule and said why, which
+/// the campaign records verbatim.
+fn error_outcome(e: ScheduleError) -> PolicyOutcome {
+    match e {
+        ScheduleError::MaxIiExceeded { .. } => PolicyOutcome::Unschedulable,
+        e => PolicyOutcome::Rejected {
             error: e.to_string(),
         },
     }
@@ -224,10 +294,50 @@ pub fn check_unrolled(
 
 /// Run all five policies on `case` and audit every produced schedule, plus the
 /// case's sampled unroll factor through BSA.
+///
+/// Two passes: first schedule every policy, then solve one certificate per
+/// distinct target machine — seeded with the *best* achieved II among the
+/// policies that target it, so the solver starts from a validated incumbent —
+/// and finally audit each schedule against its machine's certificate.
 pub fn check_case(case: FuzzCase) -> CaseOutcome {
-    let outcomes = Policy::ALL
+    let schedules: Vec<(Policy, Result<ScheduledLoop, ScheduleError>)> = Policy::ALL
         .iter()
-        .map(|&policy| (policy, check_policy(policy, &case.machine, &case.graph)))
+        .map(|&policy| {
+            (
+                policy,
+                vliw_sms::contain_schedule(|| policy.schedule(&case.machine, &case.graph)),
+            )
+        })
+        .collect();
+    // One solver run per distinct target machine: the clustered policies share
+    // the case machine, the SMS reference targets its unified counterpart.
+    let unified_target = Policy::UnifiedSms.target_machine(&case.machine);
+    let best_ii = |target: &MachineConfig| {
+        schedules
+            .iter()
+            .filter(|(p, _)| p.target_machine(&case.machine) == *target)
+            .filter_map(|(_, r)| r.as_ref().ok().map(|out| out.diagnostics.ii))
+            .min()
+    };
+    let base_cert = solve_certificate(&case.machine, &case.graph, best_ii(&case.machine));
+    let unified_cert = if unified_target == case.machine {
+        base_cert.clone()
+    } else {
+        solve_certificate(&unified_target, &case.graph, best_ii(&unified_target))
+    };
+    let outcomes = schedules
+        .into_iter()
+        .map(|(policy, result)| {
+            let cert = match policy {
+                Policy::UnifiedSms => &unified_cert,
+                _ => &base_cert,
+            };
+            let outcome = match result {
+                Ok(out) => audit_scheduled(policy, &case.machine, &case.graph, &out, cert),
+                Err(e) => error_outcome(e),
+            };
+            (policy, outcome)
+        })
         .collect();
     let unrolled = check_unrolled(&case.machine, &case.graph, case.unroll_factor);
     CaseOutcome {

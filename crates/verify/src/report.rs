@@ -48,6 +48,22 @@ pub struct Coverage {
     /// Histogram over warn-level lint ids the static certifier raised across all
     /// audited schedules.
     pub lint_warnings: BTreeMap<String, u64>,
+    /// Schedules carrying a sixth-oracle optimality certificate.  In a passing
+    /// campaign this equals `schedules_checked + unrolled_schedules_checked`:
+    /// every audited schedule is solved.
+    pub solver_certified: u64,
+    /// Certificates that pinned the exact optimal II (verdict `Optimal`).
+    pub solver_exact: u64,
+    /// Certificates that only bounded the optimum from below (verdict
+    /// `LowerBound`).
+    pub solver_lower_bounds: u64,
+    /// Certificates whose per-loop solver fuel budget ran out before the search
+    /// concluded.
+    pub solver_fuel_exhausted: u64,
+    /// Histogram over the certified II gap `achieved − lower_bound` of every
+    /// audited schedule (`"gap<k>"` keys).  Zero `achieved < lower_bound`
+    /// violations means no negative keys ever appear here.
+    pub optimality_gaps: BTreeMap<String, u64>,
 }
 
 /// A shrunk, self-contained reproducer of one violation.

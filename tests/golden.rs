@@ -1,7 +1,7 @@
 //! Golden-output regression tests: regenerate the committed figure/table artifacts
 //! with the current engine + sweep runner at **full scale** and assert they match
 //! the files under `results/` bit-for-bit — fig4, fig8, fig9, fig10, fig_unroll,
-//! table1 and table2, i.e. every committed experiment artifact.  This is the
+//! fig_optgap, table1 and table2, i.e. every committed experiment artifact.  This is the
 //! behaviour-preservation guard of the engine refactor: the five schedulers route
 //! through the shared `IiSearchDriver`, the figures through the memoized sweep —
 //! and not a single byte of output moved.
@@ -96,6 +96,20 @@ fn fault_campaign_regenerates_byte_identical() {
         report.uncontained
     );
     assert_matches_committed(&report, "fault_campaign");
+}
+
+#[test]
+#[ignore = "24-case solver-certified gap sweep (~10 s in release); CI golden job runs it"]
+fn fig_optgap_regenerates_byte_identical() {
+    // The optimality-gap artifact: every policy on both Table-1 machines over
+    // the reduced fuzz corpus, certified by the branch-and-bound solver.
+    // Regenerate with `cargo run --release -p vliw-bench --bin fig_optgap`.
+    let report = vliw_bench::optgap::fig_optgap();
+    assert_eq!(
+        report.summary.lower_bound_violations, 0,
+        "schedules below a certified lower bound"
+    );
+    assert_matches_committed(&report, "fig_optgap");
 }
 
 #[test]
